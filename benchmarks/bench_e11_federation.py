@@ -1,0 +1,147 @@
+"""E11 — the distributed-endpoints motivation (Section 1).
+
+"Computing the complete (distributed) set of consequences in this
+setting is unfeasible, especially considering that such sources often
+return only restricted answers (e.g., the first 50)."  Reproduced:
+
+* global saturation is structurally impossible: endpoints refuse bulk
+  export, and crawling them through their query interface truncates —
+  the closure built from truncated crawls is *provably incomplete*;
+* Ref answers completely through the same restricted interfaces, with
+  a few small requests per query, including answers whose derivation
+  spans sources (a fact here, a constraint there);
+* the per-query data transfer of Ref is a small fraction of the data a
+  saturation attempt would have to move.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench import format_table
+from repro.datasets import GeneratorConfig, generate_lubm, lubm_queries, lubm_schema
+from repro.federation import Endpoint, ExportForbidden, FederatedAnswerer
+from repro.query import ConjunctiveQuery, TriplePattern, Variable, evaluate_cq
+from repro.rdf import Graph
+from repro.saturation import saturate
+
+
+def _shard(graph, parts):
+    shards = [Graph() for _ in range(parts)]
+    for index, triple in enumerate(sorted(graph.data_triples())):
+        shards[index % parts].add(triple)
+    return shards
+
+
+@pytest.fixture(scope="module")
+def federation_setup():
+    graph = generate_lubm(universities=2, seed=1, include_schema=False)
+    schema = lubm_schema()
+    shards = _shard(graph, parts=4)
+    endpoints = [
+        Endpoint("shard%d" % index, shard, result_limit=None)
+        for index, shard in enumerate(shards)
+    ]
+    full = graph.copy()
+    full.add_all(schema.to_triples())
+    return graph, schema, endpoints, saturate(full)
+
+
+def test_saturation_is_infeasible(federation_setup):
+    """Both roads to a global closure are blocked."""
+    graph, schema, endpoints, _ = federation_setup
+    # Road 1: dump every endpoint. Refused.
+    for endpoint in endpoints:
+        with pytest.raises(ExportForbidden):
+            endpoint.export()
+
+    # Road 2: crawl through the query interface under a result limit.
+    limited = [
+        Endpoint(e.name + "-limited", Graph(), result_limit=50)
+        for e in endpoints
+    ]
+    # Rebuild limited endpoints over the same shards.
+    shards = _shard(graph, parts=4)
+    limited = [
+        Endpoint("l%d" % index, shard, result_limit=50)
+        for index, shard in enumerate(shards)
+    ]
+    x, p, o = Variable("x"), Variable("p"), Variable("o")
+    crawl = ConjunctiveQuery([x, p, o], [TriplePattern(x, p, o)])
+    harvested = 0
+    truncated_endpoints = 0
+    for endpoint in limited:
+        result = endpoint.evaluate(crawl)
+        harvested += len(result)
+        truncated_endpoints += int(result.truncated)
+    print(
+        "\nE11: crawling under limit-50 harvested %d of %d triples "
+        "(%d/%d endpoints truncated) — any closure built on this is "
+        "incomplete" % (harvested, len(graph), truncated_endpoints, len(limited))
+    )
+    assert truncated_endpoints == len(limited)
+    assert harvested < len(graph)
+
+
+def test_ref_is_complete_over_federation(federation_setup):
+    graph, schema, endpoints, saturated = federation_setup
+    federation = FederatedAnswerer(endpoints, schema)
+    rows = []
+    for name in ("Q1", "Q5", "Q6", "Q13"):
+        query = lubm_queries()[name]
+        federation.reset_counters()
+        answer = federation.answer(query)
+        expected = evaluate_cq(saturated, query)
+        assert answer.rows == expected, name
+        assert not answer.truncated
+        rows.append(
+            [name, answer.cardinality, answer.requests, answer.rows_transferred]
+        )
+    print()
+    print(
+        format_table(
+            ["query", "answers", "requests", "rows transferred"],
+            rows,
+            title="E11: federated Ref (complete, per-query cost only)",
+        )
+    )
+
+
+def test_cross_source_entailment(federation_setup):
+    """An implicit fact whose premises live on different sources —
+    the paper's 'one fact in one endpoint, a constraint in another'."""
+    graph, schema, endpoints, saturated = federation_setup
+    federation = FederatedAnswerer(endpoints, schema)
+    # Q13 (degreeFrom) entails through the subproperty constraint held
+    # by the client while the degree triples are scattered over shards.
+    query = lubm_queries()["Q13"]
+    answer = federation.answer(query)
+    assert answer.rows == evaluate_cq(saturated, query)
+    assert answer.cardinality > 0
+
+
+def test_transfer_economics(federation_setup):
+    """Ref's rows-transferred per query is a fraction of the dataset a
+    saturation attempt must move in full."""
+    graph, schema, endpoints, _ = federation_setup
+    federation = FederatedAnswerer(endpoints, schema)
+    federation.reset_counters()
+    query = lubm_queries()["Q1"]
+    answer = federation.answer(query)
+    fraction = answer.rows_transferred / len(graph)
+    print(
+        "\nE11: Q1 moved %d rows (%.1f%% of the %d-triple federation); "
+        "saturation needs 100%% of it, continuously"
+        % (answer.rows_transferred, fraction * 100, len(graph))
+    )
+    assert fraction < 0.5
+
+
+def test_benchmark_federated_query(benchmark, federation_setup):
+    graph, schema, endpoints, _ = federation_setup
+    federation = FederatedAnswerer(endpoints, schema)
+    query = lubm_queries()["Q1"]
+    answer = benchmark.pedantic(
+        lambda: federation.answer(query), rounds=3, iterations=1
+    )
+    assert answer.cardinality > 0

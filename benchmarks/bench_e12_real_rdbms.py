@@ -1,0 +1,190 @@
+"""E12 — validation on a genuine RDBMS (SQLite).
+
+The paper's experiments run reformulations as SQL on real engines.
+This experiment does the same with the one real engine available in a
+Python standard library: the reformulated queries are translated to
+SQL over the dictionary-encoded triple table and executed by SQLite.
+
+* every strategy's SQL returns exactly the built-in executor's answers
+  (the substitution argument of DESIGN.md §2, closed empirically);
+* SQLite's own parser limit (500 compound-SELECT terms) rejects large
+  UCQ reformulations — the paper's "could not even be parsed" on a
+  real parser, with the threshold an order of magnitude *stricter*
+  than our simulated profiles;
+* timing: the same strategy ordering (grouped covers beat the SCQ's
+  big intermediate results) holds on the real engine.
+"""
+
+from __future__ import annotations
+
+import sqlite3
+import time
+
+import pytest
+
+from repro.bench import format_table
+from repro.datasets import example1_best_cover, example1_query, lubm_queries
+from repro.reformulation import jucq_for_cover, reformulate, scq_reformulation, ucq_size
+from repro.storage import SQLITE_COMPOUND_SELECT_LIMIT, SqliteBackend
+
+
+@pytest.fixture(scope="module")
+def sqlite_backend(lubm_answerer):
+    backend = SqliteBackend(lubm_answerer.store)
+    yield backend
+    backend.close()
+
+
+def test_sqlite_agrees_on_workload(lubm_answerer, sqlite_backend):
+    schema = lubm_answerer.schema
+    rows = []
+    for name in ("Q1", "Q4", "Q5", "Q6", "Q13", "Q14"):
+        query = lubm_queries()[name]
+        union = reformulate(query, schema)
+        start = time.perf_counter()
+        sqlite_answer = sqlite_backend.run(union)
+        sqlite_ms = (time.perf_counter() - start) * 1e3
+        start = time.perf_counter()
+        our_answer = lubm_answerer.executor.run(union).answer()
+        our_ms = (time.perf_counter() - start) * 1e3
+        assert sqlite_answer == our_answer, name
+        rows.append([name, len(sqlite_answer), "%.1f" % sqlite_ms, "%.1f" % our_ms])
+    print()
+    print(
+        format_table(
+            ["query", "rows (equal)", "SQLite ms", "built-in ms"],
+            rows,
+            title="E12: Ref-UCQ on a real RDBMS vs the built-in executor",
+        )
+    )
+
+
+def test_sqlite_agrees_on_jucq(lubm_answerer, sqlite_backend):
+    schema = lubm_answerer.schema
+    query = example1_query()
+    for jucq in (
+        scq_reformulation(query, schema),
+        jucq_for_cover(example1_best_cover(query), schema),
+    ):
+        assert sqlite_backend.run(jucq) == (
+            lubm_answerer.executor.run(jucq).answer()
+        )
+
+
+def test_real_parser_rejects_example1(lubm_answerer, sqlite_backend):
+    """Example 1's UCQ exceeds SQLite's 500-term compound limit by
+    ~370×: the real engine cannot even *receive* it.  We verify the
+    threshold with a 501-term probe rather than materializing the
+    186,624-CQ union."""
+    schema = lubm_answerer.schema
+    query = example1_query()
+    size = ucq_size(query, schema)
+    print(
+        "\nE12: Example 1's UCQ = %d disjuncts vs SQLite's compound-SELECT "
+        "limit of %d" % (size, SQLITE_COMPOUND_SELECT_LIMIT)
+    )
+    assert size > SQLITE_COMPOUND_SELECT_LIMIT
+
+    from repro.query import ConjunctiveQuery, TriplePattern, UnionQuery, Variable
+    from repro.datasets.lubm import UB
+    from repro.rdf import RDF_TYPE
+
+    x = Variable("x")
+    probe = UnionQuery(
+        [
+            ConjunctiveQuery([x], [TriplePattern(x, RDF_TYPE, UB.Course)])
+            for _ in range(SQLITE_COMPOUND_SELECT_LIMIT + 1)
+        ]
+    )
+    with pytest.raises(sqlite3.OperationalError):
+        sqlite_backend.run(probe)
+
+
+def test_strategy_ordering_on_real_engine(lubm_answerer, sqlite_backend):
+    """SCQ vs the grouped cover, timed on SQLite itself: the grouped
+    cover must win outright on the real engine (it does, by ~3x even
+    at the 2-university scale)."""
+    schema = lubm_answerer.schema
+    query = example1_query()
+    scq = scq_reformulation(query, schema)
+    best = jucq_for_cover(example1_best_cover(query), schema)
+
+    def run_timed(jucq):
+        best_seconds = float("inf")
+        answer = None
+        for _ in range(3):
+            start = time.perf_counter()
+            answer = sqlite_backend.run(jucq)
+            best_seconds = min(best_seconds, time.perf_counter() - start)
+        return answer, best_seconds * 1e3
+
+    scq_answer, scq_ms = run_timed(scq)
+    best_answer, best_ms = run_timed(best)
+    assert scq_answer == best_answer
+    print(
+        "\nE12: on SQLite — SCQ %.1f ms vs grouped cover %.1f ms "
+        "(identical %d answers)" % (scq_ms, best_ms, len(best_answer))
+    )
+    assert best_ms < scq_ms
+
+
+def test_scale_sweep_on_real_engine():
+    """The paper's headline shape, on a genuine RDBMS: the grouped
+    cover's advantage over the SCQ *grows with data size* (paper:
+    430x at 100M triples; measured here 3x → 6x over 4k → 74k
+    triples).  C-speed execution removes the per-plan interpreter
+    overhead that mutes the gap in the pure-Python executor (E2)."""
+    from repro.datasets import generate_lubm
+    from repro.storage import TripleStore
+
+    query = example1_query()
+    rows = []
+    speedups = []
+    for universities in (2, 20, 40):
+        store = TripleStore.from_graph(
+            generate_lubm(universities=universities, seed=1)
+        )
+        schema = store.schema
+        scq = scq_reformulation(query, schema)
+        best = jucq_for_cover(example1_best_cover(query), schema)
+        with SqliteBackend(store) as backend:
+            def best_of(jucq):
+                best_seconds = float("inf")
+                answer = None
+                for _ in range(3):
+                    start = time.perf_counter()
+                    answer = backend.run(jucq)
+                    best_seconds = min(
+                        best_seconds, time.perf_counter() - start
+                    )
+                return answer, best_seconds * 1e3
+
+            scq_answer, scq_ms = best_of(scq)
+            best_answer, best_ms = best_of(best)
+        assert scq_answer == best_answer
+        speedups.append(scq_ms / best_ms)
+        rows.append(
+            [
+                universities,
+                store.triple_count,
+                "%.0f" % scq_ms,
+                "%.0f" % best_ms,
+                "%.1fx" % speedups[-1],
+            ]
+        )
+    print()
+    print(
+        format_table(
+            ["universities", "triples", "SCQ ms", "best cover ms", "speedup"],
+            rows,
+            title="E12: Example 1 on SQLite (paper: 430x at 100M triples)",
+        )
+    )
+    assert all(speedup > 1.5 for speedup in speedups)
+    assert speedups[-1] > speedups[0]
+
+
+def test_benchmark_sqlite_ucq(benchmark, lubm_answerer, sqlite_backend):
+    union = reformulate(lubm_queries()["Q5"], lubm_answerer.schema)
+    answer = benchmark(sqlite_backend.run, union)
+    assert len(answer) > 0

@@ -1,0 +1,89 @@
+"""E1 — Example 1's UCQ reformulation blow-up (paper, Section 4).
+
+Paper's numbers on their LUBM schema: the CQ-to-UCQ reformulation of
+the six-atom query is a union of 318,096 CQs (= 564 alternatives for
+each of the two open type atoms), which "could not even be parsed".
+
+Reproduced here: the per-atom alternative counts on our RDFS
+projection of the LUBM ontology, the total disjunct count (the product
+of the per-atom counts: open-type² × memberOf-unfoldings²), and the
+parse failure of the materialized-size check on all three backend
+profiles.  Absolute counts differ from 318,096 because the published
+RDFS projection is not fully specified; the *shape* — five to six
+orders of magnitude, driven squarely by the open type atoms — is the
+reproduction target.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench import format_table
+from repro.datasets import example1_query
+from repro.reformulation import atom_reformulation_size, ucq_size
+from repro.storage import DEFAULT_BACKENDS, QueryTooLargeError
+
+
+def test_per_atom_alternative_counts(schema):
+    """t1/t2 (open type atoms) must dominate every other atom by two
+    orders of magnitude — the source of the blow-up."""
+    query = example1_query()
+    counts = [
+        atom_reformulation_size(atom, schema) for atom in query.atoms
+    ]
+    print()
+    print(
+        format_table(
+            ["atom", "pattern", "alternatives"],
+            [
+                ["t%d" % (index + 1), repr(atom), count]
+                for index, (atom, count) in enumerate(zip(query.atoms, counts))
+            ],
+            title="E1: per-atom reformulation sizes (paper: t1=t2=564)",
+        )
+    )
+    assert counts[0] == counts[1]          # both open type atoms
+    assert counts[0] > 100                 # hundreds of unfoldings
+    assert all(count <= 3 for count in counts[2:])
+
+
+def test_total_ucq_size_is_product(schema):
+    query = example1_query()
+    counts = [atom_reformulation_size(atom, schema) for atom in query.atoms]
+    expected = 1
+    for count in counts:
+        expected *= count
+    total = ucq_size(query, schema)
+    print("\nE1: UCQ disjuncts = %d (paper: 318,096)" % total)
+    assert total == expected
+    assert total > 100_000
+
+
+def test_unparseable_on_every_backend(schema, lubm_store):
+    """The UCQ's atom count exceeds every profile's parser limit —
+    the paper's 'could not even be parsed', without materializing."""
+    from repro import QueryAnswerer, Strategy
+
+    query = example1_query()
+    rows = []
+    for backend in DEFAULT_BACKENDS:
+        answerer = QueryAnswerer(lubm_store.to_graph(), backend=backend)
+        try:
+            answerer.answer(query, Strategy.REF_UCQ)
+            outcome = "parsed (unexpected)"
+            failed = False
+        except QueryTooLargeError as exc:
+            outcome = "FAIL: %d atoms > limit %d" % (exc.atom_count, exc.limit)
+            failed = True
+        rows.append([backend.name, outcome])
+        assert failed, backend.name
+    print()
+    print(format_table(["backend", "UCQ outcome"], rows, title="E1: parse outcomes"))
+
+
+def test_benchmark_size_estimation(benchmark, schema):
+    """Sizing the reformulation (without materializing) must be cheap —
+    it is what lets the optimizer refuse hopeless strategies early."""
+    query = example1_query()
+    result = benchmark(ucq_size, query, schema)
+    assert result > 100_000

@@ -1,0 +1,108 @@
+"""E3 — reformulation strategies across the LUBM workload (Section 5,
+first demo dimension).
+
+For every query of the workload (LUBM Q1–Q14 plus Example 1), answer
+through Sat, Ref-UCQ, Ref-SCQ and Ref-GCov, recording per-query time,
+answer cardinality and failures.  The shapes to reproduce:
+
+* Sat evaluation is fast once the (expensive, E7) saturation exists;
+* Ref-UCQ works on selective queries but *fails* on open-variable
+  queries (Example 1) — "a fixed reformulation strategy may lead to
+  very bad performance or simply fail";
+* Ref-SCQ always runs but pays large intermediate results;
+* Ref-GCov is complete, never fails, and tracks the best strategy —
+  "a cost-based query reformulation approach allows avoiding such
+  performance pitfalls".
+
+All complete strategies must return identical answers on every query.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import Strategy
+from repro.bench import StrategyOutcome, compare_strategies, format_table
+from repro.datasets import lubm_queries, example1_query
+
+STRATEGIES = (
+    Strategy.SAT,
+    Strategy.REF_UCQ,
+    Strategy.REF_SCQ,
+    Strategy.REF_GCOV,
+)
+
+
+def workload():
+    queries = lubm_queries()
+    ordered = [("Q%d" % index, queries["Q%d" % index]) for index in range(1, 15)]
+    ordered.append(("Ex1", example1_query()))
+    return ordered
+
+
+def test_strategy_matrix(lubm_answerer):
+    """The headline table: query × strategy → time / rows / FAIL."""
+    rows = []
+    ucq_failures = 0
+    for name, query in workload():
+        outcomes = compare_strategies(lubm_answerer, query, STRATEGIES)
+        answers = {
+            outcome.report.answer
+            for outcome in outcomes.values()
+            if outcome.ok
+        }
+        assert len(answers) == 1, "strategies disagree on %s" % name
+        if not outcomes[Strategy.REF_UCQ].ok:
+            ucq_failures += 1
+        rows.append(
+            [name]
+            + [outcomes[strategy].cell() for strategy in STRATEGIES]
+        )
+    print()
+    print(
+        format_table(
+            ["query"] + [strategy.value for strategy in STRATEGIES],
+            rows,
+            title="E3: strategy matrix on LUBM workload",
+        )
+    )
+    # Ref-UCQ must fail somewhere (Example 1) while GCov never does.
+    assert ucq_failures >= 1
+
+
+@pytest.mark.parametrize(
+    "strategy", [Strategy.SAT, Strategy.REF_SCQ, Strategy.REF_GCOV],
+    ids=lambda s: s.value,
+)
+def test_benchmark_workload(benchmark, lubm_answerer, strategy):
+    """Total workload time per strategy (one benchmark per strategy)."""
+    queries = [query for _, query in workload()]
+
+    def run_all():
+        total_rows = 0
+        for query in queries:
+            total_rows += lubm_answerer.answer(query, strategy).cardinality
+        return total_rows
+
+    total = benchmark.pedantic(run_all, rounds=2, iterations=1)
+    assert total > 0
+
+
+def test_benchmark_ucq_on_selective_queries(benchmark, lubm_answerer):
+    """Ref-UCQ on the queries it *can* answer (no open variables)."""
+    queries = [
+        query
+        for name, query in workload()
+        if name not in ("Ex1",)
+    ]
+
+    def run_all():
+        total_rows = 0
+        for query in queries:
+            total_rows += lubm_answerer.answer(
+                query, Strategy.REF_UCQ
+            ).cardinality
+        return total_rows
+
+    total = benchmark.pedantic(run_all, rounds=2, iterations=1)
+    assert total > 0

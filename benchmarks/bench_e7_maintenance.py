@@ -1,0 +1,131 @@
+"""E7 — the Sat maintenance penalty (Section 1).
+
+"The saturation needs to be maintained after changes in the data
+and/or constraints, which may incur a performance penalty" — the
+paper's motivation for Ref.  Measured here:
+
+* initial saturation cost vs store-loading cost (what Ref avoids);
+* incremental maintenance per inserted/deleted triple batch;
+* schema changes: a single added constraint forces full resaturation,
+  while Ref absorbs it by re-reformulating the next query — the
+  dramatic asymmetry the demo's step 4 shows.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.bench import format_table
+from repro.datasets import UB, generate_lubm, lubm_schema
+from repro.rdf import Graph, Triple
+from repro.saturation import IncrementalSaturator, saturate
+from repro.schema import Constraint, Schema
+from repro.storage import TripleStore
+
+
+@pytest.fixture(scope="module")
+def data(lubm_graph):
+    return list(lubm_graph.data_triples())
+
+
+@pytest.fixture(scope="module")
+def schema_obj(lubm_graph):
+    return Schema.from_graph(lubm_graph)
+
+
+def test_benchmark_initial_saturation(benchmark, lubm_graph):
+    saturated = benchmark.pedantic(
+        lambda: saturate(lubm_graph), rounds=2, iterations=1
+    )
+    assert len(saturated) > len(lubm_graph)
+
+
+def test_benchmark_plain_load(benchmark, lubm_graph):
+    """Ref's setup cost: just load and close the (tiny) schema."""
+    store = benchmark.pedantic(
+        lambda: TripleStore.from_graph(lubm_graph), rounds=2, iterations=1
+    )
+    assert store.triple_count >= len(lubm_graph)
+
+
+def test_benchmark_incremental_insert_batch(benchmark, data, schema_obj):
+    base = IncrementalSaturator(schema_obj, data[:-500])
+    batch = data[-500:]
+
+    def insert_and_rollback():
+        base.insert_all(batch)
+        base.delete_all(batch)
+
+    benchmark.pedantic(insert_and_rollback, rounds=2, iterations=1)
+
+
+def test_incremental_vs_recompute(data, schema_obj):
+    """Maintaining beats recomputing for small update batches."""
+    saturator = IncrementalSaturator(schema_obj, data)
+    batch = data[:200]
+
+    start = time.perf_counter()
+    saturator.delete_all(batch)
+    saturator.insert_all(batch)
+    incremental = time.perf_counter() - start
+
+    start = time.perf_counter()
+    saturate(Graph(data), schema_obj)
+    recompute = time.perf_counter() - start
+
+    print(
+        "\nE7: 200-triple churn: incremental %.1f ms vs recompute %.1f ms"
+        % (incremental * 1e3, recompute * 1e3)
+    )
+    assert incremental < recompute
+
+
+def test_schema_change_costs(data, schema_obj):
+    """One new constraint: Sat resaturates everything; Ref re-plans one
+    query.  The demo's 'constraint modifications may have a dramatic
+    impact'."""
+    saturator = IncrementalSaturator(schema_obj, data)
+    new_constraint = Constraint.subclass(UB.Lecturer, UB.Professor)
+
+    start = time.perf_counter()
+    saturator.add_constraint(new_constraint)
+    sat_cost = time.perf_counter() - start
+
+    # Ref's response: reformulate a representative query again.
+    from repro.datasets import lubm_queries
+    from repro.reformulation import reformulate
+
+    amended = schema_obj.copy()
+    amended.add(new_constraint)
+    query = lubm_queries()["Q6"]
+    start = time.perf_counter()
+    reformulate(query, amended)
+    ref_cost = time.perf_counter() - start
+
+    rows = [
+        ["Sat: full resaturation", "%.1f" % (sat_cost * 1e3)],
+        ["Ref: re-reformulate next query", "%.3f" % (ref_cost * 1e3)],
+    ]
+    print()
+    print(
+        format_table(
+            ["response to constraint change", "time (ms)"],
+            rows,
+            title="E7: adding 'Lecturer ⊑ Professor'",
+        )
+    )
+    assert ref_cost < sat_cost
+
+
+def test_saturation_size_overhead(lubm_graph):
+    """The storage-side cost of Sat: how many extra triples the
+    saturation materializes (the space Ref never spends)."""
+    saturated = saturate(lubm_graph)
+    overhead = (len(saturated) - len(lubm_graph)) / len(lubm_graph)
+    print(
+        "\nE7: saturation adds %d triples to %d explicit (%.0f%% overhead)"
+        % (len(saturated) - len(lubm_graph), len(lubm_graph), overhead * 100)
+    )
+    assert overhead > 0.3

@@ -1,0 +1,109 @@
+"""E9 — impact of constraint modifications on Ref (Section 5, step 4).
+
+"Choose (from a pre-defined set) or propose modifications to the
+available RDF data and constraints, and re-run … constraints and query
+modifications, in particular, may have a dramatic impact."  Reproduced:
+the UCQ reformulation size of Example 1 under schema edits — deepening
+a hierarchy or adding domain/range constraints multiplies the size,
+and pruning constraints collapses it.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench import format_table
+from repro.datasets import UB, example1_query
+from repro.reformulation import ucq_size
+from repro.schema import Constraint, ConstraintKind
+
+
+def _sizes(schema, query):
+    return ucq_size(query, schema)
+
+
+def test_schema_edit_impact_table(schema):
+    query = example1_query()
+    baseline = _sizes(schema, query)
+
+    # Edit 1: a new leaf class under an existing deep hierarchy.
+    deeper = schema.copy()
+    deeper.add(Constraint.subclass(UB.term("EmeritusProfessor"), UB.FullProfessor))
+    deeper_size = _sizes(deeper, query)
+
+    # Edit 2: a new property with a domain (feeds every type atom).
+    richer = schema.copy()
+    richer.add(Constraint.domain(UB.term("mentors"), UB.Professor))
+    richer_size = _sizes(richer, query)
+
+    # Edit 3: drop all domain/range constraints (hierarchies only).
+    pruned = schema.copy()
+    for constraint in list(pruned.direct_constraints()):
+        if constraint.kind in (ConstraintKind.DOMAIN, ConstraintKind.RANGE):
+            pruned.remove(constraint)
+    pruned_size = _sizes(pruned, query)
+
+    rows = [
+        ["baseline LUBM schema", baseline],
+        ["+ EmeritusProfessor ⊑ FullProfessor", deeper_size],
+        ["+ mentors with domain Professor", richer_size],
+        ["- all domain/range constraints", pruned_size],
+    ]
+    print()
+    print(
+        format_table(
+            ["schema variant", "Example 1 UCQ disjuncts"],
+            rows,
+            title="E9: constraint edits vs reformulation size",
+        )
+    )
+    assert deeper_size > baseline
+    assert richer_size > baseline
+    assert pruned_size < baseline
+
+
+def test_single_constraint_is_quadratic_here(schema):
+    """Example 1 has *two* open type atoms, so one schema edit moves
+    the UCQ size quadratically — the 'dramatic impact'."""
+    query = example1_query()
+    baseline = _sizes(schema, query)
+    amended = schema.copy()
+    amended.add(Constraint.domain(UB.term("mentors"), UB.Person))
+    amended_size = _sizes(amended, query)
+    per_atom_delta = (amended_size / baseline) ** 0.5
+    print(
+        "\nE9: one domain constraint: %d -> %d disjuncts (x%.3f per atom, "
+        "squared overall)" % (baseline, amended_size, per_atom_delta)
+    )
+    assert amended_size > baseline * 1.01
+
+
+def test_query_modification_impact(schema):
+    """The query-side knob: binding Example 1's type variables to
+    constants collapses the reformulation."""
+    from repro.query import ConjunctiveQuery
+
+    query = example1_query()
+    bound = query.substitute(
+        {query.head[1]: UB.Student, query.head[3]: UB.Professor}
+    )
+    open_size = _sizes(schema, query)
+    bound_size = _sizes(schema, bound)
+    print(
+        "\nE9: binding u,v to classes: %d -> %d disjuncts"
+        % (open_size, bound_size)
+    )
+    assert bound_size < open_size / 100
+
+
+def test_benchmark_reformulation_after_edit(benchmark, schema):
+    """Ref's full response to a schema change: recompute the
+    reformulation (compare E7's resaturation cost)."""
+    from repro.datasets import lubm_queries
+    from repro.reformulation import reformulate
+
+    amended = schema.copy()
+    amended.add(Constraint.subclass(UB.term("EmeritusProfessor"), UB.FullProfessor))
+    query = lubm_queries()["Q6"]
+    union = benchmark(reformulate, query, amended)
+    assert len(union) > 1

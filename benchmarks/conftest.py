@@ -1,0 +1,42 @@
+"""Shared benchmark fixtures.
+
+All benchmarks run on seeded, deterministic data.  The LUBM-style
+instance is the workhorse (the paper's evaluation dataset); its scale
+is laptop-sized per DESIGN.md's substitution table — runtime *shapes*
+(who wins, by what order of magnitude, where strategies fail) are the
+reproduction target, not absolute milliseconds.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import QueryAnswerer
+from repro.datasets import generate_lubm, lubm_schema
+from repro.schema import Schema
+from repro.storage import TripleStore
+
+
+@pytest.fixture(scope="session")
+def lubm_graph():
+    """Two universities, ≈7.5k triples — the standard bench instance."""
+    return generate_lubm(universities=2, seed=1)
+
+
+@pytest.fixture(scope="session")
+def lubm_store(lubm_graph):
+    return TripleStore.from_graph(lubm_graph)
+
+
+@pytest.fixture(scope="session")
+def lubm_answerer(lubm_graph):
+    answerer = QueryAnswerer(lubm_graph)
+    # Pre-build the saturated store so SAT timings measure evaluation,
+    # not one-off construction (saturation cost is E7's subject).
+    answerer.saturated_store()
+    return answerer
+
+
+@pytest.fixture(scope="session")
+def schema():
+    return lubm_schema()

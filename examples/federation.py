@@ -1,0 +1,90 @@
+"""The introduction's distributed scenario, end to end.
+
+Section 1 of the paper argues Ref is the only workable technique when
+data lives in independent RDF endpoints: sources can't be dumped,
+responses are truncated, and implicit facts span sources.  This
+example shards a LUBM-style graph over four endpoints and shows:
+
+1. the two roads to a global saturation are blocked;
+2. federated Ref answers completely through the restricted interfaces,
+   including a derivation whose fact and constraint live apart;
+3. what each query costs in requests and rows moved.
+
+Run:  python examples/federation.py
+"""
+
+from __future__ import annotations
+
+from repro.bench import format_table
+from repro.datasets import generate_lubm, lubm_queries, lubm_schema
+from repro.federation import Endpoint, ExportForbidden, FederatedAnswerer
+from repro.query import ConjunctiveQuery, TriplePattern, Variable, evaluate_cq
+from repro.rdf import Graph
+from repro.saturation import saturate
+
+
+def main() -> None:
+    graph = generate_lubm(universities=2, seed=1, include_schema=False)
+    schema = lubm_schema()
+
+    shards = [Graph() for _ in range(4)]
+    for index, triple in enumerate(sorted(graph.data_triples())):
+        shards[index % 4].add(triple)
+    endpoints = [
+        Endpoint("endpoint-%d" % index, shard, result_limit=500)
+        for index, shard in enumerate(shards)
+    ]
+    print("The federation:")
+    for endpoint in endpoints:
+        print("   ", endpoint)
+    print("The client holds the %d schema constraints.\n" % len(schema))
+
+    # -- 1. Saturation is blocked ---------------------------------------
+    print("[1] Trying to build a global saturation:")
+    try:
+        endpoints[0].export()
+    except ExportForbidden as exc:
+        print("    dump refused:", exc)
+    x, p, o = Variable("x"), Variable("p"), Variable("o")
+    crawl = ConjunctiveQuery([x, p, o], [TriplePattern(x, p, o)])
+    harvested = sum(len(e.evaluate(crawl)) for e in endpoints)
+    print(
+        "    crawling under the result limit harvested %d of %d triples "
+        "-> any closure would be incomplete\n" % (harvested, len(graph))
+    )
+
+    # -- 2. Federated Ref -----------------------------------------------
+    print("[2] Federated reformulation-based answering:")
+    federation = FederatedAnswerer(endpoints, schema)
+    full = graph.copy()
+    full.add_all(schema.to_triples())
+    saturated = saturate(full)
+
+    rows = []
+    for name in ("Q1", "Q5", "Q6", "Q13"):
+        query = lubm_queries()[name]
+        federation.reset_counters()
+        answer = federation.answer(query)
+        expected = evaluate_cq(saturated, query)
+        status = "complete" if answer.rows == expected else "MISMATCH"
+        rows.append(
+            [name, answer.cardinality, status, answer.requests,
+             answer.rows_transferred]
+        )
+    print(format_table(
+        ["query", "answers", "vs centralized Sat", "requests", "rows moved"],
+        rows,
+    ))
+
+    # -- 3. Cross-source entailment --------------------------------------
+    print(
+        "\n[3] Every Q13 answer needed the degreeFrom subproperty "
+        "constraints (held by the client) applied to degree triples "
+        "scattered over all four endpoints — 'implicit facts may be due "
+        "to the presence of one fact in one endpoint, and a constraint "
+        "in another' (paper, §1)."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,95 @@
+"""Example 1 of the paper, reproduced step by step on LUBM-style data.
+
+Walks exactly the narrative of Section 4:
+
+1. the CQ-to-UCQ reformulation explodes (hundreds of alternatives per
+   open type atom, their product overall) and cannot be parsed;
+2. the SCQ reformulation runs, but its open-type-atom fragments return
+   huge intermediate results;
+3. the cover {{t1,t3},{t3,t5},{t2,t4},{t4,t6}} groups each type atom
+   with a selective degree atom, shrinking intermediates;
+4. GCov finds such a cover automatically from the cost model.
+
+Run:  python examples/lubm_example1.py [universities]
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro import QueryAnswerer, Strategy
+from repro.datasets import (
+    example1_best_cover,
+    example1_query,
+    generate_lubm,
+)
+from repro.reformulation import atom_reformulation_size, ucq_size
+from repro.storage import QueryTooLargeError
+
+
+def main(universities: int = 5) -> None:
+    query = example1_query()
+    print("Example 1 query q(x, u, y, v, z):")
+    for index, atom in enumerate(query.atoms, start=1):
+        print("    t%d: %s" % (index, atom))
+
+    graph = generate_lubm(universities=universities, seed=1)
+    answerer = QueryAnswerer(graph)
+    schema = answerer.schema
+    print("\nLUBM-style data: %d triples, %d universities"
+          % (len(graph), universities))
+
+    # -- Step 1: the UCQ blow-up ---------------------------------------
+    print("\n[1] CQ-to-UCQ reformulation sizes:")
+    for index, atom in enumerate(query.atoms, start=1):
+        print("    t%d reformulates into %4d atomic alternatives"
+              % (index, atom_reformulation_size(atom, schema)))
+    total = ucq_size(query, schema)
+    print("    full UCQ: %d conjunctive queries (paper: 318,096)" % total)
+    try:
+        answerer.answer(query, Strategy.REF_UCQ)
+        print("    unexpectedly parsed!")
+    except QueryTooLargeError as exc:
+        print("    -> %s (the paper: 'could not even be parsed')" % exc)
+
+    # -- Step 2: the SCQ and its intermediate results -------------------
+    print("\n[2] SCQ reformulation (one fragment per atom):")
+    scq = answerer.answer(query, Strategy.REF_SCQ)
+    print("    evaluated in %.0f ms, %d answers, largest intermediate "
+          "result: %d rows"
+          % (scq.elapsed_seconds * 1e3, scq.cardinality,
+             scq.execution.max_intermediate_rows()))
+
+    # -- Step 3: the paper's best cover ---------------------------------
+    cover = example1_best_cover(query)
+    print("\n[3] The grouped cover %r:" % cover)
+    best = answerer.answer(query, Strategy.REF_JUCQ, cover=cover)
+    print("    evaluated in %.0f ms, %d answers, largest intermediate "
+          "result: %d rows"
+          % (best.elapsed_seconds * 1e3, best.cardinality,
+             best.execution.max_intermediate_rows()))
+    if best.elapsed_seconds < scq.elapsed_seconds:
+        print("    -> %.1fx faster than the SCQ (paper: 430x at 100M triples)"
+              % (scq.elapsed_seconds / best.elapsed_seconds))
+    else:
+        print("    -> intermediates shrank %.1fx; the wall-time gap widens "
+              "with scale (try more universities)"
+              % (scq.execution.max_intermediate_rows()
+                 / max(best.execution.max_intermediate_rows(), 1)))
+
+    # -- Step 4: GCov ----------------------------------------------------
+    print("\n[4] GCov's cost-based search:")
+    gcov = answerer.answer(query, Strategy.REF_GCOV)
+    print("    chose %s after exploring %d covers (estimated cost %.0f)"
+          % (gcov.details["cover"], gcov.details["explored_covers"],
+             gcov.details["estimated_cost"]))
+    print("    evaluated in %.0f ms, %d answers"
+          % (gcov.elapsed_seconds * 1e3, gcov.cardinality))
+
+    sat = answerer.answer(query, Strategy.SAT)
+    assert sat.answer == scq.answer == best.answer == gcov.answer
+    print("\nAll complete strategies agree: %d answers." % sat.cardinality)
+
+
+if __name__ == "__main__":
+    main(int(sys.argv[1]) if len(sys.argv) > 1 else 5)

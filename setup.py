@@ -1,0 +1,8 @@
+"""Legacy setup shim: this offline environment lacks the ``wheel``
+package, so PEP 517 editable installs fail; ``pip install -e .
+--no-use-pep517 --no-build-isolation`` goes through this file instead.
+Configuration lives in pyproject.toml."""
+
+from setuptools import setup
+
+setup()

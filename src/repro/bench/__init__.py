@@ -1,0 +1,17 @@
+"""Benchmark harness utilities (S12)."""
+
+from .harness import StrategyOutcome, compare_strategies, run_strategy, timed
+from .registry import EXPERIMENTS, Experiment, experiment_index
+from .reporting import format_speedup, format_table
+
+__all__ = [
+    "EXPERIMENTS",
+    "Experiment",
+    "StrategyOutcome",
+    "compare_strategies",
+    "experiment_index",
+    "format_speedup",
+    "format_table",
+    "run_strategy",
+    "timed",
+]

@@ -1,0 +1,98 @@
+"""Experiment harness shared by the ``benchmarks/`` suite.
+
+Each benchmark file regenerates one of the paper's tables/figures (the
+experiment index lives in DESIGN.md).  This module provides the shared
+machinery: wall-clock measurement of strategy runs, failure capture
+(a strategy *failing* — too-large reformulation — is itself a result
+the paper reports), and plain-text tables mirroring what the demo GUI
+displays.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, Dict, List, Optional, Sequence
+
+from ..core.answerer import AnswerReport, QueryAnswerer, Strategy
+from ..query.algebra import ConjunctiveQuery
+from ..query.cover import Cover
+from ..reformulation.engine import ReformulationTooLarge
+from ..storage.backends import QueryTooLargeError
+
+
+class StrategyOutcome:
+    """One (query, strategy) measurement: a report or a failure."""
+
+    def __init__(
+        self,
+        strategy: Strategy,
+        report: Optional[AnswerReport] = None,
+        failure: Optional[str] = None,
+    ):
+        if (report is None) == (failure is None):
+            raise ValueError("exactly one of report/failure must be set")
+        self.strategy = strategy
+        self.report = report
+        self.failure = failure
+
+    @property
+    def ok(self) -> bool:
+        return self.report is not None
+
+    @property
+    def milliseconds(self) -> Optional[float]:
+        return self.report.elapsed_seconds * 1000.0 if self.report else None
+
+    @property
+    def cardinality(self) -> Optional[int]:
+        return self.report.cardinality if self.report else None
+
+    def cell(self) -> str:
+        """The table cell the demo would show."""
+        if self.report is not None:
+            return "%.1f ms (%d rows)" % (self.milliseconds, self.cardinality)
+        return "FAIL: %s" % self.failure
+
+
+def run_strategy(
+    answerer: QueryAnswerer,
+    query: ConjunctiveQuery,
+    strategy: Strategy,
+    cover: Optional[Cover] = None,
+) -> StrategyOutcome:
+    """Measure one strategy, capturing the paper's failure modes."""
+    try:
+        report = answerer.answer(query, strategy, cover=cover)
+        return StrategyOutcome(strategy, report=report)
+    except ReformulationTooLarge as exc:
+        return StrategyOutcome(
+            strategy, failure="reformulation too large (%d CQs)" % exc.size
+        )
+    except QueryTooLargeError as exc:
+        return StrategyOutcome(
+            strategy,
+            failure="unparseable (%d atoms > %d)" % (exc.atom_count, exc.limit),
+        )
+
+
+def compare_strategies(
+    answerer: QueryAnswerer,
+    query: ConjunctiveQuery,
+    strategies: Sequence[Strategy],
+    cover: Optional[Cover] = None,
+) -> Dict[Strategy, StrategyOutcome]:
+    """Run *strategies* on one query; returns per-strategy outcomes."""
+    return {
+        strategy: run_strategy(answerer, query, strategy, cover)
+        for strategy in strategies
+    }
+
+
+def timed(callable_: Callable, repeat: int = 1) -> float:
+    """Best-of-*repeat* wall time of ``callable_()`` in seconds."""
+    best = float("inf")
+    for _ in range(repeat):
+        start = time.perf_counter()
+        callable_()
+        best = min(best, time.perf_counter() - start)
+    return best

@@ -1,0 +1,49 @@
+"""Plain-text tables for experiment output.
+
+The benchmarks print the rows/series the paper's evaluation reports;
+this module renders them readably without any plotting dependency.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: Optional[str] = None,
+) -> str:
+    """Render an aligned monospace table.
+
+    >>> print(format_table(["a", "b"], [[1, "x"], [22, "yy"]]))
+    a  | b
+    ---+---
+    1  | x
+    22 | yy
+    """
+    cells = [[str(value) for value in row] for row in rows]
+    widths = [len(header) for header in headers]
+    for row in cells:
+        for index, value in enumerate(row):
+            widths[index] = max(widths[index], len(value))
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+        lines.append("=" * len(title))
+    lines.append(
+        " | ".join(header.ljust(widths[i]) for i, header in enumerate(headers))
+    )
+    lines.append("-+-".join("-" * width for width in widths))
+    for row in cells:
+        lines.append(
+            " | ".join(value.ljust(widths[i]) for i, value in enumerate(row))
+        )
+    return "\n".join(lines)
+
+
+def format_speedup(slow_seconds: float, fast_seconds: float) -> str:
+    """'430.0x' style speedup strings (guarding zero divisions)."""
+    if fast_seconds <= 0:
+        return "inf"
+    return "%.1fx" % (slow_seconds / fast_seconds)

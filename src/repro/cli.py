@@ -1,0 +1,290 @@
+"""Command-line interface: the demo's workflows from a shell.
+
+    python -m repro stats --dataset lubm --universities 2
+    python -m repro answer --dataset lubm --query Q9 --strategy ref-gcov
+    python -m repro answer --dataset books --sparql "SELECT ?x WHERE {...}"
+    python -m repro answer --dataset lubm --query Q5 --engine sqlite
+    python -m repro explain --dataset lubm --query Q1
+    python -m repro covers --dataset lubm --query Ex1
+    python -m repro why --dataset books --triple \
+        '<http://example.org/books/doi1> rdf:type <http://example.org/books/Publication>'
+
+Each subcommand maps to one step of the Section 5 demonstration:
+``stats`` is step 1, ``answer`` (with ``--strategy all``) is step 2,
+``explain``/``covers`` are step 3; ``why`` prints the derivation of an
+entailed triple.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional
+
+from .bench import format_table
+from .core import QueryAnswerer, Strategy
+from .datasets import (
+    books_dataset,
+    example1_best_cover,
+    example1_query,
+    generate_bib,
+    generate_geo,
+    generate_lubm,
+    lubm_queries,
+    bib_queries,
+    geo_queries,
+)
+from .optimizer import gcov
+from .query.visualize import render_strategy
+from .saturation import explain_triple, format_derivation
+from .schema import Schema
+from .query import parse_query
+from .rdf import load_file, shorten
+from .reformulation import ReformulationTooLarge
+from .storage import QueryTooLargeError, explain as explain_plan
+
+
+def _build_graph(args):
+    if args.dataset == "lubm":
+        return generate_lubm(universities=args.universities, seed=args.seed)
+    if args.dataset == "geo":
+        return generate_geo(seed=args.seed)
+    if args.dataset == "bib":
+        return generate_bib(seed=args.seed)
+    if args.dataset == "books":
+        graph, _, _ = books_dataset()
+        return graph
+    if args.dataset == "file":
+        if not args.file:
+            raise SystemExit("--dataset file requires --file PATH")
+        return load_file(args.file)
+    raise SystemExit("unknown dataset %r" % args.dataset)
+
+
+def _resolve_query(args):
+    if args.sparql:
+        return parse_query(args.sparql)
+    if args.query:
+        name = args.query
+        if args.dataset == "books":
+            _, _, query = books_dataset()
+            return query
+        if name == "Ex1":
+            return example1_query()
+        catalog = {
+            "lubm": lubm_queries,
+            "geo": geo_queries,
+            "bib": bib_queries,
+        }.get(args.dataset)
+        if catalog and name in catalog():
+            return catalog()[name]
+        raise SystemExit("unknown query %r for dataset %r" % (name, args.dataset))
+    if args.dataset == "books":
+        _, _, query = books_dataset()
+        return query
+    raise SystemExit("provide --query NAME or --sparql QUERY")
+
+
+def cmd_stats(args) -> int:
+    answerer = QueryAnswerer(_build_graph(args))
+    summary = answerer.store.statistics.summary()
+    print(format_table(list(summary), [list(summary.values())],
+                       title="dataset statistics"))
+    stats = answerer.store.statistics
+    rows = [
+        [
+            shorten(answerer.store.dictionary.decode(property_id)),
+            property_stats.triples,
+            property_stats.distinct_subjects,
+            property_stats.distinct_objects,
+        ]
+        for property_id, property_stats in sorted(
+            stats.per_property.items(), key=lambda item: -item[1].triples
+        )[: args.top]
+    ]
+    print()
+    print(format_table(["property", "triples", "#subjects", "#objects"], rows))
+    return 0
+
+
+def cmd_answer(args) -> int:
+    answerer = QueryAnswerer(_build_graph(args), engine=args.engine)
+    query = _resolve_query(args)
+    strategies = (
+        list(Strategy)
+        if args.strategy == "all"
+        else [Strategy(args.strategy)]
+    )
+    rows = []
+    for strategy in strategies:
+        if strategy is Strategy.REF_JUCQ:
+            continue  # needs an explicit cover; use `covers`
+        try:
+            report = answerer.answer(query, strategy)
+            rows.append(
+                [strategy.value, "%.1f" % (report.elapsed_seconds * 1e3),
+                 report.cardinality]
+            )
+            if args.show_answers and len(strategies) == 1:
+                for answer_row in sorted(report.answer)[: args.limit]:
+                    print("   ", tuple(str(term.lexical()) for term in answer_row))
+        except (QueryTooLargeError, ReformulationTooLarge) as exc:
+            rows.append([strategy.value, "FAIL", str(exc)[:60]])
+    print(format_table(["strategy", "ms", "answers"], rows, title="answers"))
+    return 0
+
+
+def cmd_explain(args) -> int:
+    answerer = QueryAnswerer(_build_graph(args))
+    query = _resolve_query(args)
+    report = answerer.answer(query, Strategy(args.strategy))
+    if report.execution is None:
+        print("strategy %s has no relational plan" % args.strategy)
+        return 1
+    print(explain_plan(report.execution.plan, answerer.store))
+    return 0
+
+
+def cmd_covers(args) -> int:
+    answerer = QueryAnswerer(_build_graph(args))
+    query = _resolve_query(args)
+    search = gcov(query, answerer.schema, answerer.store, answerer.backend)
+    print(render_strategy(search.cover))
+    print()
+    print("GCov chose %r (estimated cost %.1f) after exploring %d covers"
+          % (search.cover, search.cost, search.explored_count))
+    ranked = sorted(search.explored, key=lambda pair: pair[1])[: args.top]
+    print(format_table(
+        ["cover", "estimated cost"],
+        [[repr(cover), "%.1f" % cost] for cover, cost in ranked],
+        title="cheapest explored covers",
+    ))
+    if args.dataset == "lubm" and args.query == "Ex1":
+        paper = example1_best_cover(query)
+        print("\npaper's cover: %r" % paper)
+    return 0
+
+
+def cmd_why(args) -> int:
+    from .rdf.io import parse_line
+
+    graph = _build_graph(args)
+    triple_text = args.triple
+    # Accept prefixed rdf:/rdfs: names for convenience.
+    triple_text = triple_text.replace(
+        "rdf:type", "<http://www.w3.org/1999/02/22-rdf-syntax-ns#type>"
+    ).replace(
+        "rdfs:subClassOf",
+        "<http://www.w3.org/2000/01/rdf-schema#subClassOf>",
+    ).replace(
+        "rdfs:subPropertyOf",
+        "<http://www.w3.org/2000/01/rdf-schema#subPropertyOf>",
+    )
+    triple = parse_line(triple_text + " .")
+    derivation = explain_triple(triple, graph, Schema.from_graph(graph))
+    if derivation is None:
+        print("not entailed: %r" % (triple,))
+        return 1
+    print(format_derivation(derivation))
+    return 0
+
+
+def cmd_experiments(args) -> int:
+    from .bench import EXPERIMENTS, format_table
+
+    if args.run:
+        wanted = None if args.run == "quick" else set(args.run.split(","))
+        for experiment in EXPERIMENTS:
+            if experiment.quick is None:
+                continue
+            if wanted is not None and experiment.identifier not in wanted:
+                continue
+            print("== %s: %s" % (experiment.identifier, experiment.claim))
+            print(experiment.quick())
+            print()
+        return 0
+    rows = [
+        [experiment.identifier, experiment.claim, experiment.bench_file]
+        for experiment in EXPERIMENTS
+    ]
+    print(format_table(["id", "reproduces", "bench target"], rows,
+                       title="experiment index (DESIGN.md §4)"))
+    print("\nrun the full suite:  pytest benchmarks/ -s")
+    print("quick subset:        python -m repro experiments --run quick")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reformulation-based RDF query answering (VLDB 2015 demo reproduction)",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    def add_common(sub):
+        sub.add_argument("--dataset", default="lubm",
+                         choices=["lubm", "geo", "bib", "books", "file"])
+        sub.add_argument("--file", help="N-Triples file (with --dataset file)")
+        sub.add_argument("--universities", type=int, default=1)
+        sub.add_argument("--seed", type=int, default=42)
+
+    stats = subparsers.add_parser("stats", help="dataset statistics (demo step 1)")
+    add_common(stats)
+    stats.add_argument("--top", type=int, default=10)
+    stats.set_defaults(func=cmd_stats)
+
+    answer = subparsers.add_parser("answer", help="answer a query (demo step 2)")
+    add_common(answer)
+    answer.add_argument("--query", help="a catalog query name (Q1..Q14, Ex1, G1.., B1..)")
+    answer.add_argument("--sparql", help="an inline SPARQL-lite query")
+    answer.add_argument("--strategy", default="all",
+                        choices=["all"] + [s.value for s in Strategy])
+    answer.add_argument("--show-answers", action="store_true")
+    answer.add_argument("--limit", type=int, default=20)
+    answer.add_argument("--engine", default="builtin",
+                        choices=["builtin", "sqlite"])
+    answer.set_defaults(func=cmd_answer)
+
+    explain = subparsers.add_parser("explain", help="show a plan (demo step 3)")
+    add_common(explain)
+    explain.add_argument("--query")
+    explain.add_argument("--sparql")
+    explain.add_argument("--strategy", default="ref-gcov",
+                         choices=[s.value for s in Strategy])
+    explain.set_defaults(func=cmd_explain)
+
+    covers = subparsers.add_parser("covers", help="explore covers (demo step 3)")
+    add_common(covers)
+    covers.add_argument("--query")
+    covers.add_argument("--sparql")
+    covers.add_argument("--top", type=int, default=8)
+    covers.set_defaults(func=cmd_covers)
+
+    why = subparsers.add_parser(
+        "why", help="explain how a triple is entailed"
+    )
+    add_common(why)
+    why.add_argument("--triple", required=True,
+                     help="the triple, N-Triples style (rdf:/rdfs: allowed)")
+    why.set_defaults(func=cmd_why)
+
+    experiments = subparsers.add_parser(
+        "experiments", help="list or quick-run the experiment suite"
+    )
+    experiments.add_argument(
+        "--run", nargs="?", const="quick",
+        help="run the quick subset (optionally a comma-separated id list)",
+    )
+    experiments.set_defaults(func=cmd_experiments)
+
+    return parser
+
+
+def main(argv: Optional[list] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,17 @@
+"""Public facade: strategies and the query answerer (S11)."""
+
+from .answerer import (
+    Answer,
+    AnswerReport,
+    COMPLETE_STRATEGIES,
+    QueryAnswerer,
+    Strategy,
+)
+
+__all__ = [
+    "Answer",
+    "AnswerReport",
+    "COMPLETE_STRATEGIES",
+    "QueryAnswerer",
+    "Strategy",
+]

@@ -1,0 +1,363 @@
+"""The public query answering facade.
+
+One object, every technique from the paper:
+
+* ``Strategy.SAT``        — saturate once, evaluate queries directly;
+* ``Strategy.REF_UCQ``    — classical CQ-to-UCQ reformulation;
+* ``Strategy.REF_SCQ``    — the semi-conjunctive reformulation of [15];
+* ``Strategy.REF_JUCQ``   — a JUCQ from a caller-chosen cover (the
+  demo's "user-chosen cover with the help of our GUI");
+* ``Strategy.REF_GCOV``   — the cost-based cover of the greedy search;
+* ``Strategy.DATALOG``    — the Dat encoding run bottom-up;
+* ``Strategy.REF_VIRTUOSO`` / ``Strategy.REF_ALLEGRO`` — the simulated
+  incomplete fixed strategies of the commercial platforms.
+
+Every call returns an :class:`AnswerReport` carrying the answer, wall
+time, and strategy-specific diagnostics (reformulation sizes, the
+chosen cover, estimated costs, intermediate result sizes) — the data
+behind the demo's inspection panels.
+"""
+
+from __future__ import annotations
+
+import enum
+import time
+from typing import Dict, FrozenSet, Optional, Tuple
+
+from ..datalog.encoding import answer_query as datalog_answer
+from ..optimizer.gcov import GCovResult, gcov
+from ..query.algebra import ConjunctiveQuery
+from ..query.cover import Cover
+from ..rdf.graph import Graph
+from ..rdf.terms import Term
+from ..reformulation.engine import ReformulationTooLarge, reformulate, ucq_size
+from ..reformulation.jucq import jucq_for_cover, scq_reformulation
+from ..reformulation.policy import (
+    ALLEGROGRAPH_STYLE,
+    COMPLETE,
+    ReformulationPolicy,
+    VIRTUOSO_STYLE,
+)
+from ..saturation.engine import saturate
+from ..schema.schema import Schema
+from ..storage.backends import BackendProfile, HASH_BACKEND, QueryTooLargeError
+from ..storage.executor import ExecutionResult, Executor
+from ..storage.sql import SqliteBackend
+from ..storage.store import TripleStore
+
+Answer = FrozenSet[Tuple[Term, ...]]
+
+
+class Strategy(enum.Enum):
+    """The query answering techniques the demo compares."""
+
+    SAT = "sat"
+    REF_UCQ = "ref-ucq"
+    REF_SCQ = "ref-scq"
+    REF_JUCQ = "ref-jucq"
+    REF_GCOV = "ref-gcov"
+    DATALOG = "datalog"
+    REF_VIRTUOSO = "ref-virtuoso"
+    REF_ALLEGRO = "ref-allegrograph"
+
+
+#: Strategies guaranteed to compute the complete answer.
+COMPLETE_STRATEGIES = frozenset(
+    {
+        Strategy.SAT,
+        Strategy.REF_UCQ,
+        Strategy.REF_SCQ,
+        Strategy.REF_JUCQ,
+        Strategy.REF_GCOV,
+        Strategy.DATALOG,
+    }
+)
+
+
+class AnswerReport:
+    """An answer plus how it was obtained."""
+
+    def __init__(
+        self,
+        strategy: Strategy,
+        answer: Answer,
+        elapsed_seconds: float,
+        details: Optional[Dict] = None,
+        execution: Optional[ExecutionResult] = None,
+    ):
+        self.strategy = strategy
+        self.answer = answer
+        self.elapsed_seconds = elapsed_seconds
+        self.details = details or {}
+        self.execution = execution
+
+    @property
+    def cardinality(self) -> int:
+        return len(self.answer)
+
+    def __repr__(self) -> str:
+        return "AnswerReport(%s, %d rows, %.1f ms)" % (
+            self.strategy.value,
+            self.cardinality,
+            self.elapsed_seconds * 1000.0,
+        )
+
+
+class QueryAnswerer:
+    """Answers conjunctive queries over one dataset with any strategy.
+
+    >>> from repro.datasets import books_dataset
+    >>> graph, schema, query = books_dataset()
+    >>> answerer = QueryAnswerer(graph, schema)
+    >>> sorted(answerer.answer(query, Strategy.SAT).answer)[0][0].value
+    'J. L. Borges'
+    """
+
+    def __init__(
+        self,
+        graph: Graph,
+        schema: Optional[Schema] = None,
+        backend: BackendProfile = HASH_BACKEND,
+        policy: ReformulationPolicy = COMPLETE,
+        engine: str = "builtin",
+    ):
+        """``engine`` selects the evaluation engine for the relational
+        strategies: ``"builtin"`` (the instrumented executor; default)
+        or ``"sqlite"`` (generated SQL on a real RDBMS — answers are
+        identical, per the test-suite, but plan metrics are the
+        engine's own and not reported)."""
+        if engine not in ("builtin", "sqlite"):
+            raise ValueError("unknown engine %r" % (engine,))
+        self.graph = graph
+        merged = Schema.from_graph(graph)
+        if schema is not None:
+            for constraint in schema.direct_constraints():
+                merged.add(constraint)
+        self.schema = merged
+        self.backend = backend
+        self.policy = policy
+        self.engine = engine
+        self.store = TripleStore.from_graph(graph, merged)
+        self.executor = Executor(self.store, backend)
+        self._sql_backend: Optional[SqliteBackend] = None
+        self._saturated_sql_backend: Optional[SqliteBackend] = None
+        self._saturated_store: Optional[TripleStore] = None
+        self._saturator = None
+        self._saturation_seconds: Optional[float] = None
+
+    def _evaluate(self, query, saturated: bool = False):
+        """Run a relational query on the selected engine; returns
+        (answer, execution-or-None)."""
+        if self.engine == "sqlite":
+            if saturated:
+                if self._saturated_sql_backend is None:
+                    self._saturated_sql_backend = SqliteBackend(
+                        self.saturated_store()
+                    )
+                return self._saturated_sql_backend.run(query), None
+            if self._sql_backend is None:
+                self._sql_backend = SqliteBackend(self.store)
+            return self._sql_backend.run(query), None
+        executor = (
+            Executor(self.saturated_store(), self.backend)
+            if saturated
+            else self.executor
+        )
+        execution = executor.run(query)
+        return execution.answer(), execution
+
+    # ------------------------------------------------------------------
+    # Data updates (live maintenance, the E7 machinery behind a facade)
+
+    def insert(self, triple) -> bool:
+        """Insert one data triple; every strategy sees it immediately.
+
+        The base store is extended in place; the saturated store (when
+        already built) is maintained incrementally through the support-
+        counting saturator, not rebuilt.  Returns False when the triple
+        was already present.
+        """
+        if triple in self.graph:
+            return False
+        self.graph.add(triple)
+        self.store.insert(triple)
+        self._sql_backend = None
+        if self._saturator is not None:
+            for added in self._saturator.insert(triple):
+                self._saturated_store.insert(added)
+            self._saturated_sql_backend = None
+        return True
+
+    def delete(self, triple) -> bool:
+        """Delete one data triple everywhere; returns False if absent."""
+        if triple not in self.graph:
+            return False
+        self.graph.discard(triple)
+        self.store.delete(triple)
+        self._sql_backend = None
+        if self._saturator is not None:
+            for removed in self._saturator.delete(triple):
+                self._saturated_store.delete(removed)
+            self._saturated_sql_backend = None
+        return True
+
+    # ------------------------------------------------------------------
+    # Saturation management
+
+    def saturated_store(self) -> TripleStore:
+        """The store over ``G∞``, built (and timed) on first use and
+        maintained incrementally by :meth:`insert`/:meth:`delete`."""
+        if self._saturated_store is None:
+            from ..saturation.incremental import IncrementalSaturator
+
+            start = time.perf_counter()
+            saturator = IncrementalSaturator(
+                self.schema, self.graph.data_triples()
+            )
+            store = TripleStore.from_graph(saturator.saturated(), self.schema)
+            self._saturation_seconds = time.perf_counter() - start
+            self._saturator = saturator
+            self._saturated_store = store
+        return self._saturated_store
+
+    @property
+    def saturation_seconds(self) -> Optional[float]:
+        """Time spent saturating (None until Sat is first used)."""
+        return self._saturation_seconds
+
+    # ------------------------------------------------------------------
+
+    def answer(
+        self,
+        query: ConjunctiveQuery,
+        strategy: Strategy = Strategy.REF_GCOV,
+        cover: Optional[Cover] = None,
+        max_disjuncts: Optional[int] = None,
+    ) -> AnswerReport:
+        """Answer *query* with *strategy*.
+
+        ``cover`` is required by ``REF_JUCQ`` and ignored elsewhere.
+        ``max_disjuncts`` optionally caps UCQ materialization over the
+        backend's own parse limit.  Raises
+        :class:`~repro.reformulation.engine.ReformulationTooLarge` or
+        :class:`~repro.storage.backends.QueryTooLargeError` when the
+        strategy genuinely cannot run — the failure modes the paper
+        demonstrates, surfaced rather than hidden.
+        """
+        start = time.perf_counter()
+        if strategy == Strategy.SAT:
+            answer, execution = self._evaluate(query, saturated=True)
+            elapsed = time.perf_counter() - start
+            return AnswerReport(
+                strategy,
+                answer,
+                elapsed,
+                {"saturation_seconds": self._saturation_seconds},
+                execution,
+            )
+
+        if strategy == Strategy.DATALOG:
+            answer = datalog_answer(self.graph, self.schema, query)
+            return AnswerReport(
+                strategy, answer, time.perf_counter() - start
+            )
+
+        if strategy in (Strategy.REF_UCQ, Strategy.REF_VIRTUOSO, Strategy.REF_ALLEGRO):
+            policy = {
+                Strategy.REF_UCQ: self.policy,
+                Strategy.REF_VIRTUOSO: VIRTUOSO_STYLE,
+                Strategy.REF_ALLEGRO: ALLEGROGRAPH_STYLE,
+            }[strategy]
+            size = ucq_size(query, self.schema, policy)
+            # A UCQ of n disjuncts over an α-atom query has ~n·α atoms;
+            # refuse before materializing what the backend cannot parse.
+            projected_atoms = size * len(query.atoms)
+            if projected_atoms > self.backend.max_query_atoms:
+                raise QueryTooLargeError(
+                    projected_atoms, self.backend.max_query_atoms, self.backend.name
+                )
+            union = reformulate(
+                query, self.schema, policy, max_disjuncts=max_disjuncts
+            )
+            answer, execution = self._evaluate(union)
+            return AnswerReport(
+                strategy,
+                answer,
+                time.perf_counter() - start,
+                {"ucq_disjuncts": size, "policy": policy.name},
+                execution,
+            )
+
+        if strategy == Strategy.REF_SCQ:
+            jucq = scq_reformulation(query, self.schema, self.policy)
+            answer, execution = self._evaluate(jucq)
+            return AnswerReport(
+                strategy,
+                answer,
+                time.perf_counter() - start,
+                {
+                    "fragments": jucq.fragment_count(),
+                    "atom_count": jucq.atom_count(),
+                },
+                execution,
+            )
+
+        if strategy == Strategy.REF_JUCQ:
+            if cover is None:
+                raise ValueError("REF_JUCQ requires a cover")
+            jucq = jucq_for_cover(cover, self.schema, self.policy)
+            answer, execution = self._evaluate(jucq)
+            return AnswerReport(
+                strategy,
+                answer,
+                time.perf_counter() - start,
+                {"cover": repr(cover), "atom_count": jucq.atom_count()},
+                execution,
+            )
+
+        if strategy == Strategy.REF_GCOV:
+            search = gcov(
+                query, self.schema, self.store, self.backend, self.policy
+            )
+            jucq = jucq_for_cover(search.cover, self.schema, self.policy)
+            answer, execution = self._evaluate(jucq)
+            return AnswerReport(
+                strategy,
+                answer,
+                time.perf_counter() - start,
+                {
+                    "cover": repr(search.cover),
+                    "estimated_cost": search.cost,
+                    "explored_covers": search.explored_count,
+                },
+                execution,
+            )
+
+        raise ValueError("unknown strategy %r" % (strategy,))
+
+    # ------------------------------------------------------------------
+
+    def answer_all(
+        self,
+        query: ConjunctiveQuery,
+        strategies: Optional[Tuple[Strategy, ...]] = None,
+        cover: Optional[Cover] = None,
+    ) -> Dict[Strategy, AnswerReport]:
+        """Run several strategies on *query*, skipping the ones that
+        legitimately fail (too-large reformulations) — the demo's
+        "answer it through all the available systems" button.
+
+        ``REF_JUCQ`` participates only when a *cover* is supplied (it
+        has no default cover by definition).
+        """
+        if strategies is None:
+            strategies = tuple(Strategy)
+        reports: Dict[Strategy, AnswerReport] = {}
+        for strategy in strategies:
+            if strategy is Strategy.REF_JUCQ and cover is None:
+                continue
+            try:
+                reports[strategy] = self.answer(query, strategy, cover=cover)
+            except (ReformulationTooLarge, QueryTooLargeError):
+                continue
+        return reports

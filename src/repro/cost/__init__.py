@@ -1,0 +1,6 @@
+"""Cost model: cardinality estimation and plan costing (S7)."""
+
+from . import cardinality
+from .model import annotate_node, annotate_plan, plan_cost
+
+__all__ = ["annotate_node", "annotate_plan", "cardinality", "plan_cost"]

@@ -1,0 +1,135 @@
+"""Datalog terms, atoms, rules and programs.
+
+The demo shows "a simple encoding of the RDF data, constraints and
+queries into Datalog programs to be evaluated by the LogicBlox engine"
+(Section 5) — the *Dat* query answering technique.  This module is the
+language layer of our LogicBlox stand-in: positive Datalog (no
+negation, no function symbols), which is all the encoding needs.
+
+Constants are arbitrary hashable Python values (the RDF encoding uses
+:class:`repro.rdf.terms.Term` instances directly).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, List, Optional, Sequence, Set, Tuple, Union
+
+
+class DVar:
+    """A Datalog variable."""
+
+    __slots__ = ("name",)
+
+    def __init__(self, name: str):
+        if not name:
+            raise ValueError("variable name must be non-empty")
+        object.__setattr__(self, "name", name)
+
+    def __setattr__(self, name, value):
+        raise AttributeError("DVar is immutable")
+
+    def __eq__(self, other) -> bool:
+        return isinstance(other, DVar) and other.name == self.name
+
+    def __hash__(self) -> int:
+        return hash(("DVar", self.name))
+
+    def __repr__(self) -> str:
+        return "?%s" % self.name
+
+
+#: A Datalog argument: a variable or a constant.
+DTerm = Union[DVar, Hashable]
+
+
+class DatalogAtom:
+    """``predicate(arg1, …, argN)``."""
+
+    __slots__ = ("predicate", "args")
+
+    def __init__(self, predicate: str, args: Sequence[DTerm]):
+        if not predicate:
+            raise ValueError("predicate name must be non-empty")
+        object.__setattr__(self, "predicate", predicate)
+        object.__setattr__(self, "args", tuple(args))
+
+    def __setattr__(self, name, value):
+        raise AttributeError("DatalogAtom is immutable")
+
+    @property
+    def arity(self) -> int:
+        return len(self.args)
+
+    def variables(self) -> Set[DVar]:
+        return {arg for arg in self.args if isinstance(arg, DVar)}
+
+    def is_ground(self) -> bool:
+        return not self.variables()
+
+    def substitute(self, binding: Dict[DVar, Hashable]) -> "DatalogAtom":
+        return DatalogAtom(
+            self.predicate,
+            [binding.get(arg, arg) if isinstance(arg, DVar) else arg for arg in self.args],
+        )
+
+    def __eq__(self, other) -> bool:
+        return (
+            isinstance(other, DatalogAtom)
+            and other.predicate == self.predicate
+            and other.args == self.args
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.predicate, self.args))
+
+    def __repr__(self) -> str:
+        return "%s(%s)" % (self.predicate, ", ".join(repr(a) for a in self.args))
+
+
+class DatalogRule:
+    """``head :- body``; every head variable must occur in the body
+    (range restriction, required for bottom-up evaluation)."""
+
+    __slots__ = ("head", "body")
+
+    def __init__(self, head: DatalogAtom, body: Sequence[DatalogAtom]):
+        body = tuple(body)
+        if not body:
+            raise ValueError("rules must have a non-empty body (use facts instead)")
+        body_variables: Set[DVar] = set()
+        for atom in body:
+            body_variables.update(atom.variables())
+        unsafe = head.variables() - body_variables
+        if unsafe:
+            raise ValueError("unsafe head variables: %s" % sorted(v.name for v in unsafe))
+        object.__setattr__(self, "head", head)
+        object.__setattr__(self, "body", body)
+
+    def __setattr__(self, name, value):
+        raise AttributeError("DatalogRule is immutable")
+
+    def __repr__(self) -> str:
+        return "%r :- %s" % (self.head, ", ".join(repr(a) for a in self.body))
+
+
+class DatalogProgram:
+    """A set of rules plus extensional facts."""
+
+    def __init__(self):
+        self.rules: List[DatalogRule] = []
+        self.facts: List[Tuple[str, Tuple[Hashable, ...]]] = []
+
+    def add_rule(self, rule: DatalogRule) -> None:
+        self.rules.append(rule)
+
+    def add_fact(self, predicate: str, args: Sequence[Hashable]) -> None:
+        for arg in args:
+            if isinstance(arg, DVar):
+                raise ValueError("facts must be ground")
+        self.facts.append((predicate, tuple(args)))
+
+    def __repr__(self) -> str:
+        return "DatalogProgram(<%d rules, %d facts>)" % (
+            len(self.rules),
+            len(self.facts),
+        )

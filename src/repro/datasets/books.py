@@ -1,0 +1,80 @@
+"""The paper's running example: the bibliographic graph of Figure 2.
+
+A book ``doi1`` with its author (a blank node), title and publication
+date, under four constraints: books are publications, writing
+something means being an author, and ``writtenBy`` relates books to
+people.  The implicit triples (dashed edges in Figure 2) — e.g.
+``doi1 rdf:type Publication`` and ``doi1 hasAuthor _:b1`` — exist only
+after entailment, which is exactly what every engine in this library
+must recover.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from ..query.algebra import ConjunctiveQuery, TriplePattern, Variable
+from ..rdf.graph import Graph
+from ..rdf.namespaces import Namespace, RDF_TYPE
+from ..rdf.terms import BlankNode, Literal
+from ..rdf.triples import Triple
+from ..schema.constraints import Constraint
+from ..schema.schema import Schema
+
+#: The example's vocabulary namespace.
+BOOKS = Namespace("http://example.org/books/")
+
+
+def books_schema() -> Schema:
+    """The four constraints of the running example."""
+    return Schema(
+        [
+            Constraint.subclass(BOOKS.Book, BOOKS.Publication),
+            Constraint.subproperty(BOOKS.writtenBy, BOOKS.hasAuthor),
+            Constraint.domain(BOOKS.writtenBy, BOOKS.Book),
+            Constraint.range(BOOKS.writtenBy, BOOKS.Person),
+        ]
+    )
+
+
+def books_graph(include_schema: bool = True) -> Graph:
+    """The explicit triples of Figure 2 (data, plus the constraints
+    unless ``include_schema`` is False)."""
+    b1 = BlankNode("b1")
+    graph = Graph(
+        [
+            Triple(BOOKS.doi1, RDF_TYPE, BOOKS.Book),
+            Triple(BOOKS.doi1, BOOKS.writtenBy, b1),
+            Triple(BOOKS.doi1, BOOKS.hasTitle, Literal("El Aleph")),
+            Triple(b1, BOOKS.hasName, Literal("J. L. Borges")),
+            Triple(BOOKS.doi1, BOOKS.publishedIn, Literal("1949")),
+        ]
+    )
+    if include_schema:
+        graph.add_all(books_schema().to_triples())
+    return graph
+
+
+def books_example_query() -> ConjunctiveQuery:
+    """Section 3's query: "the names of authors of books somehow
+    connected to the literal 1949":
+
+        q(x3) :- x1 hasAuthor x2, x2 hasName x3, x1 x4 "1949"
+
+    Its complete answer on Figure 2 is ``{("J. L. Borges",)}`` — and
+    the empty set without entailment.
+    """
+    x1, x2, x3, x4 = (Variable("x%d" % index) for index in range(1, 5))
+    return ConjunctiveQuery(
+        [x3],
+        [
+            TriplePattern(x1, BOOKS.hasAuthor, x2),
+            TriplePattern(x2, BOOKS.hasName, x3),
+            TriplePattern(x1, x4, Literal("1949")),
+        ],
+    )
+
+
+def books_dataset() -> Tuple[Graph, Schema, ConjunctiveQuery]:
+    """(graph, schema, query) — the full running example in one call."""
+    return books_graph(), books_schema(), books_example_query()

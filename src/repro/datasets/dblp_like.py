@@ -1,0 +1,145 @@
+"""A synthetic DBLP-style bibliographic dataset.
+
+DBLP is the third real dataset the demo mentions.  This generator
+reproduces its shape: publications of several kinds (journal articles,
+conference papers, books, theses) authored by a Zipf-skewed author
+population, published in venues, with a contribution-property
+hierarchy (``authorOf``/``editorOf`` ⊑ ``contributorOf``) that gives
+subproperty reasoning real work.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List
+
+from ..query.algebra import ConjunctiveQuery, TriplePattern, Variable
+from ..rdf.graph import Graph
+from ..rdf.namespaces import Namespace, RDF_TYPE
+from ..rdf.terms import Literal
+from ..rdf.triples import Triple
+from ..schema.constraints import Constraint
+from ..schema.schema import Schema
+
+#: The synthetic bibliography vocabulary.
+BIB = Namespace("http://example.org/bib/")
+
+
+def bib_schema() -> Schema:
+    sc = Constraint.subclass
+    sp = Constraint.subproperty
+    dom = Constraint.domain
+    rng = Constraint.range
+    return Schema(
+        [
+            sc(BIB.Article, BIB.Publication),
+            sc(BIB.JournalArticle, BIB.Article),
+            sc(BIB.ConferencePaper, BIB.Article),
+            sc(BIB.Book, BIB.Publication),
+            sc(BIB.PhdThesis, BIB.Publication),
+            sc(BIB.Journal, BIB.Venue),
+            sc(BIB.Conference, BIB.Venue),
+            sp(BIB.authorOf, BIB.contributorOf),
+            sp(BIB.editorOf, BIB.contributorOf),
+            dom(BIB.contributorOf, BIB.Person),
+            rng(BIB.contributorOf, BIB.Publication),
+            dom(BIB.publishedIn, BIB.Publication),
+            rng(BIB.publishedIn, BIB.Venue),
+            dom(BIB.title, BIB.Publication),
+            dom(BIB.year, BIB.Publication),
+            dom(BIB.personName, BIB.Person),
+        ]
+    )
+
+
+def _zipf_choice(rng: random.Random, population: List, exponent: float = 1.1):
+    """A Zipf-skewed draw: a few authors write most papers (as in DBLP)."""
+    weights = [1.0 / ((rank + 1) ** exponent) for rank in range(len(population))]
+    return rng.choices(population, weights=weights, k=1)[0]
+
+
+def generate_bib(
+    authors: int = 200,
+    publications: int = 800,
+    venues: int = 25,
+    seed: int = 11,
+    include_schema: bool = True,
+) -> Graph:
+    """Generate a bibliographic graph.
+
+    >>> len(generate_bib(authors=5, publications=10, venues=2)) > 30
+    True
+    """
+    rng = random.Random(seed)
+    graph = Graph()
+    if include_schema:
+        graph.add_all(bib_schema().to_triples())
+
+    author_uris = [BIB.term("person/%d" % index) for index in range(authors)]
+    for index, author in enumerate(author_uris):
+        graph.add(Triple(author, BIB.personName, Literal("Author %d" % index)))
+
+    venue_uris = []
+    for index in range(venues):
+        kind = BIB.Journal if index % 2 == 0 else BIB.Conference
+        venue = BIB.term("venue/%d" % index)
+        venue_uris.append((venue, kind))
+        graph.add(Triple(venue, RDF_TYPE, kind))
+
+    kinds = (BIB.JournalArticle, BIB.ConferencePaper, BIB.Book, BIB.PhdThesis)
+    for index in range(publications):
+        publication = BIB.term("pub/%d" % index)
+        kind = kinds[rng.randrange(len(kinds))]
+        graph.add(Triple(publication, RDF_TYPE, kind))
+        graph.add(Triple(publication, BIB.title, Literal("Title %d" % index)))
+        graph.add(
+            Triple(publication, BIB.year, Literal(str(1990 + rng.randrange(30))))
+        )
+        # 1-4 authors, Zipf-skewed.
+        for _ in range(1 + rng.randrange(4)):
+            author = _zipf_choice(rng, author_uris)
+            graph.add(Triple(author, BIB.authorOf, publication))
+        if kind == BIB.Book and rng.random() < 0.5:
+            graph.add(
+                Triple(_zipf_choice(rng, author_uris), BIB.editorOf, publication)
+            )
+        if kind in (BIB.JournalArticle, BIB.ConferencePaper) and venue_uris:
+            venue, _ = venue_uris[rng.randrange(len(venue_uris))]
+            graph.add(Triple(publication, BIB.publishedIn, venue))
+    return graph
+
+
+def bib_queries() -> Dict[str, ConjunctiveQuery]:
+    """Representative bibliographic queries."""
+    x, y, z, t = Variable("x"), Variable("y"), Variable("z"), Variable("t")
+    return {
+        # All contributors of publications (subproperty reasoning).
+        "B1": ConjunctiveQuery(
+            [x, y], [TriplePattern(x, BIB.contributorOf, y)]
+        ),
+        # Persons (via domain reasoning) with their names.
+        "B2": ConjunctiveQuery(
+            [x, y],
+            [
+                TriplePattern(x, RDF_TYPE, BIB.Person),
+                TriplePattern(x, BIB.personName, y),
+            ],
+        ),
+        # Articles with venue and a contributor.
+        "B3": ConjunctiveQuery(
+            [x, y, z],
+            [
+                TriplePattern(x, RDF_TYPE, BIB.Article),
+                TriplePattern(x, BIB.publishedIn, y),
+                TriplePattern(z, BIB.contributorOf, x),
+            ],
+        ),
+        # Openly-typed things connected to venues.
+        "B4": ConjunctiveQuery(
+            [x, t],
+            [
+                TriplePattern(x, RDF_TYPE, t),
+                TriplePattern(x, BIB.publishedIn, y),
+            ],
+        ),
+    }

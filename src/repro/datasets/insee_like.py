@@ -1,0 +1,178 @@
+"""A synthetic French-statistics-style dataset (INSEE/IGN stand-in).
+
+The demo lists "French statistical (INSEE) and geographical (IGN)
+data" among its scenarios.  Those dumps are not redistributable here,
+so this generator produces data with the same *shape* (which is what
+drives subquery costs — see DESIGN.md's substitution table):
+
+* a three-level administrative hierarchy — communes within
+  départements within régions — as a class hierarchy
+  (``Commune ⊑ Municipality ⊑ AdministrativeArea`` …) plus
+  ``locatedIn`` subproperties;
+* statistical observations attached to areas: population, households,
+  unemployment measures, each a subproperty of ``hasMeasure`` with
+  domain/range constraints;
+* heavy skew: many communes, few régions — the distribution the cost
+  model must see through.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Optional
+
+from ..query.algebra import ConjunctiveQuery, TriplePattern, Variable
+from ..rdf.graph import Graph
+from ..rdf.namespaces import Namespace, RDF_TYPE
+from ..rdf.terms import Literal, URI
+from ..rdf.triples import Triple
+from ..schema.constraints import Constraint
+from ..schema.schema import Schema
+
+#: The synthetic statistics vocabulary.
+GEO = Namespace("http://example.org/geo/")
+
+
+def geo_schema() -> Schema:
+    sc = Constraint.subclass
+    sp = Constraint.subproperty
+    dom = Constraint.domain
+    rng = Constraint.range
+    return Schema(
+        [
+            sc(GEO.Region, GEO.AdministrativeArea),
+            sc(GEO.Departement, GEO.AdministrativeArea),
+            sc(GEO.Municipality, GEO.AdministrativeArea),
+            sc(GEO.Commune, GEO.Municipality),
+            sc(GEO.Arrondissement, GEO.Municipality),
+            sc(GEO.PopulationCount, GEO.Observation),
+            sc(GEO.HouseholdCount, GEO.Observation),
+            sc(GEO.UnemploymentRate, GEO.Observation),
+            sp(GEO.inDepartement, GEO.locatedIn),
+            sp(GEO.inRegion, GEO.locatedIn),
+            dom(GEO.locatedIn, GEO.AdministrativeArea),
+            rng(GEO.locatedIn, GEO.AdministrativeArea),
+            rng(GEO.inDepartement, GEO.Departement),
+            rng(GEO.inRegion, GEO.Region),
+            dom(GEO.observationOf, GEO.Observation),
+            rng(GEO.observationOf, GEO.AdministrativeArea),
+            dom(GEO.measuredValue, GEO.Observation),
+            dom(GEO.measuredYear, GEO.Observation),
+            dom(GEO.areaName, GEO.AdministrativeArea),
+        ]
+    )
+
+
+def generate_geo(
+    regions: int = 3,
+    departements_per_region: int = 4,
+    communes_per_departement: int = 40,
+    observation_years: int = 3,
+    seed: int = 7,
+    include_schema: bool = True,
+) -> Graph:
+    """Generate the hierarchy plus per-commune observations.
+
+    >>> len(generate_geo(regions=1, departements_per_region=1,
+    ...                  communes_per_departement=2, observation_years=1)) > 10
+    True
+    """
+    rng_source = random.Random(seed)
+    graph = Graph()
+    if include_schema:
+        graph.add_all(geo_schema().to_triples())
+
+    observation_index = 0
+    for region_index in range(regions):
+        region = GEO.term("region/%d" % region_index)
+        graph.add(Triple(region, RDF_TYPE, GEO.Region))
+        graph.add(
+            Triple(region, GEO.areaName, Literal("Region %d" % region_index))
+        )
+        for dept_offset in range(departements_per_region):
+            dept_index = region_index * departements_per_region + dept_offset
+            departement = GEO.term("departement/%d" % dept_index)
+            graph.add(Triple(departement, RDF_TYPE, GEO.Departement))
+            graph.add(Triple(departement, GEO.inRegion, region))
+            graph.add(
+                Triple(
+                    departement,
+                    GEO.areaName,
+                    Literal("Departement %d" % dept_index),
+                )
+            )
+            for commune_offset in range(communes_per_departement):
+                commune_index = (
+                    dept_index * communes_per_departement + commune_offset
+                )
+                commune = GEO.term("commune/%d" % commune_index)
+                graph.add(Triple(commune, RDF_TYPE, GEO.Commune))
+                graph.add(Triple(commune, GEO.inDepartement, departement))
+                graph.add(
+                    Triple(
+                        commune,
+                        GEO.areaName,
+                        Literal("Commune %d" % commune_index),
+                    )
+                )
+                for year_offset in range(observation_years):
+                    year = 2010 + year_offset
+                    kind = rng_source.choice(
+                        (GEO.PopulationCount, GEO.HouseholdCount,
+                         GEO.UnemploymentRate)
+                    )
+                    observation = GEO.term("obs/%d" % observation_index)
+                    observation_index += 1
+                    graph.add(Triple(observation, RDF_TYPE, kind))
+                    graph.add(Triple(observation, GEO.observationOf, commune))
+                    graph.add(
+                        Triple(
+                            observation,
+                            GEO.measuredYear,
+                            Literal(str(year)),
+                        )
+                    )
+                    graph.add(
+                        Triple(
+                            observation,
+                            GEO.measuredValue,
+                            Literal(str(rng_source.randrange(100, 100000))),
+                        )
+                    )
+    return graph
+
+
+def geo_queries() -> Dict[str, ConjunctiveQuery]:
+    """Representative analytical queries over the geo dataset."""
+    x, y, z, w = Variable("x"), Variable("y"), Variable("z"), Variable("w")
+    return {
+        # Everything located somewhere (subproperty reasoning).
+        "G1": ConjunctiveQuery(
+            [x, y], [TriplePattern(x, GEO.locatedIn, y)]
+        ),
+        # Observations (class reasoning) of communes of a region.
+        "G2": ConjunctiveQuery(
+            [x, z],
+            [
+                TriplePattern(x, RDF_TYPE, GEO.Observation),
+                TriplePattern(x, GEO.observationOf, y),
+                TriplePattern(y, GEO.inDepartement, z),
+            ],
+        ),
+        # Areas with any recorded observation, typed openly.
+        "G3": ConjunctiveQuery(
+            [y, w],
+            [
+                TriplePattern(x, GEO.observationOf, y),
+                TriplePattern(y, RDF_TYPE, w),
+            ],
+        ),
+        # Administrative areas and their names (domain reasoning).
+        "G4": ConjunctiveQuery(
+            [x, y],
+            [
+                TriplePattern(x, RDF_TYPE, GEO.AdministrativeArea),
+                TriplePattern(x, GEO.areaName, y),
+            ],
+        ),
+    }

@@ -1,0 +1,386 @@
+"""A LUBM-style ontology and scalable data generator.
+
+The paper's quantitative example runs on "the 100 million triples LUBM
+[11] dataset" with queries over ``ub:mastersDegreeFrom``,
+``ub:doctoralDegreeFrom`` and ``ub:memberOf``.  This module rebuilds
+the RDFS projection of the univ-bench ontology — the class and property
+hierarchies, domains and ranges that drive reformulation sizes — and a
+seeded generator producing university data with LUBM's shape
+(departments per university, faculty per department, students per
+faculty, publications per faculty, degree links to a pool of
+universities).
+
+Deliberate fidelity points:
+
+* instances carry only their **most specific** type (raw LUBM data does
+  too) — making entailment genuinely necessary, which is the premise of
+  every experiment;
+* open type atoms (``x rdf:type u``) reformulate into hundreds of
+  atomic queries against this schema, reproducing the blow-up of
+  Example 1 (their 564 per atom; the exact count here depends on this
+  RDFS projection and is reported by experiment E1);
+* degree properties link people to universities from a shared pool, so
+  Example 1's constant ``http://www.Univ532.edu`` has the same join
+  behaviour as in the paper.
+
+Scale: ``GeneratorConfig`` defaults produce ≈2k triples per university
+— laptop-scale, per DESIGN.md's substitution table; scale up through
+``universities=`` and a larger ``GeneratorConfig``.  Ratios between
+entity populations follow LUBM, which is what the runtime *shapes*
+depend on.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..rdf.graph import Graph
+from ..rdf.namespaces import Namespace, RDF_TYPE
+from ..rdf.terms import Literal, URI
+from ..rdf.triples import Triple
+from ..schema.constraints import Constraint
+from ..schema.schema import Schema
+
+#: The univ-bench namespace (as in the paper's queries).
+UB = Namespace("http://swat.cse.lehigh.edu/onto/univ-bench.owl#")
+
+
+def lubm_schema() -> Schema:
+    """The RDFS projection of the univ-bench ontology.
+
+    Classes and properties match univ-bench; OWL-only axioms
+    (inverses, transitivity, intersections) are dropped, and the
+    handful of class memberships LUBM defines through OWL restrictions
+    (e.g. GraduateStudent) are approximated by subclass links, which
+    preserves the hierarchy shape reformulation depends on.
+    """
+    sc = Constraint.subclass
+    sp = Constraint.subproperty
+    dom = Constraint.domain
+    rng = Constraint.range
+    constraints = [
+        # --- Organizations
+        sc(UB.University, UB.Organization),
+        sc(UB.Department, UB.Organization),
+        sc(UB.Institute, UB.Organization),
+        sc(UB.Program, UB.Organization),
+        sc(UB.ResearchGroup, UB.Organization),
+        # --- People
+        sc(UB.Employee, UB.Person),
+        sc(UB.Faculty, UB.Employee),
+        sc(UB.Professor, UB.Faculty),
+        sc(UB.FullProfessor, UB.Professor),
+        sc(UB.AssociateProfessor, UB.Professor),
+        sc(UB.AssistantProfessor, UB.Professor),
+        sc(UB.VisitingProfessor, UB.Professor),
+        sc(UB.Chair, UB.Professor),
+        sc(UB.Dean, UB.Professor),
+        sc(UB.Lecturer, UB.Faculty),
+        sc(UB.PostDoc, UB.Faculty),
+        sc(UB.AdministrativeStaff, UB.Employee),
+        sc(UB.ClericalStaff, UB.AdministrativeStaff),
+        sc(UB.SystemsStaff, UB.AdministrativeStaff),
+        sc(UB.Student, UB.Person),
+        sc(UB.UndergraduateStudent, UB.Student),
+        sc(UB.GraduateStudent, UB.Student),
+        sc(UB.TeachingAssistant, UB.GraduateStudent),
+        sc(UB.ResearchAssistant, UB.GraduateStudent),
+        sc(UB.Director, UB.Person),
+        # --- Works
+        sc(UB.Course, UB.Work),
+        sc(UB.GraduateCourse, UB.Course),
+        sc(UB.Research, UB.Work),
+        sc(UB.Publication, UB.Work),
+        sc(UB.Article, UB.Publication),
+        sc(UB.ConferencePaper, UB.Article),
+        sc(UB.JournalArticle, UB.Article),
+        sc(UB.TechnicalReport, UB.Article),
+        sc(UB.Book, UB.Publication),
+        sc(UB.Manual, UB.Publication),
+        sc(UB.Software, UB.Publication),
+        sc(UB.Specification, UB.Publication),
+        sc(UB.UnofficialPublication, UB.Publication),
+        # --- Property hierarchy
+        sp(UB.headOf, UB.worksFor),
+        sp(UB.worksFor, UB.memberOf),
+        sp(UB.undergraduateDegreeFrom, UB.degreeFrom),
+        sp(UB.mastersDegreeFrom, UB.degreeFrom),
+        sp(UB.doctoralDegreeFrom, UB.degreeFrom),
+        # --- Domains and ranges
+        dom(UB.memberOf, UB.Person), rng(UB.memberOf, UB.Organization),
+        dom(UB.worksFor, UB.Employee),
+        dom(UB.headOf, UB.Employee),
+        dom(UB.degreeFrom, UB.Person), rng(UB.degreeFrom, UB.University),
+        dom(UB.mastersDegreeFrom, UB.Person),
+        dom(UB.doctoralDegreeFrom, UB.Person),
+        dom(UB.undergraduateDegreeFrom, UB.Person),
+        dom(UB.takesCourse, UB.Student), rng(UB.takesCourse, UB.Course),
+        dom(UB.teacherOf, UB.Faculty), rng(UB.teacherOf, UB.Course),
+        dom(UB.teachingAssistantOf, UB.TeachingAssistant),
+        rng(UB.teachingAssistantOf, UB.Course),
+        dom(UB.advisor, UB.Person), rng(UB.advisor, UB.Professor),
+        dom(UB.publicationAuthor, UB.Publication),
+        rng(UB.publicationAuthor, UB.Person),
+        dom(UB.subOrganizationOf, UB.Organization),
+        rng(UB.subOrganizationOf, UB.Organization),
+        dom(UB.orgPublication, UB.Organization),
+        rng(UB.orgPublication, UB.Publication),
+        dom(UB.researchProject, UB.ResearchGroup),
+        rng(UB.researchProject, UB.Research),
+        dom(UB.name, UB.Person),
+        dom(UB.emailAddress, UB.Person),
+        dom(UB.telephone, UB.Person),
+        dom(UB.researchInterest, UB.Person),
+    ]
+    return Schema(constraints)
+
+
+class GeneratorConfig:
+    """Population sizes per university; ratios follow LUBM."""
+
+    def __init__(
+        self,
+        departments: int = 4,
+        full_professors: int = 2,
+        associate_professors: int = 3,
+        assistant_professors: int = 3,
+        lecturers: int = 2,
+        undergraduate_students: int = 40,
+        graduate_students: int = 12,
+        courses: int = 12,
+        graduate_courses: int = 6,
+        research_groups: int = 3,
+        publications_per_faculty: int = 3,
+        external_university_pool: int = 20,
+    ):
+        self.departments = departments
+        self.full_professors = full_professors
+        self.associate_professors = associate_professors
+        self.assistant_professors = assistant_professors
+        self.lecturers = lecturers
+        self.undergraduate_students = undergraduate_students
+        self.graduate_students = graduate_students
+        self.courses = courses
+        self.graduate_courses = graduate_courses
+        self.research_groups = research_groups
+        self.publications_per_faculty = publications_per_faculty
+        self.external_university_pool = external_university_pool
+
+
+def university_uri(index: int) -> URI:
+    """The URI of university *index* — Example 1's constant is
+    ``university_uri(532)``."""
+    return URI("http://www.Univ%d.edu" % index)
+
+
+class LubmGenerator:
+    """Seeded LUBM-style data generator.
+
+    >>> graph = LubmGenerator(seed=0).generate(universities=1)
+    >>> len(graph) > 1000
+    True
+    """
+
+    def __init__(self, config: Optional[GeneratorConfig] = None, seed: int = 42):
+        self.config = config or GeneratorConfig()
+        self.seed = seed
+
+    # ------------------------------------------------------------------
+
+    def generate(self, universities: int = 1, include_schema: bool = True) -> Graph:
+        """Generate data for *universities* universities.
+
+        When ``include_schema`` is set the schema triples are embedded
+        in the returned graph (the usual single-graph layout); pass
+        False to keep data and constraints separate.
+        """
+        rng = random.Random(self.seed)
+        graph = Graph()
+        if include_schema:
+            graph.add_all(lubm_schema().to_triples())
+        pool = [
+            university_uri(index)
+            for index in range(self.config.external_university_pool)
+        ]
+        for index in range(universities):
+            self._university(graph, rng, index, pool)
+        return graph
+
+    @staticmethod
+    def _pick_university(rng: random.Random, pool: List[URI]) -> URI:
+        """Zipf-skewed draw from the degree pool: a few universities
+        graduate most people, so degree joins (Example 1's t3 ⋈ t4)
+        have matches at laptop scale just as they do at LUBM's."""
+        weights = [1.0 / (rank + 1) for rank in range(len(pool))]
+        return rng.choices(pool, weights=weights, k=1)[0]
+
+    # ------------------------------------------------------------------
+
+    def _university(
+        self, graph: Graph, rng: random.Random, index: int, pool: List[URI]
+    ) -> None:
+        config = self.config
+        university = university_uri(index)
+        graph.add(Triple(university, RDF_TYPE, UB.University))
+        for dept_index in range(config.departments):
+            self._department(graph, rng, university, index, dept_index, pool)
+
+    def _department(
+        self,
+        graph: Graph,
+        rng: random.Random,
+        university: URI,
+        uni_index: int,
+        dept_index: int,
+        pool: List[URI],
+    ) -> None:
+        config = self.config
+        base = "http://www.Department%d.University%d.edu/" % (dept_index, uni_index)
+        ns = Namespace(base)
+        department = URI(base.rstrip("/"))
+        graph.add(Triple(department, RDF_TYPE, UB.Department))
+        graph.add(Triple(department, UB.subOrganizationOf, university))
+
+        courses = [ns.term("Course%d" % i) for i in range(config.courses)]
+        graduate_courses = [
+            ns.term("GraduateCourse%d" % i) for i in range(config.graduate_courses)
+        ]
+        for course in courses:
+            graph.add(Triple(course, RDF_TYPE, UB.Course))
+        for course in graduate_courses:
+            graph.add(Triple(course, RDF_TYPE, UB.GraduateCourse))
+
+        groups = [ns.term("ResearchGroup%d" % i) for i in range(config.research_groups)]
+        for group in groups:
+            graph.add(Triple(group, RDF_TYPE, UB.ResearchGroup))
+            graph.add(Triple(group, UB.subOrganizationOf, department))
+
+        faculty: List[Tuple[URI, URI]] = []
+        for kind, count in (
+            (UB.FullProfessor, config.full_professors),
+            (UB.AssociateProfessor, config.associate_professors),
+            (UB.AssistantProfessor, config.assistant_professors),
+            (UB.Lecturer, config.lecturers),
+        ):
+            for person_index in range(count):
+                person = ns.term("%s%d" % (kind.local_name(), person_index))
+                faculty.append((person, kind))
+
+        all_courses = courses + graduate_courses
+        professors = [
+            person for person, kind in faculty if kind != UB.Lecturer
+        ]
+        for person, kind in faculty:
+            graph.add(Triple(person, RDF_TYPE, kind))
+            graph.add(Triple(person, UB.worksFor, department))
+            graph.add(
+                Triple(person, UB.name, Literal("%s" % person.local_name()))
+            )
+            graph.add(
+                Triple(
+                    person,
+                    UB.emailAddress,
+                    Literal("%s@%s" % (person.local_name(), university.local_name())),
+                )
+            )
+            graph.add(
+                Triple(
+                    person,
+                    UB.researchInterest,
+                    Literal("Research%d" % rng.randrange(30)),
+                )
+            )
+            for course in rng.sample(all_courses, k=min(2, len(all_courses))):
+                graph.add(Triple(person, UB.teacherOf, course))
+            if kind != UB.Lecturer:
+                graph.add(
+                    Triple(
+                        person,
+                        UB.undergraduateDegreeFrom,
+                        self._pick_university(rng, pool),
+                    )
+                )
+                graph.add(
+                    Triple(
+                        person, UB.mastersDegreeFrom, self._pick_university(rng, pool)
+                    )
+                )
+                graph.add(
+                    Triple(
+                        person, UB.doctoralDegreeFrom, self._pick_university(rng, pool)
+                    )
+                )
+
+        # The department head: one full professor.
+        head = faculty[0][0]
+        graph.add(Triple(head, UB.headOf, department))
+
+        publication_index = 0
+        for person, _ in faculty:
+            for _ in range(config.publications_per_faculty):
+                publication = ns.term("Publication%d" % publication_index)
+                publication_index += 1
+                kind = rng.choice(
+                    (UB.JournalArticle, UB.ConferencePaper, UB.TechnicalReport,
+                     UB.Book)
+                )
+                graph.add(Triple(publication, RDF_TYPE, kind))
+                graph.add(Triple(publication, UB.publicationAuthor, person))
+
+        for student_index in range(config.undergraduate_students):
+            student = ns.term("UndergraduateStudent%d" % student_index)
+            graph.add(Triple(student, RDF_TYPE, UB.UndergraduateStudent))
+            graph.add(Triple(student, UB.memberOf, department))
+            for course in rng.sample(courses, k=min(3, len(courses))):
+                graph.add(Triple(student, UB.takesCourse, course))
+
+        for student_index in range(config.graduate_students):
+            student = ns.term("GraduateStudent%d" % student_index)
+            # A slice of graduate students are assistants (most
+            # specific type only, per LUBM).
+            draw = rng.random()
+            if draw < 0.2:
+                student_type = UB.TeachingAssistant
+            elif draw < 0.35:
+                student_type = UB.ResearchAssistant
+            else:
+                student_type = UB.GraduateStudent
+            graph.add(Triple(student, RDF_TYPE, student_type))
+            graph.add(Triple(student, UB.memberOf, department))
+            graph.add(
+                Triple(
+                    student,
+                    UB.undergraduateDegreeFrom,
+                    self._pick_university(rng, pool),
+                )
+            )
+            # Some graduate students already hold a masters degree and
+            # some department members obtained their doctorate locally,
+            # giving Example 1's join real matches.
+            if rng.random() < 0.5:
+                graph.add(
+                    Triple(
+                        student,
+                        UB.mastersDegreeFrom,
+                        self._pick_university(rng, pool),
+                    )
+                )
+            if professors:
+                graph.add(Triple(student, UB.advisor, rng.choice(professors)))
+            for course in rng.sample(
+                graduate_courses, k=min(2, len(graduate_courses))
+            ):
+                graph.add(Triple(student, UB.takesCourse, course))
+            if student_type == UB.TeachingAssistant and courses:
+                graph.add(Triple(student, UB.teachingAssistantOf, rng.choice(courses)))
+
+
+def generate_lubm(
+    universities: int = 1,
+    seed: int = 42,
+    config: Optional[GeneratorConfig] = None,
+    include_schema: bool = True,
+) -> Graph:
+    """Convenience wrapper: a seeded LUBM-style graph."""
+    return LubmGenerator(config, seed).generate(universities, include_schema)

@@ -1,0 +1,13 @@
+"""Federated query answering over independent RDF endpoints (the
+distributed scenario of the paper's introduction)."""
+
+from .client import FederatedAnswer, FederatedAnswerer
+from .endpoint import Endpoint, ExportForbidden, TruncatedResult
+
+__all__ = [
+    "Endpoint",
+    "ExportForbidden",
+    "FederatedAnswer",
+    "FederatedAnswerer",
+    "TruncatedResult",
+]

@@ -1,0 +1,208 @@
+"""Federated reformulation-based query answering.
+
+The client side of the paper's distributed motivation: given a set of
+:class:`~repro.federation.endpoint.Endpoint` sources whose *union* is
+the logical graph, and the RDFS constraints (held by the client — in
+practice fetched once from an ontology endpoint, which is feasible
+because schemas are tiny), answer conjunctive queries completely
+without ever saturating anything:
+
+1. reformulate each query atom into its UCQ of alternatives (the same
+   per-atom rules as everywhere else);
+2. send each atomic UCQ to every endpoint (atoms are the unit of
+   distribution: a join may need one triple from one source and one
+   from another, so multi-atom fragments cannot be pushed down to a
+   single endpoint without losing cross-endpoint matches);
+3. union the per-endpoint answers and join locally on shared
+   variables — exactly an SCQ evaluation whose leaves are remote.
+
+Saturation, by contrast, would need every source's full contents
+(exports are refused) or unrestricted query answers (responses are
+truncated), and would have to be redone whenever any source changes —
+the infeasibility the paper asserts, measured by experiment E11.
+
+Atoms over the RDFS vocabulary are answered from the client's own
+closed schema (the client holds the constraints, so it *is* the
+authority on entailed constraints); atoms with a variable in property
+position match the client closure plus whatever constraint triples the
+endpoints expose explicitly.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
+
+from ..query.algebra import (
+    ConjunctiveQuery,
+    HeadTerm,
+    TriplePattern,
+    UnionQuery,
+    Variable,
+)
+from ..query.evaluation import _join_relations  # shared join kernel
+from ..rdf.terms import Literal, Term
+from ..reformulation.engine import reformulate
+from ..reformulation.policy import COMPLETE, ReformulationPolicy
+from ..schema.schema import Schema
+from .endpoint import Endpoint
+
+Row = Tuple[Term, ...]
+
+
+class FederatedAnswer:
+    """A federated result: rows plus completeness accounting."""
+
+    def __init__(
+        self,
+        rows: FrozenSet[Row],
+        truncated: bool,
+        requests: int,
+        rows_transferred: int,
+    ):
+        self.rows = rows
+        #: True when any endpoint truncated a sub-answer — the client
+        #: cannot certify completeness then (it reports it, honestly).
+        self.truncated = truncated
+        self.requests = requests
+        self.rows_transferred = rows_transferred
+
+    @property
+    def cardinality(self) -> int:
+        return len(self.rows)
+
+    def __repr__(self) -> str:
+        flag = " (TRUNCATED)" if self.truncated else ""
+        return "FederatedAnswer(%d rows, %d requests%s)" % (
+            self.cardinality,
+            self.requests,
+            flag,
+        )
+
+
+class FederatedAnswerer:
+    """Answers CQs over the union of several endpoints via Ref."""
+
+    def __init__(
+        self,
+        endpoints: Sequence[Endpoint],
+        schema: Schema,
+        policy: ReformulationPolicy = COMPLETE,
+    ):
+        if not endpoints:
+            raise ValueError("a federation needs at least one endpoint")
+        self.endpoints = list(endpoints)
+        self.schema = schema
+        self.policy = policy
+
+    # ------------------------------------------------------------------
+
+    def _atom_union(self, atom: TriplePattern, head: Sequence[HeadTerm]) -> UnionQuery:
+        """The UCQ of alternatives for one atom, projected on *head*."""
+        single = ConjunctiveQuery(head, [atom])
+        return reformulate(single, self.schema, self.policy)
+
+    def _schema_atom_rows(
+        self, atom: TriplePattern, head: Tuple[HeadTerm, ...]
+    ) -> Set[Row]:
+        """Answer a constraint atom from the client's closed schema."""
+        rows: Set[Row] = set()
+        for triple in self.schema.entailed_triples():
+            binding = atom.matches(triple)
+            if binding is None:
+                continue
+            rows.add(
+                tuple(
+                    binding[item] if isinstance(item, Variable) else item
+                    for item in head
+                )
+            )
+        return rows
+
+    def _fetch_atom(
+        self, atom: TriplePattern, head: Tuple[HeadTerm, ...]
+    ) -> Tuple[Set[Row], bool, int, int]:
+        """Evaluate one atom's UCQ on every endpoint; union the rows.
+        Constraint atoms short-circuit to the client's schema."""
+        from ..rdf.namespaces import SCHEMA_PROPERTIES
+
+        if atom.property in SCHEMA_PROPERTIES:
+            return self._schema_atom_rows(atom, head), False, 0, 0
+        union = self._atom_union(atom, head)
+        rows: Set[Row] = set()
+        truncated = False
+        requests = 0
+        transferred = 0
+        for endpoint in self.endpoints:
+            result = endpoint.evaluate(union)
+            rows.update(result.rows)
+            truncated = truncated or result.truncated
+            requests += 1
+            transferred += len(result)
+        return rows, truncated, requests, transferred
+
+    def answer(self, query: ConjunctiveQuery) -> FederatedAnswer:
+        """The complete answer of *query* over the union graph (unless
+        an endpoint truncates, which the result reports)."""
+        requests = 0
+        transferred = 0
+        truncated = False
+
+        schema_columns: Optional[Tuple[HeadTerm, ...]] = None
+        rows: Set[Row] = set()
+        head_variables = {
+            item for item in query.head if isinstance(item, Variable)
+        }
+        for index, atom in enumerate(query.atoms):
+            # Expose every variable of the atom that joins elsewhere or
+            # is distinguished (same rule as cover fragment heads).
+            needed: Set[Variable] = set(head_variables)
+            for other_index, other in enumerate(query.atoms):
+                if other_index != index:
+                    needed.update(other.variables())
+            exposed = tuple(
+                variable
+                for variable in sorted(atom.variables(), key=lambda v: v.name)
+                if variable in needed or variable in head_variables
+            ) or tuple(sorted(atom.variables(), key=lambda v: v.name))[:1]
+            if not atom.variables():
+                exposed = ()
+            atom_rows, atom_truncated, atom_requests, atom_transferred = (
+                self._fetch_atom(atom, exposed)
+            )
+            requests += atom_requests
+            transferred += atom_transferred
+            truncated = truncated or atom_truncated
+            if schema_columns is None:
+                schema_columns, rows = exposed, atom_rows
+            else:
+                schema_columns, rows = _join_relations(
+                    schema_columns, rows, exposed, atom_rows
+                )
+            if not rows and not atom.is_ground():
+                break
+
+        positions: Dict[Variable, int] = {}
+        for column_index, item in enumerate(schema_columns or ()):
+            if isinstance(item, Variable) and item not in positions:
+                positions[item] = column_index
+        projected: Set[Row] = set()
+        for row in rows:
+            output: List[Term] = []
+            for item in query.head:
+                if isinstance(item, Variable):
+                    output.append(row[positions[item]])
+                else:
+                    output.append(item)
+            projected.add(tuple(output))
+        return FederatedAnswer(
+            frozenset(projected), truncated, requests, transferred
+        )
+
+    # ------------------------------------------------------------------
+
+    def total_triples(self) -> int:
+        return sum(endpoint.triple_count for endpoint in self.endpoints)
+
+    def reset_counters(self) -> None:
+        for endpoint in self.endpoints:
+            endpoint.reset_counters()

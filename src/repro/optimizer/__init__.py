@@ -1,0 +1,16 @@
+"""Cost-based cover optimization: GCov and the exhaustive oracle (S8)."""
+
+from .beam import beam_search
+from .estimator import CoverCostEstimator, INFINITE_COST
+from .exhaustive import ExhaustiveResult, exhaustive_cover_search
+from .gcov import GCovResult, gcov
+
+__all__ = [
+    "CoverCostEstimator",
+    "ExhaustiveResult",
+    "GCovResult",
+    "INFINITE_COST",
+    "beam_search",
+    "exhaustive_cover_search",
+    "gcov",
+]

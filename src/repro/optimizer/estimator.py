@@ -1,0 +1,132 @@
+"""Pricing covers: the cost function ``c`` over JUCQ strategies.
+
+GCov evaluates many covers that share fragments, so the estimator
+caches per-fragment work: a fragment (a set of atom indices) is
+reformulated once, planned once (exposing *all* its variables — a
+superset of any head a cover will require, which leaves row estimates
+unchanged and join-key distincts available), and annotated once.  A
+cover's price is then the cost of the join tree over its cached
+fragment plans plus projection and duplicate elimination.
+
+Fragments whose UCQ reformulation exceeds ``fragment_limit`` disjuncts
+are priced at infinity: the corresponding SQL would blow the backend's
+parser exactly like Example 1's 318,096-CQ union, so no finite cost is
+meaningful (and materializing the union just to price it would defeat
+the optimizer).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, FrozenSet, List, Optional, Tuple
+
+from ..cost.model import annotate_node, annotate_plan
+from ..query.algebra import ConjunctiveQuery, Variable
+from ..query.cover import Cover, Fragment
+from ..reformulation.engine import reformulate, ucq_size
+from ..reformulation.policy import COMPLETE, ReformulationPolicy
+from ..schema.schema import Schema
+from ..storage.backends import BackendProfile, HASH_BACKEND
+from ..storage.plan import DistinctNode, JoinNode, PlanNode, ProjectNode, UnionNode
+from ..storage.planner import Planner
+from ..storage.store import TripleStore
+
+#: Sentinel cost for fragments too large to reformulate/parse.
+INFINITE_COST = math.inf
+
+
+class CoverCostEstimator:
+    """Prices covers of one query against one store + backend."""
+
+    def __init__(
+        self,
+        query: ConjunctiveQuery,
+        schema: Schema,
+        store: TripleStore,
+        backend: BackendProfile = HASH_BACKEND,
+        policy: ReformulationPolicy = COMPLETE,
+        fragment_limit: int = 4096,
+    ):
+        self.query = query
+        self.schema = schema
+        self.store = store
+        self.backend = backend
+        self.policy = policy
+        self.fragment_limit = fragment_limit
+        self._planner = Planner(store, backend)
+        self._fragment_plans: Dict[FrozenSet[int], Optional[PlanNode]] = {}
+
+    # ------------------------------------------------------------------
+
+    def _fragment_query(self, fragment: FrozenSet[int]) -> ConjunctiveQuery:
+        atoms = [self.query.atoms[index] for index in sorted(fragment)]
+        variables: List[Variable] = []
+        for atom in atoms:
+            for term in atom.as_tuple():
+                if isinstance(term, Variable) and term not in variables:
+                    variables.append(term)
+        return ConjunctiveQuery(variables, atoms)
+
+    def fragment_plan(self, fragment: FrozenSet[int]) -> Optional[PlanNode]:
+        """The annotated full-head plan for a fragment, or None when
+        its reformulation exceeds the limit.  Cached."""
+        fragment = frozenset(fragment)
+        if fragment in self._fragment_plans:
+            return self._fragment_plans[fragment]
+        fragment_query = self._fragment_query(fragment)
+        size = ucq_size(fragment_query, self.schema, self.policy)
+        if size > self.fragment_limit:
+            self._fragment_plans[fragment] = None
+            return None
+        union = reformulate(fragment_query, self.schema, self.policy)
+        plan = self._planner.plan(union)
+        self._fragment_plans[fragment] = plan
+        return plan
+
+    # ------------------------------------------------------------------
+
+    def cover_plan(self, cover: Cover) -> Optional[PlanNode]:
+        """The annotated plan of the cover's JUCQ built from cached
+        fragment plans, or None when any fragment is oversized."""
+        plans: List[PlanNode] = []
+        for fragment in cover.fragments:
+            plan = self.fragment_plan(fragment)
+            if plan is None:
+                return None
+            plans.append(plan)
+
+        ordered = sorted(plans, key=lambda p: p.estimated_rows)
+        current = ordered[0]
+        pending = ordered[1:]
+        while pending:
+            bound = set(current.variable_positions())
+            connected = [
+                plan for plan in pending if bound & set(plan.variable_positions())
+            ]
+            pool = connected if connected else pending
+            best = min(pool, key=lambda p: p.estimated_rows)
+            pending.remove(best)
+            current = self._annotate(JoinNode(current, best, self.backend.join_algorithm))
+
+        specs = []
+        positions = current.variable_positions()
+        for item in self.query.head:
+            if isinstance(item, Variable):
+                specs.append(("var", item))
+            else:
+                specs.append(("const", self.store.dictionary.encode(item)))
+        project = self._annotate(ProjectNode(current, specs))
+        return self._annotate(DistinctNode(project))
+
+    def _annotate(self, node: PlanNode) -> PlanNode:
+        return annotate_node(
+            node, self.store.statistics, self.backend, self.store.type_property_id
+        )
+
+    def cost(self, cover: Cover) -> float:
+        """The estimated evaluation cost of the cover's JUCQ, or
+        :data:`INFINITE_COST` when it cannot be built."""
+        plan = self.cover_plan(cover)
+        if plan is None:
+            return INFINITE_COST
+        return plan.total_estimated_cost()

@@ -1,0 +1,219 @@
+"""Reference evaluator: queries against a logical :class:`Graph`.
+
+This is the *specification* evaluator: straightforward backtracking
+over the graph's hash indexes, used by the test-suite (the Ref/Sat
+equivalence properties) and by small examples.  Benchmark-scale
+evaluation goes through the dictionary-encoded relational engine in
+:mod:`repro.storage`, which must produce identical answers — a fact
+the integration tests check against this module.
+
+Evaluation (over explicit triples only) is distinguished from query
+*answering* (which accounts for entailment); see the paper, Section 3.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterator, List, Optional, Sequence, Set, Tuple
+
+from ..rdf.graph import Graph
+from ..rdf.terms import Term
+from ..rdf.triples import Triple
+from .algebra import (
+    ConjunctiveQuery,
+    HeadTerm,
+    JoinOfUnions,
+    Substitution,
+    TriplePattern,
+    UnionQuery,
+    Variable,
+    is_variable,
+)
+
+#: An answer is a set of rows; a row is a tuple of terms.
+Row = Tuple[Term, ...]
+Answer = FrozenSet[Row]
+
+
+def _candidate_triples(
+    graph: Graph, atom: TriplePattern, binding: Substitution
+) -> Iterator[Triple]:
+    """Triples possibly matching *atom* under *binding*, via the most
+    selective index available."""
+    def resolve(term):
+        if isinstance(term, Variable):
+            return binding.get(term)
+        return term
+
+    return graph.match(
+        subject=resolve(atom.subject),
+        property=resolve(atom.property),
+        object=resolve(atom.object),
+    )
+
+
+def _order_atoms(atoms: Sequence[TriplePattern]) -> List[TriplePattern]:
+    """Greedy join order: repeatedly pick the atom with the most
+    positions bound by constants or already-chosen variables."""
+    remaining = list(atoms)
+    bound: Set[Variable] = set()
+    ordered: List[TriplePattern] = []
+    while remaining:
+        def boundness(atom: TriplePattern) -> int:
+            score = 0
+            for term in atom.as_tuple():
+                if not isinstance(term, Variable) or term in bound:
+                    score += 1
+            return score
+
+        best = max(remaining, key=boundness)
+        remaining.remove(best)
+        ordered.append(best)
+        bound.update(best.variables())
+    return ordered
+
+
+def _solutions(
+    graph: Graph, atoms: Sequence[TriplePattern]
+) -> Iterator[Substitution]:
+    """Yield every substitution making all *atoms* hold in *graph*."""
+    ordered = _order_atoms(atoms)
+
+    def extend(index: int, binding: Substitution) -> Iterator[Substitution]:
+        if index == len(ordered):
+            yield dict(binding)
+            return
+        atom = ordered[index]
+        for triple in _candidate_triples(graph, atom, binding):
+            local = atom.substitute(binding).matches(triple)
+            if local is None:
+                continue
+            merged = dict(binding)
+            merged.update(local)
+            yield from extend(index + 1, merged)
+
+    yield from extend(0, {})
+
+
+def _project(head: Sequence[HeadTerm], binding: Substitution) -> Row:
+    row: List[Term] = []
+    for item in head:
+        if isinstance(item, Variable):
+            row.append(binding[item])
+        else:
+            row.append(item)
+    return tuple(row)
+
+
+def evaluate_cq(graph: Graph, query: ConjunctiveQuery) -> Answer:
+    """Evaluate a CQ against the explicit triples of *graph*.
+
+    Returns the set of head rows (set semantics, as in the paper).
+    A boolean query returns ``{()}`` when satisfied, ``{}`` otherwise.
+    Solutions binding a guarded (``nonliteral_variables``) variable to
+    a literal are discarded.
+    """
+    from ..rdf.terms import Literal
+
+    guard = query.nonliteral_variables
+    rows: Set[Row] = set()
+    for binding in _solutions(graph, query.atoms):
+        if guard and any(
+            isinstance(binding.get(variable), Literal) for variable in guard
+        ):
+            continue
+        rows.add(_project(query.head, binding))
+    return frozenset(rows)
+
+
+def evaluate_ucq(graph: Graph, query: UnionQuery) -> Answer:
+    """Evaluate a UCQ: the union of its disjuncts' answers."""
+    rows: Set[Row] = set()
+    for disjunct in query.disjuncts:
+        rows.update(evaluate_cq(graph, disjunct))
+    return frozenset(rows)
+
+
+def _join_relations(
+    left_schema: Tuple[HeadTerm, ...],
+    left_rows: Set[Row],
+    right_schema: Tuple[HeadTerm, ...],
+    right_rows: Set[Row],
+) -> Tuple[Tuple[HeadTerm, ...], Set[Row]]:
+    """Hash-join two relations on their shared variables.
+
+    A relation's schema is its fragment head: variables name columns
+    (repeats allowed), constants are payload columns.  The join output
+    schema is the left schema followed by the right columns whose
+    variables are not already present on the left.
+    """
+    left_positions: Dict[Variable, int] = {}
+    for index, item in enumerate(left_schema):
+        if isinstance(item, Variable) and item not in left_positions:
+            left_positions[item] = index
+
+    join_pairs: List[Tuple[int, int]] = []  # (left index, right index)
+    keep_right: List[int] = []
+    for index, item in enumerate(right_schema):
+        if isinstance(item, Variable) and item in left_positions:
+            join_pairs.append((left_positions[item], index))
+        else:
+            keep_right.append(index)
+
+    output_schema = tuple(left_schema) + tuple(right_schema[i] for i in keep_right)
+
+    # Build on the smaller side for form; correctness is symmetric.
+    table: Dict[Tuple[Term, ...], List[Row]] = {}
+    for row in left_rows:
+        key = tuple(row[li] for li, _ in join_pairs)
+        table.setdefault(key, []).append(row)
+
+    output: Set[Row] = set()
+    for row in right_rows:
+        key = tuple(row[ri] for _, ri in join_pairs)
+        for match in table.get(key, ()):
+            output.add(match + tuple(row[i] for i in keep_right))
+    return output_schema, output
+
+
+def evaluate_jucq(graph: Graph, query: JoinOfUnions) -> Answer:
+    """Evaluate a JUCQ: fragment UCQs joined on shared variables, then
+    projected on the query head."""
+    schema: Optional[Tuple[HeadTerm, ...]] = None
+    rows: Set[Row] = set()
+    for fragment_head, union in zip(query.fragment_heads, query.fragments):
+        fragment_rows = set(evaluate_ucq(graph, union))
+        if schema is None:
+            schema, rows = tuple(fragment_head), fragment_rows
+        else:
+            schema, rows = _join_relations(
+                schema, rows, tuple(fragment_head), fragment_rows
+            )
+        if not rows:
+            return frozenset()
+
+    positions: Dict[Variable, int] = {}
+    for index, item in enumerate(schema):
+        if isinstance(item, Variable) and item not in positions:
+            positions[item] = index
+
+    projected: Set[Row] = set()
+    for row in rows:
+        out: List[Term] = []
+        for item in query.head:
+            if isinstance(item, Variable):
+                out.append(row[positions[item]])
+            else:
+                out.append(item)
+        projected.add(tuple(out))
+    return frozenset(projected)
+
+
+def evaluate(graph: Graph, query) -> Answer:
+    """Evaluate any of the three query forms against *graph*."""
+    if isinstance(query, ConjunctiveQuery):
+        return evaluate_cq(graph, query)
+    if isinstance(query, UnionQuery):
+        return evaluate_ucq(graph, query)
+    if isinstance(query, JoinOfUnions):
+        return evaluate_jucq(graph, query)
+    raise TypeError("cannot evaluate %r" % (query,))

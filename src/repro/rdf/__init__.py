@@ -1,0 +1,51 @@
+"""The RDF data model: terms, triples, graphs and serialization (S1)."""
+
+from .graph import Graph
+from .io import ParseError, graph_to_string, load_file, parse_line, parse_term, read_ntriples, save_file, write_ntriples
+from .namespaces import (
+    Namespace,
+    RDF_NS,
+    RDF_TYPE,
+    RDFS_DOMAIN,
+    RDFS_NS,
+    RDFS_RANGE,
+    RDFS_SUBCLASSOF,
+    RDFS_SUBPROPERTYOF,
+    SCHEMA_PROPERTIES,
+    XSD_NS,
+    shorten,
+)
+from .terms import BlankNode, Literal, Term, URI
+from .turtle import read_turtle, turtle_to_string, write_turtle
+from .triples import Triple
+
+__all__ = [
+    "BlankNode",
+    "Graph",
+    "Literal",
+    "Namespace",
+    "ParseError",
+    "RDF_NS",
+    "RDF_TYPE",
+    "RDFS_DOMAIN",
+    "RDFS_NS",
+    "RDFS_RANGE",
+    "RDFS_SUBCLASSOF",
+    "RDFS_SUBPROPERTYOF",
+    "SCHEMA_PROPERTIES",
+    "Term",
+    "Triple",
+    "URI",
+    "XSD_NS",
+    "graph_to_string",
+    "load_file",
+    "parse_line",
+    "parse_term",
+    "read_ntriples",
+    "read_turtle",
+    "save_file",
+    "shorten",
+    "turtle_to_string",
+    "write_ntriples",
+    "write_turtle",
+]

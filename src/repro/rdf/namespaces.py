@@ -1,0 +1,89 @@
+"""Well-known namespaces and the RDF/RDFS vocabulary the DB fragment uses.
+
+The paper (Figure 1) uses exactly four RDFS constraint properties —
+``rdfs:subClassOf``, ``rdfs:subPropertyOf``, ``rdfs:domain`` and
+``rdfs:range`` — plus ``rdf:type`` for class assertions.  This module
+exposes them as constants and provides a small :class:`Namespace`
+helper for building URIs.
+"""
+
+from __future__ import annotations
+
+from .terms import URI
+
+
+class Namespace:
+    """A URI prefix from which terms can be minted by attribute access.
+
+    >>> EX = Namespace("http://example.org/")
+    >>> EX.Book
+    URI('http://example.org/Book')
+    >>> EX["has title"]
+    URI('http://example.org/has title')
+    """
+
+    def __init__(self, prefix: str):
+        if not prefix:
+            raise ValueError("namespace prefix must be non-empty")
+        self._prefix = prefix
+
+    @property
+    def prefix(self) -> str:
+        return self._prefix
+
+    def term(self, local: str) -> URI:
+        return URI(self._prefix + local)
+
+    def __getattr__(self, local: str) -> URI:
+        if local.startswith("_"):
+            raise AttributeError(local)
+        return self.term(local)
+
+    def __getitem__(self, local: str) -> URI:
+        return self.term(local)
+
+    def __contains__(self, uri: URI) -> bool:
+        return isinstance(uri, URI) and uri.value.startswith(self._prefix)
+
+    def __repr__(self) -> str:
+        return "Namespace(%r)" % self._prefix
+
+
+RDF_NS = Namespace("http://www.w3.org/1999/02/22-rdf-syntax-ns#")
+RDFS_NS = Namespace("http://www.w3.org/2000/01/rdf-schema#")
+XSD_NS = Namespace("http://www.w3.org/2001/XMLSchema#")
+
+#: ``rdf:type`` — class membership assertions (``o(s)`` in Figure 1).
+RDF_TYPE = RDF_NS.term("type")
+#: ``rdfs:subClassOf`` — subclass constraints (``s ⊆ o``).
+RDFS_SUBCLASSOF = RDFS_NS.term("subClassOf")
+#: ``rdfs:subPropertyOf`` — subproperty constraints (``s ⊆ o``).
+RDFS_SUBPROPERTYOF = RDFS_NS.term("subPropertyOf")
+#: ``rdfs:domain`` — domain typing (``Π_domain(s) ⊆ o``).
+RDFS_DOMAIN = RDFS_NS.term("domain")
+#: ``rdfs:range`` — range typing (``Π_range(s) ⊆ o``).
+RDFS_RANGE = RDFS_NS.term("range")
+
+#: The four RDFS constraint properties of the DB fragment (Figure 1, bottom).
+SCHEMA_PROPERTIES = frozenset(
+    [RDFS_SUBCLASSOF, RDFS_SUBPROPERTYOF, RDFS_DOMAIN, RDFS_RANGE]
+)
+
+#: Short, human-readable prefixes used by the pretty-printers.
+WELL_KNOWN_PREFIXES = {
+    RDF_NS.prefix: "rdf",
+    RDFS_NS.prefix: "rdfs",
+    XSD_NS.prefix: "xsd",
+}
+
+
+def shorten(uri: URI) -> str:
+    """Return a prefixed name for *uri* when a well-known prefix applies.
+
+    >>> shorten(RDF_TYPE)
+    'rdf:type'
+    """
+    for prefix, short in WELL_KNOWN_PREFIXES.items():
+        if uri.value.startswith(prefix):
+            return "%s:%s" % (short, uri.value[len(prefix):])
+    return uri.local_name()

@@ -1,0 +1,201 @@
+"""RDF terms: URIs, literals and blank nodes.
+
+The W3C RDF specification distinguishes three kinds of values that may
+appear in a triple: *URIs* (named resources), *literals* (typed or
+untyped constants) and *blank nodes* (existential, unnamed resources).
+The paper denotes the set of values of a graph ``G`` by ``Val(G)``
+(Section 3, Preliminaries); :func:`repro.rdf.graph.Graph.values`
+computes it from the term classes defined here.
+
+Terms are immutable, hashable and totally ordered, so they can be used
+as dictionary keys, stored in sets, and sorted deterministically (the
+storage dictionary encoder and the test-suite both rely on this).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple, Union
+
+
+class Term:
+    """Base class for all RDF terms.
+
+    Subclasses define ``_sort_group`` so that heterogeneous collections
+    of terms can be ordered deterministically: URIs < blank nodes <
+    literals, then lexicographically within a group.
+    """
+
+    __slots__ = ()
+
+    _sort_group = 0
+
+    def sort_key(self) -> Tuple[int, str]:
+        """Return a tuple ordering this term against any other term."""
+        return (self._sort_group, self.lexical())
+
+    def lexical(self) -> str:
+        """Return the lexical form used for ordering and display."""
+        raise NotImplementedError
+
+    def n3(self) -> str:
+        """Return the term in N-Triples syntax."""
+        raise NotImplementedError
+
+    def __lt__(self, other: "Term") -> bool:
+        if not isinstance(other, Term):
+            return NotImplemented
+        return self.sort_key() < other.sort_key()
+
+
+class URI(Term):
+    """A named resource, identified by its URI string.
+
+    >>> URI("http://example.org/Book").n3()
+    '<http://example.org/Book>'
+    """
+
+    __slots__ = ("value",)
+
+    _sort_group = 0
+
+    def __init__(self, value: str):
+        if not isinstance(value, str) or not value:
+            raise ValueError("URI value must be a non-empty string, got %r" % (value,))
+        object.__setattr__(self, "value", value)
+
+    def __setattr__(self, name, value):
+        raise AttributeError("URI is immutable")
+
+    def lexical(self) -> str:
+        return self.value
+
+    def n3(self) -> str:
+        return "<%s>" % self.value
+
+    def __eq__(self, other) -> bool:
+        return isinstance(other, URI) and other.value == self.value
+
+    def __hash__(self) -> int:
+        return hash(("URI", self.value))
+
+    def __repr__(self) -> str:
+        return "URI(%r)" % self.value
+
+    def local_name(self) -> str:
+        """Return the fragment or last path segment, for display.
+
+        >>> URI("http://example.org/ns#Book").local_name()
+        'Book'
+        """
+        value = self.value
+        for separator in ("#", "/"):
+            if separator in value:
+                tail = value.rsplit(separator, 1)[1]
+                if tail:
+                    return tail
+        return value
+
+
+class BlankNode(Term):
+    """An unnamed resource: a form of incomplete information.
+
+    Blank nodes are compared by their label within one graph; the paper
+    notes saturation is unique *up to blank node renaming*, which the
+    saturation tests exercise through :func:`fresh` labels.
+    """
+
+    __slots__ = ("label",)
+
+    _sort_group = 1
+
+    _counter = 0
+
+    def __init__(self, label: str):
+        if not isinstance(label, str) or not label:
+            raise ValueError("blank node label must be a non-empty string")
+        object.__setattr__(self, "label", label)
+
+    def __setattr__(self, name, value):
+        raise AttributeError("BlankNode is immutable")
+
+    @classmethod
+    def fresh(cls, prefix: str = "b") -> "BlankNode":
+        """Return a blank node with a label never handed out before."""
+        cls._counter += 1
+        return cls("%s%d" % (prefix, cls._counter))
+
+    def lexical(self) -> str:
+        return self.label
+
+    def n3(self) -> str:
+        return "_:%s" % self.label
+
+    def __eq__(self, other) -> bool:
+        return isinstance(other, BlankNode) and other.label == self.label
+
+    def __hash__(self) -> int:
+        return hash(("BlankNode", self.label))
+
+    def __repr__(self) -> str:
+        return "BlankNode(%r)" % self.label
+
+
+class Literal(Term):
+    """A typed or untyped constant.
+
+    ``datatype`` is an optional :class:`URI`; untyped literals carry
+    ``None``.  Two literals are equal when both their lexical value and
+    datatype match.
+
+    >>> Literal("1949").n3()
+    '"1949"'
+    """
+
+    __slots__ = ("value", "datatype")
+
+    _sort_group = 2
+
+    def __init__(self, value: str, datatype: Optional[URI] = None):
+        if not isinstance(value, str):
+            raise ValueError("literal value must be a string, got %r" % (value,))
+        if datatype is not None and not isinstance(datatype, URI):
+            raise ValueError("literal datatype must be a URI or None")
+        object.__setattr__(self, "value", value)
+        object.__setattr__(self, "datatype", datatype)
+
+    def __setattr__(self, name, value):
+        raise AttributeError("Literal is immutable")
+
+    def lexical(self) -> str:
+        return self.value
+
+    def n3(self) -> str:
+        escaped = (
+            self.value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+        )
+        if self.datatype is None:
+            return '"%s"' % escaped
+        return '"%s"^^%s' % (escaped, self.datatype.n3())
+
+    def __eq__(self, other) -> bool:
+        return (
+            isinstance(other, Literal)
+            and other.value == self.value
+            and other.datatype == self.datatype
+        )
+
+    def __hash__(self) -> int:
+        return hash(("Literal", self.value, self.datatype))
+
+    def __repr__(self) -> str:
+        if self.datatype is None:
+            return "Literal(%r)" % self.value
+        return "Literal(%r, %r)" % (self.value, self.datatype)
+
+
+#: A subject may be a URI or a blank node (well-formed triples only).
+SubjectTerm = Union[URI, BlankNode]
+#: A property is always a URI.
+PropertyTerm = URI
+#: An object may be any term.
+ObjectTerm = Union[URI, BlankNode, Literal]

@@ -1,0 +1,70 @@
+"""Reformulation policies: which RDFS features a strategy honours.
+
+The paper contrasts *complete* reformulation (all RDFS constraints of
+Figure 1) with the *incomplete* fixed strategies of off-the-shelf RDF
+platforms: "Only a few RDF data management systems, such as
+AllegroGraph, Stardog or Virtuoso, use reformulation, in some cases
+incomplete (ignoring some RDFS constraints) [6]".  A
+:class:`ReformulationPolicy` makes the honoured feature set explicit so
+the same engine implements both the complete algorithm and the
+simulated commercial strategies (experiment E6).
+"""
+
+from __future__ import annotations
+
+
+class ReformulationPolicy:
+    """Feature switches for the CQ-to-UCQ reformulation rules.
+
+    ``subclass``      — unfold ``c' ⊑ c`` into type atoms;
+    ``subproperty``   — unfold ``p' ⊑ p`` into property atoms;
+    ``domain_range``  — unfold domain/range typing into type atoms;
+    ``open_variables``— instantiate variables in class/property
+                        position from the schema (needed for queries
+                        like Example 1's ``x rdf:type u``).
+
+    Atoms over the RDFS vocabulary itself need no switch: the database
+    contract (see :func:`repro.reformulation.atoms.reformulate_atom`)
+    is that the stored graph contains the *closed* schema, so the
+    identity alternative already matches every entailed constraint.
+    """
+
+    __slots__ = ("subclass", "subproperty", "domain_range", "open_variables", "name")
+
+    def __init__(
+        self,
+        subclass: bool = True,
+        subproperty: bool = True,
+        domain_range: bool = True,
+        open_variables: bool = True,
+        name: str = "custom",
+    ):
+        object.__setattr__(self, "subclass", subclass)
+        object.__setattr__(self, "subproperty", subproperty)
+        object.__setattr__(self, "domain_range", domain_range)
+        object.__setattr__(self, "open_variables", open_variables)
+        object.__setattr__(self, "name", name)
+
+    def __setattr__(self, name, value):
+        raise AttributeError("ReformulationPolicy is immutable")
+
+    def __repr__(self) -> str:
+        return "ReformulationPolicy(%s)" % self.name
+
+
+#: The complete algorithm of [9]: all RDFS constraints honoured.
+COMPLETE = ReformulationPolicy(name="complete")
+
+#: Virtuoso-style fixed strategy: hierarchies only, no domain/range
+#: typing (the incompleteness [6] reports for the commercial engines).
+VIRTUOSO_STYLE = ReformulationPolicy(
+    domain_range=False, name="virtuoso-style"
+)
+
+#: AllegroGraph-style fixed strategy: class hierarchy reasoning only.
+ALLEGROGRAPH_STYLE = ReformulationPolicy(
+    subproperty=False,
+    domain_range=False,
+    open_variables=False,
+    name="allegrograph-style",
+)

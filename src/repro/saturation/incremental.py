@@ -1,0 +1,175 @@
+"""Incremental maintenance of a saturated graph.
+
+Section 1 of the paper: *"the saturation needs to be maintained after
+changes in the data and/or constraints, which may incur a performance
+penalty"* — the penalty Ref avoids.  This module implements that
+maintenance so experiment E7 can measure it.
+
+Given the closed schema, every instance-level derivation bottoms out in
+exactly one explicit data triple (each instance rule has one instance
+premise; the other premises come from the schema closure).  The
+saturation is therefore a forest rooted at explicit triples, and exact
+deletion support reduces to *support counting*: for each entailed
+triple, count how many explicit triples derive it.  Insertions add the
+new triple's consequence set and bump counts; deletions decrement and
+evict triples whose count reaches zero (unless they are explicit
+themselves).
+
+Constraint (schema) changes invalidate the counts wholesale, so they
+trigger full resaturation — exactly the cost the paper attributes to
+Sat under schema updates.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Dict, Iterable, List, Optional, Set
+
+from ..rdf.graph import Graph
+from ..rdf.triples import Triple
+from ..schema.constraints import Constraint
+from ..schema.schema import Schema
+from .engine import instance_consequences
+
+
+def full_consequences(triple: Triple, schema: Schema) -> Set[Triple]:
+    """All instance triples transitively entailed by *triple* alone
+    (together with the closed *schema*), excluding *triple* itself."""
+    derived: Set[Triple] = set()
+    worklist: List[Triple] = [triple]
+    while worklist:
+        current = worklist.pop()
+        for consequence in instance_consequences(current, schema):
+            if consequence != triple and consequence not in derived:
+                derived.add(consequence)
+                worklist.append(consequence)
+    return derived
+
+
+class IncrementalSaturator:
+    """A saturated graph maintained under data insertions and deletions.
+
+    >>> from repro.rdf import Namespace, RDF_TYPE, Triple
+    >>> from repro.schema import Constraint, Schema
+    >>> EX = Namespace("http://example.org/")
+    >>> schema = Schema([Constraint.subclass(EX.Manager, EX.Employee)])
+    >>> sat = IncrementalSaturator(schema)
+    >>> delta = sat.insert(Triple(EX.ann, RDF_TYPE, EX.Manager))
+    >>> Triple(EX.ann, RDF_TYPE, EX.Employee) in sat.saturated()
+    True
+    >>> removed = sat.delete(Triple(EX.ann, RDF_TYPE, EX.Manager))
+    >>> len(sat.saturated())  # only the schema constraint remains
+    1
+    """
+
+    def __init__(
+        self,
+        schema: Optional[Schema] = None,
+        data: Optional[Iterable[Triple]] = None,
+    ):
+        self._schema = schema.copy() if schema is not None else Schema()
+        self._explicit: Set[Triple] = set()
+        self._support: Dict[Triple, int] = Counter()
+        self._saturated = Graph()
+        self._saturated.add_all(self._schema.entailed_triples())
+        if data is not None:
+            self.insert_all(data)
+
+    # ------------------------------------------------------------------
+    # Views
+
+    def saturated(self) -> Graph:
+        """The maintained saturation (live view; do not mutate)."""
+        return self._saturated
+
+    def explicit_triples(self) -> Set[Triple]:
+        return set(self._explicit)
+
+    def schema(self) -> Schema:
+        return self._schema.copy()
+
+    @property
+    def derived_count(self) -> int:
+        """How many triples in the saturation are entailed-only."""
+        return sum(
+            1
+            for triple, count in self._support.items()
+            if count > 0 and triple not in self._explicit
+        )
+
+    # ------------------------------------------------------------------
+    # Data updates
+
+    def insert(self, triple: Triple) -> List[Triple]:
+        """Add one explicit data triple and its consequences.
+
+        Returns the triples that became part of the saturation (the
+        delta) — callers maintaining downstream stores apply it
+        directly."""
+        if triple.is_schema_triple():
+            raise ValueError(
+                "schema triples must go through add_constraint, got %r" % (triple,)
+            )
+        if triple in self._explicit:
+            return []
+        added: List[Triple] = []
+        self._explicit.add(triple)
+        if self._saturated.add(triple):
+            added.append(triple)
+        for consequence in full_consequences(triple, self._schema):
+            self._support[consequence] += 1
+            if self._saturated.add(consequence):
+                added.append(consequence)
+        return added
+
+    def insert_all(self, triples: Iterable[Triple]) -> None:
+        for triple in triples:
+            self.insert(triple)
+
+    def delete(self, triple: Triple) -> List[Triple]:
+        """Remove one explicit data triple; evict unsupported
+        entailments.  Returns the triples that left the saturation."""
+        if triple not in self._explicit:
+            return []
+        removed: List[Triple] = []
+        self._explicit.discard(triple)
+        for consequence in full_consequences(triple, self._schema):
+            remaining = self._support[consequence] - 1
+            if remaining > 0:
+                self._support[consequence] = remaining
+            else:
+                del self._support[consequence]
+                if consequence not in self._explicit:
+                    if self._saturated.discard(consequence):
+                        removed.append(consequence)
+        if triple not in self._support:
+            if self._saturated.discard(triple):
+                removed.append(triple)
+        return removed
+
+    def delete_all(self, triples: Iterable[Triple]) -> None:
+        for triple in triples:
+            self.delete(triple)
+
+    # ------------------------------------------------------------------
+    # Schema updates (full recomputation — the Sat maintenance penalty)
+
+    def add_constraint(self, constraint: Constraint) -> None:
+        if self._schema.add(constraint):
+            self._resaturate()
+
+    def remove_constraint(self, constraint: Constraint) -> None:
+        if self._schema.remove(constraint):
+            self._resaturate()
+
+    def _resaturate(self) -> None:
+        self._support = Counter()
+        self._saturated = Graph()
+        self._saturated.add_all(self._schema.entailed_triples())
+        explicit = self._explicit
+        self._explicit = set()
+        for triple in explicit:
+            self.insert(triple)
+
+    def __len__(self) -> int:
+        return len(self._saturated)

@@ -1,0 +1,181 @@
+"""Derivation provenance: *why* a triple is entailed.
+
+The demo lets attendees compare techniques and inspect results; a
+natural question at the booth is "where did this answer come from?".
+:func:`explain_triple` answers it for entailed triples: it returns a
+derivation tree whose leaves are explicit triples and whose internal
+nodes name the immediate-entailment rule applied (the rules of
+:mod:`repro.saturation.rules`), rendered by :func:`format_derivation`
+as an indented proof.
+
+The search works backward over the same closed-schema consequence
+relation the fast saturator uses forward, so anything the saturator
+derives is explainable (tested against saturation on random graphs).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Set, Tuple
+
+from ..rdf.graph import Graph
+from ..rdf.namespaces import RDF_TYPE
+from ..rdf.terms import BlankNode, URI
+from ..rdf.triples import Triple
+from ..schema.constraints import Constraint
+from ..schema.schema import Schema
+
+
+class Derivation:
+    """A proof tree: this triple, the rule, and the premises."""
+
+    def __init__(
+        self,
+        triple: Triple,
+        rule: str,
+        premises: Sequence["Derivation"] = (),
+        constraint: Optional[Constraint] = None,
+    ):
+        self.triple = triple
+        self.rule = rule
+        self.premises = list(premises)
+        self.constraint = constraint
+
+    def is_explicit(self) -> bool:
+        return self.rule == "explicit"
+
+    def depth(self) -> int:
+        if not self.premises:
+            return 0
+        return 1 + max(premise.depth() for premise in self.premises)
+
+    def __repr__(self) -> str:
+        return "Derivation(%r via %s)" % (self.triple, self.rule)
+
+
+def explain_triple(
+    triple: Triple,
+    graph: Graph,
+    schema: Optional[Schema] = None,
+    max_depth: int = 12,
+) -> Optional[Derivation]:
+    """A derivation of *triple* from *graph* (plus *schema*), or None
+    when the triple is not entailed.
+
+    Returns a shallow derivation when several exist (breadth of the
+    backward search is bounded by the instance rules' shapes); depth is
+    capped by ``max_depth`` against pathological chains.
+    """
+    combined = Schema.from_graph(graph)
+    if schema is not None:
+        for constraint in schema.direct_constraints():
+            combined.add(constraint)
+    return _explain(triple, graph, combined, max_depth, set())
+
+
+def _explain(
+    triple: Triple,
+    graph: Graph,
+    schema: Schema,
+    budget: int,
+    visiting: Set[Triple],
+) -> Optional[Derivation]:
+    if triple in graph:
+        return Derivation(triple, "explicit")
+    if budget <= 0 or triple in visiting:
+        return None
+    visiting = visiting | {triple}
+
+    # Entailed schema triples come straight from the closure.
+    if triple.is_schema_triple():
+        try:
+            constraint = Constraint.from_triple(triple)
+        except ValueError:
+            return None
+        if constraint in schema.entailed_constraints():
+            return Derivation(triple, "schema-closure", constraint=constraint)
+        return None
+
+    s, p, o = triple.as_tuple()
+
+    if p == RDF_TYPE:
+        # type propagation: (s τ c'), c' ⊑ c.
+        for sub in schema.subclasses(o):
+            premise = _explain(
+                Triple(s, RDF_TYPE, sub), graph, schema, budget - 1, visiting
+            )
+            if premise is not None:
+                return Derivation(
+                    triple,
+                    "type-propagation",
+                    [premise],
+                    Constraint.subclass(sub, o),
+                )
+        # domain typing: (s q x), domain(q) ∋ o.
+        for candidate in graph.match(subject=s):
+            if candidate.is_schema_triple() or candidate.property == RDF_TYPE:
+                continue
+            if o in schema.domains(candidate.property):
+                return Derivation(
+                    triple,
+                    "domain-typing",
+                    [Derivation(candidate, "explicit")],
+                    Constraint.domain(candidate.property, o),
+                )
+        # range typing: (x q s), range(q) ∋ o.
+        if isinstance(s, (URI, BlankNode)):
+            for candidate in graph.match(object=s):
+                if candidate.is_schema_triple() or candidate.property == RDF_TYPE:
+                    continue
+                if o in schema.ranges(candidate.property):
+                    return Derivation(
+                        triple,
+                        "range-typing",
+                        [Derivation(candidate, "explicit")],
+                        Constraint.range(candidate.property, o),
+                    )
+        # τ-subproperty: (s q o) with q ⊑ rdf:type.
+        for type_sub in schema.subproperties(RDF_TYPE):
+            premise = _explain(
+                Triple(s, type_sub, o), graph, schema, budget - 1, visiting
+            )
+            if premise is not None:
+                return Derivation(
+                    triple,
+                    "type-subproperty",
+                    [premise],
+                    Constraint.subproperty(type_sub, RDF_TYPE),
+                )
+        return None
+
+    # property propagation: (s q o), q ⊏ p.
+    for sub in schema.subproperties(p):
+        if sub == RDF_TYPE:
+            continue
+        premise = _explain(Triple(s, sub, o), graph, schema, budget - 1, visiting)
+        if premise is not None:
+            return Derivation(
+                triple,
+                "property-propagation",
+                [premise],
+                Constraint.subproperty(sub, p),
+            )
+    return None
+
+
+def format_derivation(derivation: Derivation, indent: int = 0) -> str:
+    """Render a derivation as an indented proof.
+
+    >>> # print(format_derivation(explain_triple(t, graph)))
+    """
+    pad = "  " * indent
+    if derivation.is_explicit():
+        line = "%s%r   [explicit]" % (pad, derivation.triple)
+    else:
+        constraint = (
+            "  using %r" % derivation.constraint if derivation.constraint else ""
+        )
+        line = "%s%r   [%s%s]" % (pad, derivation.triple, derivation.rule, constraint)
+    lines = [line]
+    for premise in derivation.premises:
+        lines.append(format_derivation(premise, indent + 1))
+    return "\n".join(lines)

@@ -1,0 +1,183 @@
+"""The immediate entailment rules of the DB fragment (``⊢iRDF``).
+
+Section 3 of the paper: a triple is entailed by a graph when a sequence
+of *immediate entailment* rule applications derives it.  For the DB
+fragment (RDFS entailment, unrestricted graphs) the rules are the
+RDFS rules over the four constraints of Figure 1:
+
+Schema-level rules
+  * ``(a ⊑sc b), (b ⊑sc c)   ⊢ (a ⊑sc c)``        (subclass transitivity)
+  * ``(p ⊑sp q), (q ⊑sp r)   ⊢ (p ⊑sp r)``        (subproperty transitivity)
+  * ``(p ⊑sp q), (q ←d c)    ⊢ (p ←d c)``         (domain inheritance)
+  * ``(p ⊑sp q), (q ←r c)    ⊢ (p ←r c)``         (range inheritance)
+  * ``(p ←d c), (c ⊑sc c')   ⊢ (p ←d c')``        (domain widening)
+  * ``(p ←r c), (c ⊑sc c')   ⊢ (p ←r c')``        (range widening)
+
+Instance-level rules
+  * ``(s τ c), (c ⊑sc c')    ⊢ (s τ c')``         (type propagation)
+  * ``(s p o), (p ⊑sp q)     ⊢ (s q o)``          (property propagation)
+  * ``(s p o), (p ←d c)      ⊢ (s τ c)``          (domain typing)
+  * ``(s p o), (p ←r c)      ⊢ (o τ c)``          (range typing)
+
+where ``τ`` abbreviates ``rdf:type``, ``⊑sc`` = ``rdfs:subClassOf``,
+``⊑sp`` = ``rdfs:subPropertyOf``, ``←d`` = ``rdfs:domain`` and
+``←r`` = ``rdfs:range``.
+
+Range typing only fires when the object is a URI or blank node: a
+literal cannot be a triple subject, so ``o τ c`` would be ill-formed.
+
+The RDF/RDFS built-in vocabulary is *reserved*: constraints that try to
+subsume the built-ins themselves (e.g. declaring ``rdfs:subClassOf`` a
+subproperty of something, or a domain for ``rdf:type``) are ignored by
+every engine in this library, consistently.  The DB fragment's intent
+is that constraints relate user classes and properties; meta-level
+constraints over the vocabulary have no agreed-upon semantics and real
+systems ignore them too.  The single exception is ``rdf:type`` in
+*superproperty* position (``p rdfs:subPropertyOf rdf:type``), which is
+well-defined (triples of ``p`` entail type triples) and supported.
+
+This module implements each rule as a function from a graph (and one
+newly added triple) to the immediately entailed triples.  The naive
+fixpoint engine in :mod:`repro.saturation.engine` applies them
+directly; the fast engine uses the pre-closed :class:`repro.schema.Schema`
+instead, and the test-suite checks both agree.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List
+
+from ..rdf.graph import Graph
+from ..rdf.namespaces import (
+    RDF_TYPE,
+    RDFS_DOMAIN,
+    RDFS_RANGE,
+    RDFS_SUBCLASSOF,
+    RDFS_SUBPROPERTYOF,
+    SCHEMA_PROPERTIES,
+)
+from ..rdf.terms import BlankNode, URI
+from ..rdf.triples import Triple
+from ..schema.constraints import RESERVED_VOCABULARY, is_admissible_constraint
+
+__all__ = [
+    "RESERVED_VOCABULARY",
+    "all_immediate_consequences",
+    "immediate_consequences",
+    "is_admissible_constraint",
+]
+
+
+def immediate_consequences(graph: Graph, triple: Triple) -> Iterator[Triple]:
+    """Yield every triple immediately entailed by *triple* joined with
+    *graph* (which is assumed to already contain *triple*).
+
+    This enumerates, for each rule, the instantiations in which
+    *triple* plays either premise; the fixpoint engine therefore never
+    misses a consequence regardless of insertion order.  Inadmissible
+    constraints (see :func:`is_admissible_constraint`) produce nothing
+    and are skipped when matched as the other premise.
+    """
+    s, p, o = triple.as_tuple()
+
+    if triple.is_schema_triple() and not is_admissible_constraint(triple):
+        return
+
+    if p == RDFS_SUBCLASSOF:
+        # transitivity, both roles
+        for other in graph.match(subject=o, property=RDFS_SUBCLASSOF):
+            if is_admissible_constraint(other):
+                yield Triple(s, RDFS_SUBCLASSOF, other.object)
+        for other in graph.match(property=RDFS_SUBCLASSOF, object=s):
+            if is_admissible_constraint(other):
+                yield Triple(other.subject, RDFS_SUBCLASSOF, o)
+        # domain/range widening, second premise
+        for other in graph.match(property=RDFS_DOMAIN, object=s):
+            if is_admissible_constraint(other):
+                yield Triple(other.subject, RDFS_DOMAIN, o)
+        for other in graph.match(property=RDFS_RANGE, object=s):
+            if is_admissible_constraint(other):
+                yield Triple(other.subject, RDFS_RANGE, o)
+        # type propagation, second premise
+        for other in graph.match(property=RDF_TYPE, object=s):
+            yield Triple(other.subject, RDF_TYPE, o)
+
+    elif p == RDFS_SUBPROPERTYOF:
+        # transitivity, both roles
+        for other in graph.match(subject=o, property=RDFS_SUBPROPERTYOF):
+            if is_admissible_constraint(other):
+                yield Triple(s, RDFS_SUBPROPERTYOF, other.object)
+        for other in graph.match(property=RDFS_SUBPROPERTYOF, object=s):
+            if is_admissible_constraint(other):
+                yield Triple(other.subject, RDFS_SUBPROPERTYOF, o)
+        # domain/range inheritance, first premise
+        for other in graph.match(subject=o, property=RDFS_DOMAIN):
+            if is_admissible_constraint(other):
+                yield Triple(s, RDFS_DOMAIN, other.object)
+        for other in graph.match(subject=o, property=RDFS_RANGE):
+            if is_admissible_constraint(other):
+                yield Triple(s, RDFS_RANGE, other.object)
+        # property propagation, second premise: (x s y) entails (x o y)
+        if isinstance(s, URI):
+            for other in graph.match(property=s):
+                yield Triple(other.subject, o, other.object)
+
+    elif p == RDFS_DOMAIN:
+        # widening, first premise
+        for other in graph.match(subject=o, property=RDFS_SUBCLASSOF):
+            if is_admissible_constraint(other):
+                yield Triple(s, RDFS_DOMAIN, other.object)
+        # inheritance, second premise
+        for other in graph.match(property=RDFS_SUBPROPERTYOF, object=s):
+            if is_admissible_constraint(other):
+                yield Triple(other.subject, RDFS_DOMAIN, o)
+        # domain typing, second premise: (x s y) entails (x τ o)
+        if isinstance(s, URI):
+            for other in graph.match(property=s):
+                yield Triple(other.subject, RDF_TYPE, o)
+
+    elif p == RDFS_RANGE:
+        for other in graph.match(subject=o, property=RDFS_SUBCLASSOF):
+            if is_admissible_constraint(other):
+                yield Triple(s, RDFS_RANGE, other.object)
+        for other in graph.match(property=RDFS_SUBPROPERTYOF, object=s):
+            if is_admissible_constraint(other):
+                yield Triple(other.subject, RDFS_RANGE, o)
+        # range typing, second premise: (x s y) entails (y τ o)
+        if isinstance(s, URI):
+            for other in graph.match(property=s):
+                if isinstance(other.object, (URI, BlankNode)):
+                    yield Triple(other.object, RDF_TYPE, o)
+
+    elif p == RDF_TYPE:
+        # type propagation, first premise
+        for other in graph.match(subject=o, property=RDFS_SUBCLASSOF):
+            if is_admissible_constraint(other):
+                yield Triple(s, RDF_TYPE, other.object)
+
+    else:
+        # A plain data triple (s p o): property propagation, domain and
+        # range typing, all with the data triple as first premise.
+        for other in graph.match(subject=p, property=RDFS_SUBPROPERTYOF):
+            if is_admissible_constraint(other):
+                yield Triple(s, other.object, o)
+        for other in graph.match(subject=p, property=RDFS_DOMAIN):
+            if is_admissible_constraint(other):
+                yield Triple(s, RDF_TYPE, other.object)
+        for other in graph.match(subject=p, property=RDFS_RANGE):
+            if is_admissible_constraint(other):
+                if isinstance(o, (URI, BlankNode)):
+                    yield Triple(o, RDF_TYPE, other.object)
+
+
+def all_immediate_consequences(graph: Graph) -> List[Triple]:
+    """One parallel step of ``⊢iRDF``: every consequence of *graph* not
+    yet present in it."""
+    fresh: List[Triple] = []
+    seen = set()
+    for triple in graph:
+        for consequence in immediate_consequences(graph, triple):
+            if consequence not in graph and consequence not in seen:
+                seen.add(consequence)
+                fresh.append(consequence)
+    return fresh

@@ -1,0 +1,19 @@
+"""RDFS schema constraints and their closure (S2)."""
+
+from .constraints import (
+    Constraint,
+    ConstraintKind,
+    RESERVED_VOCABULARY,
+    constraints_from_triples,
+    is_admissible_constraint,
+)
+from .schema import Schema
+
+__all__ = [
+    "Constraint",
+    "ConstraintKind",
+    "RESERVED_VOCABULARY",
+    "Schema",
+    "constraints_from_triples",
+    "is_admissible_constraint",
+]

@@ -1,0 +1,153 @@
+"""RDFS constraints of the DB fragment (paper, Figure 1 bottom).
+
+Four constraint kinds are allowed: subclass, subproperty, domain typing
+and range typing.  Each is representable both as a plain RDF triple
+(so constraints can live inside a graph) and as a typed Python object
+(so the saturation and reformulation engines can dispatch on kind
+without string comparisons).
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Iterable, Iterator
+
+from ..rdf.namespaces import (
+    RDF_TYPE,
+    RDFS_DOMAIN,
+    RDFS_RANGE,
+    RDFS_SUBCLASSOF,
+    RDFS_SUBPROPERTYOF,
+    SCHEMA_PROPERTIES,
+)
+from ..rdf.terms import Term, URI
+from ..rdf.triples import Triple
+
+#: Built-in vocabulary that cannot itself be subsumed or typed.
+RESERVED_VOCABULARY = frozenset(SCHEMA_PROPERTIES) | {RDF_TYPE}
+
+
+def is_admissible_constraint(triple: Triple) -> bool:
+    """True when a schema triple relates user-level classes/properties.
+
+    Constraints over the RDF/RDFS built-in vocabulary itself (e.g.
+    declaring a domain for ``rdf:type`` or subsuming ``rdfs:subClassOf``)
+    have no agreed-upon semantics in the DB fragment and are ignored by
+    every engine in this library, consistently.  The single exception is
+    ``rdf:type`` in superproperty position (``p rdfs:subPropertyOf
+    rdf:type``), which is well-defined: triples of ``p`` entail type
+    triples.
+    """
+    if not triple.is_schema_triple():
+        return False
+    s, p, o = triple.as_tuple()
+    if s in RESERVED_VOCABULARY:
+        return False
+    if o in SCHEMA_PROPERTIES:
+        return False
+    if o == RDF_TYPE and p != RDFS_SUBPROPERTYOF:
+        return False
+    return True
+
+
+class ConstraintKind(enum.Enum):
+    """The four RDFS constraint forms of Figure 1."""
+
+    SUBCLASS = "subClassOf"
+    SUBPROPERTY = "subPropertyOf"
+    DOMAIN = "domain"
+    RANGE = "range"
+
+    @property
+    def property_uri(self) -> URI:
+        return _KIND_TO_PROPERTY[self]
+
+
+_KIND_TO_PROPERTY = {
+    ConstraintKind.SUBCLASS: RDFS_SUBCLASSOF,
+    ConstraintKind.SUBPROPERTY: RDFS_SUBPROPERTYOF,
+    ConstraintKind.DOMAIN: RDFS_DOMAIN,
+    ConstraintKind.RANGE: RDFS_RANGE,
+}
+
+_PROPERTY_TO_KIND = {uri: kind for kind, uri in _KIND_TO_PROPERTY.items()}
+
+
+class Constraint:
+    """One RDFS constraint, e.g. ``Book rdfs:subClassOf Publication``.
+
+    ``left`` is the constrained class/property (the triple subject),
+    ``right`` the constraining one (the triple object).  Under the
+    open-world interpretation of Figure 1 the constraint reads as an
+    inclusion: ``left ⊆ right`` for subclass/subproperty, and
+    ``Π_domain(left) ⊆ right`` / ``Π_range(left) ⊆ right`` for
+    domain/range.
+    """
+
+    __slots__ = ("kind", "left", "right")
+
+    def __init__(self, kind: ConstraintKind, left: Term, right: Term):
+        if not isinstance(kind, ConstraintKind):
+            raise ValueError("kind must be a ConstraintKind, got %r" % (kind,))
+        object.__setattr__(self, "kind", kind)
+        object.__setattr__(self, "left", left)
+        object.__setattr__(self, "right", right)
+
+    def __setattr__(self, name, value):
+        raise AttributeError("Constraint is immutable")
+
+    @classmethod
+    def subclass(cls, sub: Term, sup: Term) -> "Constraint":
+        return cls(ConstraintKind.SUBCLASS, sub, sup)
+
+    @classmethod
+    def subproperty(cls, sub: Term, sup: Term) -> "Constraint":
+        return cls(ConstraintKind.SUBPROPERTY, sub, sup)
+
+    @classmethod
+    def domain(cls, prop: Term, klass: Term) -> "Constraint":
+        return cls(ConstraintKind.DOMAIN, prop, klass)
+
+    @classmethod
+    def range(cls, prop: Term, klass: Term) -> "Constraint":
+        return cls(ConstraintKind.RANGE, prop, klass)
+
+    @classmethod
+    def from_triple(cls, triple: Triple) -> "Constraint":
+        """Interpret an RDFS triple as a constraint.
+
+        Raises ``ValueError`` when the triple's property is not one of
+        the four constraint properties.
+        """
+        kind = _PROPERTY_TO_KIND.get(triple.property)
+        if kind is None:
+            raise ValueError("not an RDFS constraint triple: %r" % (triple,))
+        return cls(kind, triple.subject, triple.object)
+
+    def to_triple(self) -> Triple:
+        return Triple(self.left, self.kind.property_uri, self.right)
+
+    def __eq__(self, other) -> bool:
+        return (
+            isinstance(other, Constraint)
+            and other.kind == self.kind
+            and other.left == self.left
+            and other.right == self.right
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.kind, self.left, self.right))
+
+    def __repr__(self) -> str:
+        return "Constraint(%s, %r, %r)" % (self.kind.name, self.left, self.right)
+
+
+def constraints_from_triples(triples: Iterable[Triple]) -> Iterator[Constraint]:
+    """Yield the admissible constraints among *triples*.
+
+    Data triples and inadmissible (meta-level) constraints are skipped,
+    matching the entailment engines' treatment of them.
+    """
+    for triple in triples:
+        if triple.property in _PROPERTY_TO_KIND and is_admissible_constraint(triple):
+            yield Constraint.from_triple(triple)

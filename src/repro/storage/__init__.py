@@ -1,0 +1,63 @@
+"""The relational substrate: dictionary-encoded triple store,
+physical plans, planner, executor, backend profiles (S6)."""
+
+from .backends import (
+    BackendProfile,
+    DEFAULT_BACKENDS,
+    HASH_BACKEND,
+    LOOP_BACKEND,
+    MERGE_BACKEND,
+    QueryTooLargeError,
+)
+from .charsets import CharacteristicSets
+from .dictionary import Dictionary
+from .plan import (
+    DistinctNode,
+    EmptyNode,
+    JoinNode,
+    NonLiteralFilterNode,
+    PlanNode,
+    ProjectNode,
+    ScanNode,
+    UnionNode,
+)
+from .store import TripleStore
+from .planner import Planner, query_atom_total
+from .executor import ExecutionResult, Executor, execute_plan
+from .explain import explain, plan_summary
+from .sql import SQLITE_COMPOUND_SELECT_LIMIT, SqlGenerationError, SqliteBackend, jucq_to_sql, ucq_to_sql
+from .statistics import PropertyStatistics, StoreStatistics
+
+__all__ = [
+    "BackendProfile",
+    "CharacteristicSets",
+    "DEFAULT_BACKENDS",
+    "Dictionary",
+    "DistinctNode",
+    "EmptyNode",
+    "ExecutionResult",
+    "Executor",
+    "HASH_BACKEND",
+    "JoinNode",
+    "LOOP_BACKEND",
+    "MERGE_BACKEND",
+    "NonLiteralFilterNode",
+    "PlanNode",
+    "Planner",
+    "ProjectNode",
+    "PropertyStatistics",
+    "SQLITE_COMPOUND_SELECT_LIMIT",
+    "SqlGenerationError",
+    "SqliteBackend",
+    "QueryTooLargeError",
+    "ScanNode",
+    "StoreStatistics",
+    "TripleStore",
+    "UnionNode",
+    "execute_plan",
+    "explain",
+    "plan_summary",
+    "jucq_to_sql",
+    "query_atom_total",
+    "ucq_to_sql",
+]

@@ -1,0 +1,78 @@
+"""Dictionary encoding of RDF terms.
+
+RDF platforms built over RDBMSs (paper reference [4]) store a triple
+table of integer codes plus a dictionary mapping codes to terms, so
+joins compare integers rather than strings.  This module provides that
+bidirectional mapping: encoding is dense (ids are assigned 0,1,2,… in
+first-seen order) which lets the statistics module use plain arrays.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Set
+
+from ..rdf.terms import Literal, Term
+
+
+class Dictionary:
+    """A bidirectional, append-only Term ↔ int mapping.
+
+    Literal ids are tracked separately so the executor can apply the
+    non-literal guards reformulation emits without decoding terms.
+
+    >>> from repro.rdf.terms import URI
+    >>> d = Dictionary()
+    >>> d.encode(URI("http://e/a"))
+    0
+    >>> d.decode(0)
+    URI('http://e/a')
+    """
+
+    __slots__ = ("_term_to_id", "_id_to_term", "_literal_ids")
+
+    def __init__(self):
+        self._term_to_id: Dict[Term, int] = {}
+        self._id_to_term: List[Term] = []
+        self._literal_ids: Set[int] = set()
+
+    def encode(self, term: Term) -> int:
+        """Return the id of *term*, assigning a fresh one when new."""
+        term_id = self._term_to_id.get(term)
+        if term_id is None:
+            term_id = len(self._id_to_term)
+            self._term_to_id[term] = term_id
+            self._id_to_term.append(term)
+            if isinstance(term, Literal):
+                self._literal_ids.add(term_id)
+        return term_id
+
+    def is_literal_id(self, term_id: int) -> bool:
+        """True when *term_id* encodes a literal."""
+        return term_id in self._literal_ids
+
+    def encode_all(self, terms: Iterable[Term]) -> List[int]:
+        return [self.encode(term) for term in terms]
+
+    def lookup(self, term: Term) -> Optional[int]:
+        """The id of *term*, or None when it has never been encoded.
+
+        Unlike :meth:`encode`, never mutates the dictionary — the query
+        path uses this so that a constant absent from the data yields
+        an empty scan rather than a dictionary entry.
+        """
+        return self._term_to_id.get(term)
+
+    def decode(self, term_id: int) -> Term:
+        try:
+            return self._id_to_term[term_id]
+        except IndexError:
+            raise KeyError("unknown term id %d" % term_id)
+
+    def __len__(self) -> int:
+        return len(self._id_to_term)
+
+    def __contains__(self, term: Term) -> bool:
+        return term in self._term_to_id
+
+    def __repr__(self) -> str:
+        return "Dictionary(<%d terms>)" % len(self)

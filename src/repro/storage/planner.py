@@ -1,0 +1,216 @@
+"""Compiling queries to physical plans.
+
+The planner turns CQs, UCQs and JUCQs into plan trees over a
+:class:`~repro.storage.store.TripleStore`, mimicking what the paper's
+RDBMSs do with the SQL the reformulations translate to:
+
+* **CQ** — one scan per atom; greedy cardinality-driven left-deep join
+  ordering that avoids cross products while a connected choice exists;
+  joins use the backend's algorithm; projection to the head.
+* **UCQ** — the disjunct plans under a deduplicating union.
+* **JUCQ** — fragment UCQ plans joined on their shared variables (in
+  greedy cardinality order), projected on the query head, distinct.
+
+The backend's parse limit is enforced *before* planning, on the total
+atom count — large UCQ reformulations must fail the way they failed
+the paper's engines, without first paying plan construction.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from ..cost.model import annotate_plan
+from ..query.algebra import (
+    ConjunctiveQuery,
+    HeadTerm,
+    JoinOfUnions,
+    TriplePattern,
+    UnionQuery,
+    Variable,
+)
+from ..rdf.terms import Term
+from .backends import BackendProfile, HASH_BACKEND
+from .plan import (
+    ColumnLabel,
+    DistinctNode,
+    EmptyNode,
+    JoinNode,
+    NonLiteralFilterNode,
+    PlanNode,
+    PositionSpec,
+    ProjectNode,
+    ProjectionSpec,
+    ScanNode,
+    UnionNode,
+)
+from .store import TripleStore
+
+#: Any query form the planner accepts.
+PlannableQuery = Union[ConjunctiveQuery, UnionQuery, JoinOfUnions]
+
+
+def query_atom_total(query: PlannableQuery) -> int:
+    """The parse-relevant size of a query: its total atom count."""
+    if isinstance(query, ConjunctiveQuery):
+        return len(query.atoms)
+    if isinstance(query, UnionQuery):
+        return query.atom_count()
+    if isinstance(query, JoinOfUnions):
+        return query.atom_count()
+    raise TypeError("not a plannable query: %r" % (query,))
+
+
+class Planner:
+    """Builds annotated physical plans for one store + backend pair."""
+
+    def __init__(self, store: TripleStore, backend: BackendProfile = HASH_BACKEND):
+        self.store = store
+        self.backend = backend
+
+    # ------------------------------------------------------------------
+    # Entry point
+
+    def plan(self, query: PlannableQuery) -> PlanNode:
+        """Plan any query form, enforcing the backend's parse limit."""
+        self.backend.check_parse_limit(query_atom_total(query))
+        if isinstance(query, ConjunctiveQuery):
+            node = self._plan_cq(query)
+        elif isinstance(query, UnionQuery):
+            node = self._plan_ucq(query, self._head_labels(query.disjuncts[0].head))
+        elif isinstance(query, JoinOfUnions):
+            node = self._plan_jucq(query)
+        else:
+            raise TypeError("cannot plan %r" % (query,))
+        return self._annotate(node)
+
+    def _annotate(self, node: PlanNode) -> PlanNode:
+        return annotate_plan(
+            node, self.store.statistics, self.backend, self.store.type_property_id
+        )
+
+    # ------------------------------------------------------------------
+    # CQ planning
+
+    def _scan_for_atom(self, atom: TriplePattern) -> Optional[ScanNode]:
+        """The scan node for one atom, or None when a constant is
+        absent from the dictionary (the atom cannot match)."""
+        positions: List[PositionSpec] = []
+        for term in atom.as_tuple():
+            if isinstance(term, Variable):
+                positions.append(("var", term))
+            else:
+                term_id = self.store.term_id(term)
+                if term_id is None:
+                    return None
+                positions.append(("const", term_id))
+        return ScanNode(positions)
+
+    def _projection_specs(self, head: Sequence[HeadTerm]) -> List[ProjectionSpec]:
+        specs: List[ProjectionSpec] = []
+        for item in head:
+            if isinstance(item, Variable):
+                specs.append(("var", item))
+            else:
+                # Projection constants are encoded (never filter rows,
+                # so a fresh dictionary entry is harmless and needed to
+                # emit the constant in answer rows).
+                specs.append(("const", self.store.dictionary.encode(item)))
+        return specs
+
+    def _head_labels(self, head: Sequence[HeadTerm]) -> List[ColumnLabel]:
+        return [item if isinstance(item, Variable) else None for item in head]
+
+    def _plan_cq(self, query: ConjunctiveQuery) -> PlanNode:
+        scans: List[ScanNode] = []
+        for atom in query.atoms:
+            scan = self._scan_for_atom(atom)
+            if scan is None:
+                return EmptyNode(self._head_labels(query.head))
+            self._annotate(scan)
+            scans.append(scan)
+
+        ordered = self._order_scans(scans)
+        current: PlanNode = ordered[0]
+        for scan in ordered[1:]:
+            current = JoinNode(current, scan, self.backend.join_algorithm)
+            self._annotate(current)
+        if query.nonliteral_variables:
+            current = NonLiteralFilterNode(
+                current, sorted(query.nonliteral_variables)
+            )
+            self._annotate(current)
+        project = ProjectNode(current, self._projection_specs(query.head))
+        return project
+
+    def _order_scans(self, scans: List[ScanNode]) -> List[PlanNode]:
+        """Greedy left-deep order: start from the cheapest scan, then
+        repeatedly add the cheapest scan connected to the variables
+        seen so far (falling back to a cross product only when no scan
+        connects)."""
+        remaining = list(scans)
+        remaining.sort(key=lambda scan: scan.estimated_rows)
+        ordered: List[PlanNode] = [remaining.pop(0)]
+        bound = set(ordered[0].variable_positions())
+        while remaining:
+            connected = [
+                scan
+                for scan in remaining
+                if bound & set(scan.variable_positions())
+            ]
+            pool = connected if connected else remaining
+            best = min(pool, key=lambda scan: scan.estimated_rows)
+            remaining.remove(best)
+            ordered.append(best)
+            bound.update(best.variable_positions())
+        return ordered
+
+    # ------------------------------------------------------------------
+    # UCQ planning
+
+    def _plan_ucq(
+        self, query: UnionQuery, labels: Sequence[ColumnLabel]
+    ) -> PlanNode:
+        children = [self._plan_cq(disjunct) for disjunct in query.disjuncts]
+        for child in children:
+            self._annotate(child)
+        union = UnionNode(children, labels)
+        return union
+
+    # ------------------------------------------------------------------
+    # JUCQ planning
+
+    def _plan_jucq(self, query: JoinOfUnions) -> PlanNode:
+        fragment_plans: List[PlanNode] = []
+        for fragment_head, union in zip(query.fragment_heads, query.fragments):
+            labels = self._head_labels(fragment_head)
+            plan = self._plan_ucq(union, labels)
+            self._annotate(plan)
+            fragment_plans.append(plan)
+
+        ordered = self._order_fragments(fragment_plans)
+        current = ordered[0]
+        for plan in ordered[1:]:
+            current = JoinNode(current, plan, self.backend.join_algorithm)
+            self._annotate(current)
+        project = ProjectNode(current, self._projection_specs(query.head))
+        self._annotate(project)
+        return DistinctNode(project)
+
+    def _order_fragments(self, plans: List[PlanNode]) -> List[PlanNode]:
+        remaining = list(plans)
+        remaining.sort(key=lambda plan: plan.estimated_rows)
+        ordered = [remaining.pop(0)]
+        bound = set(ordered[0].variable_positions())
+        while remaining:
+            connected = [
+                plan
+                for plan in remaining
+                if bound & set(plan.variable_positions())
+            ]
+            pool = connected if connected else remaining
+            best = min(pool, key=lambda plan: plan.estimated_rows)
+            remaining.remove(best)
+            ordered.append(best)
+            bound.update(best.variable_positions())
+        return ordered

@@ -1,0 +1,321 @@
+"""SQL generation and a real-RDBMS backend (SQLite).
+
+The paper evaluates reformulations "through performant relational
+database management systems": the UCQ/SCQ/JUCQ is translated to SQL
+over a triple table and handed to the engine.  This module does the
+same against SQLite (in the standard library), making the repository's
+central claims checkable on a *real* SQL engine:
+
+* the dictionary-encoded triple table ``t(s, p, o)`` with the
+  ``(p, s)`` / ``(p, o)`` indexes of :class:`TripleStore`;
+* CQ → ``SELECT``: one self-join of ``t`` per atom, constants in the
+  ``WHERE`` clause, shared variables as join predicates, non-literal
+  guards as a ``kind`` filter via the dictionary table;
+* UCQ → ``UNION`` of the disjunct SELECTs (set semantics for free);
+* JUCQ → fragment UCQs as CTEs joined in an outer SELECT.
+
+SQLite even reproduces the paper's parse failure genuinely: its
+default compound-SELECT limit is 500 terms, so a union of thousands of
+CQs is rejected by the real parser exactly as the 318,096-CQ
+reformulation was by the paper's engines (experiment E12).
+"""
+
+from __future__ import annotations
+
+import sqlite3
+from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple, Union
+
+from ..query.algebra import (
+    ConjunctiveQuery,
+    HeadTerm,
+    JoinOfUnions,
+    TriplePattern,
+    UnionQuery,
+    Variable,
+)
+from ..rdf.terms import Literal, Term
+from .store import TripleStore
+
+#: SQLite's default SQLITE_MAX_COMPOUND_SELECT.
+SQLITE_COMPOUND_SELECT_LIMIT = 500
+
+
+class SqlGenerationError(ValueError):
+    """The query cannot be translated (e.g. constant not in store)."""
+
+
+def _cq_to_sql(
+    query: ConjunctiveQuery, store: TripleStore
+) -> Tuple[str, List[int]]:
+    """One SELECT over self-joins of ``t``; returns (sql, parameters).
+
+    Raises :class:`SqlGenerationError` when a constant is absent from
+    the dictionary (the CQ matches nothing; callers may skip it).
+    """
+    column_of: Dict[Variable, str] = {}
+    conditions: List[str] = []
+    parameters: List[int] = []
+    for index, atom in enumerate(query.atoms):
+        alias = "t%d" % index
+        for column, term in zip(("s", "p", "o"), atom.as_tuple()):
+            reference = "%s.%s" % (alias, column)
+            if isinstance(term, Variable):
+                bound = column_of.get(term)
+                if bound is None:
+                    column_of[term] = reference
+                else:
+                    conditions.append("%s = %s" % (reference, bound))
+            else:
+                term_id = store.term_id(term)
+                if term_id is None:
+                    raise SqlGenerationError(
+                        "constant %r not in the store" % (term,)
+                    )
+                conditions.append("%s = ?" % reference)
+                parameters.append(term_id)
+
+    for variable in sorted(query.nonliteral_variables, key=lambda v: v.name):
+        conditions.append(
+            "%s NOT IN (SELECT id FROM dict WHERE kind = 'literal')"
+            % column_of[variable]
+        )
+
+    select_items: List[str] = []
+    for position, item in enumerate(query.head):
+        if isinstance(item, Variable):
+            select_items.append("%s AS c%d" % (column_of[item], position))
+        else:
+            term_id = store.dictionary.encode(item)
+            select_items.append("%d AS c%d" % (term_id, position))
+    if not select_items:
+        select_items.append("1 AS c0")  # boolean query: any witness row
+
+    from_clause = ", ".join(
+        "t AS t%d" % index for index in range(len(query.atoms))
+    )
+    sql = "SELECT DISTINCT %s FROM %s" % (", ".join(select_items), from_clause)
+    if conditions:
+        sql += " WHERE " + " AND ".join(conditions)
+    return sql, parameters
+
+
+def ucq_to_sql(
+    union: UnionQuery, store: TripleStore
+) -> Tuple[str, List[int]]:
+    """The UNION of the disjunct SELECTs (disjuncts whose constants are
+    absent from the store are dropped — they are empty anyway)."""
+    selects: List[str] = []
+    parameters: List[int] = []
+    for disjunct in union.disjuncts:
+        try:
+            sql, params = _cq_to_sql(disjunct, store)
+        except SqlGenerationError:
+            continue
+        selects.append(sql)
+        parameters.extend(params)
+    if not selects:
+        # Uniform empty result with the right arity.
+        arity = max(union.arity, 1)
+        columns = ", ".join("NULL AS c%d" % i for i in range(arity))
+        return "SELECT %s WHERE 0" % columns, []
+    return " UNION ".join(selects), parameters
+
+
+def jucq_to_sql(
+    jucq: JoinOfUnions, store: TripleStore
+) -> Tuple[str, List[int]]:
+    """Fragment UCQs as CTEs, joined on shared variables, projected."""
+    ctes: List[str] = []
+    parameters: List[int] = []
+    column_of: Dict[Variable, str] = {}
+    join_conditions: List[str] = []
+    for index, (fragment_head, union) in enumerate(
+        zip(jucq.fragment_heads, jucq.fragments)
+    ):
+        sql, params = ucq_to_sql(union, store)
+        name = "f%d" % index
+        ctes.append("%s AS (%s)" % (name, sql))
+        parameters.extend(params)
+        for position, item in enumerate(fragment_head):
+            if not isinstance(item, Variable):
+                continue
+            reference = "%s.c%d" % (name, position)
+            bound = column_of.get(item)
+            if bound is None:
+                column_of[item] = reference
+            else:
+                join_conditions.append("%s = %s" % (reference, bound))
+
+    select_items: List[str] = []
+    for position, item in enumerate(jucq.head):
+        if isinstance(item, Variable):
+            select_items.append("%s AS c%d" % (column_of[item], position))
+        else:
+            select_items.append(
+                "%d AS c%d" % (store.dictionary.encode(item), position)
+            )
+    if not select_items:
+        select_items.append("1 AS c0")
+
+    sql = "WITH %s SELECT DISTINCT %s FROM %s" % (
+        ", ".join(ctes),
+        ", ".join(select_items),
+        ", ".join("f%d" % index for index in range(len(jucq.fragments))),
+    )
+    if join_conditions:
+        sql += " WHERE " + " AND ".join(join_conditions)
+    return sql, parameters
+
+
+class SqliteBackend:
+    """A genuine RDBMS evaluating this library's reformulations.
+
+    Loads a :class:`TripleStore` into an in-memory SQLite database —
+    triple table plus a dictionary table carrying each id's kind — and
+    runs the generated SQL.  Answers must (and, per the test-suite, do)
+    match the built-in executor's row for row.
+    """
+
+    def __init__(self, store: TripleStore):
+        self.store = store
+        self.connection = sqlite3.connect(":memory:")
+        self._load()
+
+    def _load(self) -> None:
+        cursor = self.connection.cursor()
+        cursor.execute("CREATE TABLE t (s INTEGER, p INTEGER, o INTEGER)")
+        cursor.execute("CREATE TABLE dict (id INTEGER PRIMARY KEY, kind TEXT)")
+        cursor.executemany(
+            "INSERT INTO t VALUES (?, ?, ?)", list(self.store.scan_all())
+        )
+        dictionary = self.store.dictionary
+        rows = []
+        for term_id in range(len(dictionary)):
+            term = dictionary.decode(term_id)
+            kind = "literal" if isinstance(term, Literal) else "resource"
+            rows.append((term_id, kind))
+        cursor.executemany("INSERT INTO dict VALUES (?, ?)", rows)
+        cursor.execute("CREATE INDEX idx_ps ON t (p, s)")
+        cursor.execute("CREATE INDEX idx_po ON t (p, o)")
+        # Without ANALYZE, SQLite's planner guesses and routinely scans
+        # a whole property extent through the (p, s) index where the
+        # (p, o) lookup is selective — 100x slowdowns on the UCQ
+        # disjuncts.  A real deployment would ANALYZE too.
+        cursor.execute("ANALYZE")
+        self.connection.commit()
+
+    def _refresh_dictionary(self) -> None:
+        """Sync dictionary rows added since load (projection constants
+        are encoded lazily at SQL-generation time)."""
+        cursor = self.connection.cursor()
+        (count,) = cursor.execute("SELECT COUNT(*) FROM dict").fetchone()
+        dictionary = self.store.dictionary
+        for term_id in range(count, len(dictionary)):
+            term = dictionary.decode(term_id)
+            kind = "literal" if isinstance(term, Literal) else "resource"
+            cursor.execute("INSERT INTO dict VALUES (?, ?)", (term_id, kind))
+        self.connection.commit()
+
+    # ------------------------------------------------------------------
+
+    def to_sql(self, query) -> Tuple[str, List[int]]:
+        """The SQL text + parameters for any supported query form."""
+        if isinstance(query, ConjunctiveQuery):
+            return _cq_to_sql(query, store=self.store)
+        if isinstance(query, UnionQuery):
+            return ucq_to_sql(query, self.store)
+        if isinstance(query, JoinOfUnions):
+            return jucq_to_sql(query, self.store)
+        raise TypeError("cannot translate %r" % (query,))
+
+    def run(self, query) -> FrozenSet[Tuple[Term, ...]]:
+        """Translate, execute on SQLite, decode.
+
+        JUCQs are executed the way the authors' EDBT'15 system runs
+        them on its RDBMSs: each fragment UCQ is materialized into an
+        indexed temporary table, then the fragments are joined — a
+        single CTE statement leaves the engine joining unindexed
+        subquery results, which scales badly (measured in E12).
+
+        Raises ``sqlite3.OperationalError`` when the engine's own
+        limits reject the statement (e.g. >500 compound SELECT terms) —
+        the real-parser analogue of the paper's failure.
+        """
+        if isinstance(query, JoinOfUnions):
+            rows = self._run_jucq_materialized(query)
+        else:
+            sql, parameters = self.to_sql(query)
+            self._refresh_dictionary()
+            rows = self.connection.execute(sql, parameters).fetchall()
+        if query.arity == 0:
+            return frozenset({()} if rows else set())
+        decode = self.store.dictionary.decode
+        return frozenset(
+            tuple(decode(value) for value in row) for row in rows
+        )
+
+    def _run_jucq_materialized(self, jucq: JoinOfUnions) -> List[Tuple[int, ...]]:
+        """Fragment-by-fragment materialization with join-column
+        indexes (the paper's JUCQ execution strategy), then one join.
+        """
+        self._refresh_dictionary()
+        cursor = self.connection.cursor()
+        column_of: Dict[Variable, str] = {}
+        join_conditions: List[str] = []
+        table_names: List[str] = []
+        try:
+            for index, (fragment_head, union) in enumerate(
+                zip(jucq.fragment_heads, jucq.fragments)
+            ):
+                sql, parameters = ucq_to_sql(union, self.store)
+                self._refresh_dictionary()
+                name = "frag%d" % index
+                table_names.append(name)
+                cursor.execute(
+                    "CREATE TEMP TABLE %s AS %s" % (name, sql), parameters
+                )
+                for position, item in enumerate(fragment_head):
+                    if not isinstance(item, Variable):
+                        continue
+                    reference = "%s.c%d" % (name, position)
+                    bound = column_of.get(item)
+                    if bound is None:
+                        column_of[item] = reference
+                    else:
+                        join_conditions.append("%s = %s" % (reference, bound))
+                        cursor.execute(
+                            "CREATE INDEX idx_%s_c%d ON %s (c%d)"
+                            % (name, position, name, position)
+                        )
+
+            select_items: List[str] = []
+            for position, item in enumerate(jucq.head):
+                if isinstance(item, Variable):
+                    select_items.append(
+                        "%s AS c%d" % (column_of[item], position)
+                    )
+                else:
+                    term_id = self.store.dictionary.encode(item)
+                    self._refresh_dictionary()
+                    select_items.append("%d AS c%d" % (term_id, position))
+            if not select_items:
+                select_items.append("1 AS c0")
+            sql = "SELECT DISTINCT %s FROM %s" % (
+                ", ".join(select_items),
+                ", ".join(table_names),
+            )
+            if join_conditions:
+                sql += " WHERE " + " AND ".join(join_conditions)
+            return cursor.execute(sql).fetchall()
+        finally:
+            for name in table_names:
+                cursor.execute("DROP TABLE IF EXISTS %s" % name)
+
+    def close(self) -> None:
+        self.connection.close()
+
+    def __enter__(self) -> "SqliteBackend":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

@@ -1,0 +1,208 @@
+"""The dictionary-encoded triple store.
+
+The paper evaluates Ref strategies "through performant relational
+database management systems" holding a triple table ``t(s, p, o)``.
+:class:`TripleStore` is this repository's stand-in (see DESIGN.md's
+substitution table): a single logical triple table of integer codes
+with the secondary access paths such an RDBMS would use —
+
+* ``pso``: property → subject → objects  (clustered index on (p, s));
+* ``pos``: property → object → subjects  (index on (p, o));
+* the bare property extent (for scans with unbound s and o).
+
+Loading a graph always stores the *closed* schema alongside the data
+(the database contract of :mod:`repro.reformulation.atoms`), and keeps
+the statistics of :mod:`repro.storage.statistics` current.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, Iterable, Iterator, List, Optional, Set, Tuple
+
+from ..rdf.graph import Graph
+from ..rdf.namespaces import RDF_TYPE
+from ..rdf.terms import Term
+from ..rdf.triples import Triple
+from ..schema.schema import Schema
+from .dictionary import Dictionary
+from .statistics import StoreStatistics
+
+#: An encoded triple.
+EncodedTriple = Tuple[int, int, int]
+
+
+class TripleStore:
+    """An in-memory relational triple table with indexes and statistics.
+
+    >>> from repro.rdf import Namespace, RDF_TYPE, Triple, Graph
+    >>> EX = Namespace("http://example.org/")
+    >>> store = TripleStore.from_graph(Graph([Triple(EX.a, RDF_TYPE, EX.C)]))
+    >>> store.triple_count
+    1
+    """
+
+    def __init__(self):
+        self.dictionary = Dictionary()
+        self._triples: Set[EncodedTriple] = set()
+        self._pso: Dict[int, Dict[int, List[int]]] = defaultdict(
+            lambda: defaultdict(list)
+        )
+        self._pos: Dict[int, Dict[int, List[int]]] = defaultdict(
+            lambda: defaultdict(list)
+        )
+        self._type_id: Optional[int] = None
+        self.statistics = StoreStatistics(lambda: self._type_id)
+        self.schema = Schema()
+
+    # ------------------------------------------------------------------
+    # Loading
+
+    @classmethod
+    def from_graph(
+        cls, graph: Graph, schema: Optional[Schema] = None
+    ) -> "TripleStore":
+        """Build a store from *graph*; constraints found in the graph
+        and in *schema* are merged, closed, and stored."""
+        store = cls()
+        store.load(graph, schema)
+        return store
+
+    def load(self, graph: Graph, schema: Optional[Schema] = None) -> None:
+        """Load a graph (and optional extra constraints) into the store."""
+        combined = Schema.from_graph(graph)
+        if schema is not None:
+            for constraint in schema.direct_constraints():
+                combined.add(constraint)
+        for constraint in combined.direct_constraints():
+            self.schema.add(constraint)
+        for triple in graph.data_triples():
+            self.insert(triple)
+        for triple in self.schema.entailed_triples():
+            self.insert(triple)
+
+    def insert(self, triple: Triple) -> bool:
+        """Insert one triple; return True when it was new."""
+        if triple.property == RDF_TYPE and self._type_id is None:
+            self._type_id = self.dictionary.encode(RDF_TYPE)
+        encoded = (
+            self.dictionary.encode(triple.subject),
+            self.dictionary.encode(triple.property),
+            self.dictionary.encode(triple.object),
+        )
+        return self._insert_encoded(encoded)
+
+    def _insert_encoded(self, encoded: EncodedTriple) -> bool:
+        if encoded in self._triples:
+            return False
+        subject_id, property_id, object_id = encoded
+        self._triples.add(encoded)
+        self._pso[property_id][subject_id].append(object_id)
+        self._pos[property_id][object_id].append(subject_id)
+        self.statistics.record(subject_id, property_id, object_id)
+        return True
+
+    def delete(self, triple: Triple) -> bool:
+        """Remove one triple (if present); keeps indexes and statistics
+        consistent.  Dictionary entries are never reclaimed (ids are
+        stable by design)."""
+        encoded = tuple(
+            self.dictionary.lookup(term) for term in triple.as_tuple()
+        )
+        if None in encoded or encoded not in self._triples:
+            return False
+        subject_id, property_id, object_id = encoded  # type: ignore[misc]
+        self._triples.discard(encoded)  # type: ignore[arg-type]
+        objects = self._pso[property_id][subject_id]
+        objects.remove(object_id)
+        if not objects:
+            del self._pso[property_id][subject_id]
+            if not self._pso[property_id]:
+                del self._pso[property_id]
+        subjects = self._pos[property_id][object_id]
+        subjects.remove(subject_id)
+        if not subjects:
+            del self._pos[property_id][object_id]
+            if not self._pos[property_id]:
+                del self._pos[property_id]
+        self.statistics.unrecord(subject_id, property_id, object_id)
+        return True
+
+    # ------------------------------------------------------------------
+    # Identifier helpers
+
+    def term_id(self, term: Term) -> Optional[int]:
+        """The id of *term*, or None when absent from the store."""
+        return self.dictionary.lookup(term)
+
+    def decode_row(self, row: Tuple[int, ...]) -> Tuple[Term, ...]:
+        return tuple(self.dictionary.decode(term_id) for term_id in row)
+
+    @property
+    def type_property_id(self) -> Optional[int]:
+        return self._type_id
+
+    # ------------------------------------------------------------------
+    # Access paths (the executor's scan primitives)
+
+    @property
+    def triple_count(self) -> int:
+        return len(self._triples)
+
+    def property_ids(self) -> List[int]:
+        return list(self._pso.keys())
+
+    def scan_property(self, property_id: int) -> Iterator[Tuple[int, int]]:
+        """All (subject, object) pairs of one property (extent scan)."""
+        for subject_id, objects in self._pso.get(property_id, {}).items():
+            for object_id in objects:
+                yield (subject_id, object_id)
+
+    def scan_property_subject(
+        self, property_id: int, subject_id: int
+    ) -> Iterator[int]:
+        """Objects of (subject, property) via the (p, s) index."""
+        by_subject = self._pso.get(property_id)
+        if by_subject is None:
+            return iter(())
+        return iter(by_subject.get(subject_id, ()))
+
+    def scan_property_object(
+        self, property_id: int, object_id: int
+    ) -> Iterator[int]:
+        """Subjects of (property, object) via the (p, o) index."""
+        by_object = self._pos.get(property_id)
+        if by_object is None:
+            return iter(())
+        return iter(by_object.get(object_id, ()))
+
+    def contains(self, encoded: EncodedTriple) -> bool:
+        return encoded in self._triples
+
+    def scan_all(self) -> Iterator[EncodedTriple]:
+        """Full triple-table scan (patterns with unbound property)."""
+        return iter(self._triples)
+
+    # ------------------------------------------------------------------
+
+    def to_graph(self) -> Graph:
+        """Decode the full store back into a logical graph."""
+        graph = Graph()
+        for subject_id, property_id, object_id in self._triples:
+            graph.add(
+                Triple(
+                    self.dictionary.decode(subject_id),
+                    self.dictionary.decode(property_id),
+                    self.dictionary.decode(object_id),
+                )
+            )
+        return graph
+
+    def __len__(self) -> int:
+        return len(self._triples)
+
+    def __repr__(self) -> str:
+        return "TripleStore(<%d triples, %d terms>)" % (
+            len(self._triples),
+            len(self.dictionary),
+        )

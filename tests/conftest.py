@@ -1,0 +1,48 @@
+"""Shared fixtures: the paper's running example and small workloads."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datasets import (
+    books_example_query,
+    books_graph,
+    books_schema,
+    example1_query,
+    generate_lubm,
+    lubm_schema,
+)
+from repro.rdf import Namespace
+from repro.saturation import saturate
+from repro.storage import TripleStore
+
+
+EX = Namespace("http://example.org/")
+
+
+@pytest.fixture
+def books():
+    """(graph, schema, query) — the Figure 2 running example."""
+    return books_graph(), books_schema(), books_example_query()
+
+
+@pytest.fixture
+def books_saturated(books):
+    graph, schema, _ = books
+    return saturate(graph, schema)
+
+
+@pytest.fixture(scope="session")
+def lubm_small():
+    """One-university LUBM-style graph (schema embedded), ~2k triples."""
+    return generate_lubm(universities=1, seed=3)
+
+
+@pytest.fixture(scope="session")
+def lubm_small_store(lubm_small):
+    return TripleStore.from_graph(lubm_small)
+
+
+@pytest.fixture(scope="session")
+def lubm_schema_fixture():
+    return lubm_schema()

@@ -1,0 +1,93 @@
+"""Unit tests for the benchmark harness and table rendering."""
+
+import pytest
+
+from repro import QueryAnswerer, Strategy
+from repro.bench import (
+    StrategyOutcome,
+    compare_strategies,
+    format_speedup,
+    format_table,
+    run_strategy,
+    timed,
+)
+from repro.datasets import books_dataset, example1_query, generate_lubm
+
+
+class TestFormatTable:
+    def test_alignment(self):
+        text = format_table(["a", "bb"], [[1, "x"], [22, "yy"]])
+        lines = text.splitlines()
+        assert lines[0].startswith("a ")
+        assert all("|" in line for line in lines if "-" not in line)
+
+    def test_title(self):
+        text = format_table(["h"], [["v"]], title="My Table")
+        assert text.splitlines()[0] == "My Table"
+        assert text.splitlines()[1] == "========"
+
+    def test_empty_rows(self):
+        text = format_table(["col"], [])
+        assert "col" in text
+
+    def test_wide_values_stretch_columns(self):
+        text = format_table(["c"], [["wide value here"]])
+        assert "wide value here" in text
+
+
+class TestFormatSpeedup:
+    def test_ratio(self):
+        assert format_speedup(4.3, 0.01) == "430.0x"
+
+    def test_zero_denominator(self):
+        assert format_speedup(1.0, 0.0) == "inf"
+
+
+class TestTimed:
+    def test_returns_best(self):
+        import time
+
+        def work():
+            time.sleep(0.001)
+
+        best = timed(work, repeat=2)
+        assert best >= 0.001
+
+
+class TestStrategyOutcome:
+    def test_requires_exactly_one(self):
+        with pytest.raises(ValueError):
+            StrategyOutcome(Strategy.SAT)
+        with pytest.raises(ValueError):
+            StrategyOutcome(Strategy.SAT, report="r", failure="f")
+
+    def test_failure_cell(self):
+        outcome = StrategyOutcome(Strategy.REF_UCQ, failure="too large")
+        assert not outcome.ok
+        assert outcome.milliseconds is None
+        assert "FAIL" in outcome.cell()
+
+
+class TestRunStrategy:
+    def test_success(self, books):
+        graph, schema, query = books
+        answerer = QueryAnswerer(graph, schema)
+        outcome = run_strategy(answerer, query, Strategy.SAT)
+        assert outcome.ok
+        assert outcome.cardinality == 1
+        assert "rows" in outcome.cell()
+
+    def test_failure_captured(self):
+        answerer = QueryAnswerer(generate_lubm(universities=1, seed=2))
+        outcome = run_strategy(answerer, example1_query(), Strategy.REF_UCQ)
+        assert not outcome.ok
+        assert "unparseable" in outcome.failure
+
+    def test_compare_strategies(self, books):
+        graph, schema, query = books
+        answerer = QueryAnswerer(graph, schema)
+        outcomes = compare_strategies(
+            answerer, query, (Strategy.SAT, Strategy.REF_SCQ)
+        )
+        assert set(outcomes) == {Strategy.SAT, Strategy.REF_SCQ}
+        assert all(outcome.ok for outcome in outcomes.values())

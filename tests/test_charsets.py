@@ -1,0 +1,202 @@
+"""Unit and property tests for characteristic sets."""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.query import ConjunctiveQuery, TriplePattern, Variable
+from repro.rdf import Graph, Namespace, Triple
+from repro.storage import TripleStore
+from repro.storage.charsets import CharacteristicSets
+
+EX = Namespace("http://example.org/")
+s, o1, o2 = Variable("s"), Variable("o1"), Variable("o2")
+
+
+def store_of(triples):
+    return TripleStore.from_graph(Graph(triples))
+
+
+class TestConstruction:
+    def test_grouping(self):
+        store = store_of(
+            [
+                Triple(EX.a, EX.p, EX.x),
+                Triple(EX.a, EX.q, EX.y),
+                Triple(EX.b, EX.p, EX.z),
+                Triple(EX.c, EX.p, EX.w),
+            ]
+        )
+        charsets = CharacteristicSets(store)
+        assert charsets.set_count == 2
+        p, q = store.term_id(EX.p), store.term_id(EX.q)
+        assert charsets.counts[frozenset({p, q})] == 1
+        assert charsets.counts[frozenset({p})] == 2
+
+    def test_multiplicity(self):
+        store = store_of(
+            [
+                Triple(EX.a, EX.p, EX.x),
+                Triple(EX.a, EX.p, EX.y),
+                Triple(EX.b, EX.p, EX.z),
+            ]
+        )
+        charsets = CharacteristicSets(store)
+        p = store.term_id(EX.p)
+        # One subject has 2 p-objects, the other has 1 → per-set means.
+        sets = sorted(charsets.counts)
+        assert charsets.multiplicity(frozenset({p}), p) == pytest.approx(1.5)
+
+
+class TestStarEstimation:
+    def triples(self):
+        return [
+            Triple(EX.a, EX.p, EX.x),
+            Triple(EX.a, EX.p, EX.y),
+            Triple(EX.a, EX.q, EX.z),
+            Triple(EX.b, EX.p, EX.w),
+            Triple(EX.b, EX.q, EX.v),
+            Triple(EX.c, EX.p, EX.u),
+        ]
+
+    def test_subject_count_exact(self):
+        store = store_of(self.triples())
+        charsets = CharacteristicSets(store)
+        p, q = store.term_id(EX.p), store.term_id(EX.q)
+        assert charsets.star_subject_count([p, q]) == 2
+        assert charsets.star_subject_count([p]) == 3
+
+    def test_star_rows_exact(self):
+        from repro.query import evaluate_cq
+
+        store = store_of(self.triples())
+        graph = Graph(self.triples())
+        charsets = CharacteristicSets(store)
+        p, q = store.term_id(EX.p), store.term_id(EX.q)
+        query = ConjunctiveQuery(
+            [s, o1, o2],
+            [TriplePattern(s, EX.p, o1), TriplePattern(s, EX.q, o2)],
+        )
+        actual = len(evaluate_cq(graph, query))
+        assert charsets.estimate_star_rows([p, q]) == pytest.approx(actual)
+
+    def test_star_detection(self):
+        store = store_of(self.triples())
+        charsets = CharacteristicSets(store)
+        star = ConjunctiveQuery(
+            [s], [TriplePattern(s, EX.p, o1), TriplePattern(s, EX.q, o2)]
+        )
+        assert charsets.star_properties(star) is not None
+        chain = ConjunctiveQuery(
+            [s], [TriplePattern(s, EX.p, o1), TriplePattern(o1, EX.q, o2)]
+        )
+        assert charsets.star_properties(chain) is None
+        shared_object = ConjunctiveQuery(
+            [s], [TriplePattern(s, EX.p, o1), TriplePattern(s, EX.q, o1)]
+        )
+        assert charsets.star_properties(shared_object) is None
+
+    def test_missing_property(self):
+        store = store_of(self.triples())
+        charsets = CharacteristicSets(store)
+        star = ConjunctiveQuery(
+            [s], [TriplePattern(s, EX.nope, o1)]
+        )
+        assert charsets.star_properties(star) is None
+
+
+def _star_query_and_actual(graph, store, star_props):
+    from repro.query import evaluate_cq
+
+    ids = [store.term_id(prop) for prop in star_props]
+    if any(term_id is None for term_id in ids):
+        return None, None
+    object_vars = [Variable("v%d" % index) for index in range(len(star_props))]
+    query = ConjunctiveQuery(
+        [s] + object_vars,
+        [
+            TriplePattern(s, prop, var)
+            for prop, var in zip(star_props, object_vars)
+        ],
+    )
+    return ids, len(evaluate_cq(graph, query))
+
+
+@settings(max_examples=40, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(data=st.data())
+def test_star_count_exact_and_estimate_exact_without_repeats(data):
+    """The subject count is always exact; the row estimate is exact
+    when every property occurs at most once per subject (here: unique
+    (subject, property) pairs by construction)."""
+    subjects = [EX.term("s%d" % index) for index in range(4)]
+    objects = [EX.term("o%d" % index) for index in range(3)]
+    properties = [EX.term("p%d" % index) for index in range(3)]
+    pairs = data.draw(
+        st.lists(
+            st.tuples(st.sampled_from(subjects), st.sampled_from(properties)),
+            max_size=10,
+            unique=True,
+        )
+    )
+    triples = [
+        Triple(subject, prop, data.draw(st.sampled_from(objects)))
+        for subject, prop in pairs
+    ]
+    graph = Graph(triples)
+    store = TripleStore.from_graph(graph)
+    charsets = CharacteristicSets(store)
+    star_props = data.draw(
+        st.lists(st.sampled_from(properties), min_size=1, max_size=3,
+                 unique=True)
+    )
+    ids, actual = _star_query_and_actual(graph, store, star_props)
+    if ids is None:
+        return
+    assert charsets.estimate_star_rows(ids) == pytest.approx(actual)
+    # Subject count: compare against brute force.
+    wanted = set(star_props)
+    brute = sum(
+        1
+        for subject in subjects
+        if wanted <= {t.property for t in graph.match(subject=subject)}
+    )
+    assert charsets.star_subject_count(ids) == brute
+
+
+@settings(max_examples=40, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(data=st.data())
+def test_star_estimate_bounded_with_repeats(data):
+    """With repeated (subject, property) pairs the estimate may deviate
+    (mean-multiplicity aggregation), but never by more than the spread
+    of multiplicities: it stays positive iff the actual is, and within
+    a small factor on these tiny instances."""
+    subjects = [EX.term("s%d" % index) for index in range(3)]
+    objects = [EX.term("o%d" % index) for index in range(3)]
+    properties = [EX.term("p%d" % index) for index in range(2)]
+    triples = data.draw(
+        st.lists(
+            st.builds(
+                Triple,
+                st.sampled_from(subjects),
+                st.sampled_from(properties),
+                st.sampled_from(objects),
+            ),
+            max_size=12,
+        )
+    )
+    graph = Graph(triples)
+    store = TripleStore.from_graph(graph)
+    charsets = CharacteristicSets(store)
+    star_props = data.draw(
+        st.lists(st.sampled_from(properties), min_size=1, max_size=2,
+                 unique=True)
+    )
+    ids, actual = _star_query_and_actual(graph, store, star_props)
+    if ids is None:
+        return
+    estimate = charsets.estimate_star_rows(ids)
+    assert (estimate > 0) == (actual > 0)
+    if actual:
+        assert actual / 4 <= estimate <= actual * 4

@@ -1,0 +1,107 @@
+"""Unit tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+def run_cli(capsys, *argv):
+    code = main(list(argv))
+    captured = capsys.readouterr()
+    return code, captured.out
+
+
+class TestStats:
+    def test_books_stats(self, capsys):
+        code, out = run_cli(capsys, "stats", "--dataset", "books")
+        assert code == 0
+        assert "triples" in out
+        assert "property" in out
+
+    def test_lubm_stats(self, capsys):
+        code, out = run_cli(
+            capsys, "stats", "--dataset", "lubm", "--universities", "1",
+            "--seed", "3",
+        )
+        assert code == 0
+        assert "takesCourse" in out
+
+
+class TestAnswer:
+    def test_single_strategy(self, capsys):
+        code, out = run_cli(
+            capsys, "answer", "--dataset", "lubm", "--query", "Q1",
+            "--strategy", "ref-scq", "--seed", "3",
+        )
+        assert code == 0
+        assert "ref-scq" in out
+
+    def test_all_strategies_books(self, capsys):
+        code, out = run_cli(capsys, "answer", "--dataset", "books")
+        assert code == 0
+        assert "sat" in out
+        assert "ref-gcov" in out
+        assert "datalog" in out
+
+    def test_inline_sparql(self, capsys):
+        code, out = run_cli(
+            capsys, "answer", "--dataset", "lubm", "--seed", "3",
+            "--strategy", "sat", "--show-answers",
+            "--sparql",
+            "PREFIX ub: <http://swat.cse.lehigh.edu/onto/univ-bench.owl#> "
+            "SELECT ?x WHERE { ?x rdf:type ub:Student }",
+        )
+        assert code == 0
+        assert "sat" in out
+
+    def test_ucq_failure_reported_not_raised(self, capsys):
+        code, out = run_cli(
+            capsys, "answer", "--dataset", "lubm", "--query", "Ex1",
+            "--strategy", "ref-ucq", "--seed", "3",
+        )
+        assert code == 0
+        assert "FAIL" in out
+
+    def test_unknown_query_errors(self, capsys):
+        with pytest.raises(SystemExit):
+            run_cli(capsys, "answer", "--dataset", "lubm", "--query", "Q99")
+
+
+class TestExplain:
+    def test_explain_plan(self, capsys):
+        code, out = run_cli(
+            capsys, "explain", "--dataset", "lubm", "--query", "Q1",
+            "--strategy", "ref-scq", "--seed", "3",
+        )
+        assert code == 0
+        assert "Scan(" in out
+        assert "actual=" in out
+
+
+class TestCovers:
+    def test_cover_exploration(self, capsys):
+        code, out = run_cli(
+            capsys, "covers", "--dataset", "lubm", "--query", "Q1",
+            "--seed", "3",
+        )
+        assert code == 0
+        assert "GCov chose" in out
+        assert "estimated cost" in out
+
+
+class TestFileDataset:
+    def test_ntriples_file(self, capsys, tmp_path):
+        from repro.datasets import books_graph
+        from repro.rdf import save_file
+
+        path = str(tmp_path / "books.nt")
+        save_file(books_graph(), path)
+        code, out = run_cli(
+            capsys, "stats", "--dataset", "file", "--file", path
+        )
+        assert code == 0
+        assert "triples" in out
+
+    def test_missing_file_argument(self, capsys):
+        with pytest.raises(SystemExit):
+            run_cli(capsys, "stats", "--dataset", "file")

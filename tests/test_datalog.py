@@ -1,0 +1,168 @@
+"""Unit tests for the Datalog engine and the Dat encoding."""
+
+import pytest
+
+from repro.datalog import (
+    DVar,
+    DatalogAtom,
+    DatalogProgram,
+    DatalogRule,
+    answer_query,
+    encode,
+    evaluate_program,
+)
+from repro.query import ConjunctiveQuery, TriplePattern, Variable, evaluate_cq
+from repro.rdf import Graph, Literal, Namespace, RDF_TYPE, Triple
+from repro.saturation import saturate
+from repro.schema import Constraint, Schema
+
+EX = Namespace("http://example.org/")
+
+
+class TestEngine:
+    def test_facts_only(self):
+        program = DatalogProgram()
+        program.add_fact("p", (1, 2))
+        result = evaluate_program(program)
+        assert result.facts("p") == {(1, 2)}
+        assert result.rounds == 1
+
+    def test_transitive_closure(self):
+        program = DatalogProgram()
+        for edge in ((1, 2), (2, 3), (3, 4)):
+            program.add_fact("edge", edge)
+        x, y, z = DVar("x"), DVar("y"), DVar("z")
+        program.add_rule(
+            DatalogRule(DatalogAtom("path", (x, y)), [DatalogAtom("edge", (x, y))])
+        )
+        program.add_rule(
+            DatalogRule(
+                DatalogAtom("path", (x, z)),
+                [DatalogAtom("edge", (x, y)), DatalogAtom("path", (y, z))],
+            )
+        )
+        result = evaluate_program(program)
+        assert result.facts("path") == {
+            (1, 2), (2, 3), (3, 4), (1, 3), (2, 4), (1, 4),
+        }
+
+    def test_cyclic_terminates(self):
+        program = DatalogProgram()
+        program.add_fact("edge", (1, 2))
+        program.add_fact("edge", (2, 1))
+        x, y, z = DVar("x"), DVar("y"), DVar("z")
+        program.add_rule(
+            DatalogRule(DatalogAtom("path", (x, y)), [DatalogAtom("edge", (x, y))])
+        )
+        program.add_rule(
+            DatalogRule(
+                DatalogAtom("path", (x, z)),
+                [DatalogAtom("path", (x, y)), DatalogAtom("path", (y, z))],
+            )
+        )
+        result = evaluate_program(program)
+        assert result.facts("path") == {(1, 2), (2, 1), (1, 1), (2, 2)}
+
+    def test_constants_in_rules(self):
+        program = DatalogProgram()
+        program.add_fact("p", (1, 2))
+        program.add_fact("p", (3, 2))
+        x = DVar("x")
+        program.add_rule(
+            DatalogRule(DatalogAtom("q", (x,)), [DatalogAtom("p", (x, 2))])
+        )
+        assert evaluate_program(program).facts("q") == {(1,), (3,)}
+
+    def test_unsafe_rule_rejected(self):
+        x, y = DVar("x"), DVar("y")
+        with pytest.raises(ValueError):
+            DatalogRule(DatalogAtom("q", (x, y)), [DatalogAtom("p", (x,))])
+
+    def test_empty_body_rejected(self):
+        with pytest.raises(ValueError):
+            DatalogRule(DatalogAtom("q", (1,)), [])
+
+    def test_non_ground_fact_rejected(self):
+        program = DatalogProgram()
+        with pytest.raises(ValueError):
+            program.add_fact("p", (DVar("x"),))
+
+    def test_arity_conflict_rejected(self):
+        program = DatalogProgram()
+        program.add_fact("p", (1,))
+        program.add_fact("p", (1, 2))
+        with pytest.raises(ValueError):
+            evaluate_program(program)
+
+    def test_repeated_variable_in_body_atom(self):
+        program = DatalogProgram()
+        program.add_fact("p", (1, 1))
+        program.add_fact("p", (1, 2))
+        x = DVar("x")
+        program.add_rule(
+            DatalogRule(DatalogAtom("diag", (x,)), [DatalogAtom("p", (x, x))])
+        )
+        assert evaluate_program(program).facts("diag") == {(1,)}
+
+
+class TestDatEncoding:
+    def test_matches_saturation_on_books(self, books, books_saturated):
+        graph, schema, query = books
+        expected = evaluate_cq(books_saturated, query)
+        assert answer_query(graph, schema, query) == expected
+
+    def test_entailed_constraints_query_visible(self):
+        graph = Graph([Triple(EX.a, RDF_TYPE, EX.A)])
+        schema = Schema(
+            [
+                Constraint.subclass(EX.A, EX.B),
+                Constraint.subclass(EX.B, EX.C),
+            ]
+        )
+        x, y = Variable("x"), Variable("y")
+        from repro.rdf import RDFS_SUBCLASSOF
+
+        query = ConjunctiveQuery(
+            [x, y], [TriplePattern(x, RDFS_SUBCLASSOF, y)]
+        )
+        answer = answer_query(graph, schema, query)
+        assert (EX.A, EX.C) in answer
+
+    def test_literal_never_typed_by_range(self):
+        graph = Graph([Triple(EX.a, EX.p, Literal("v"))])
+        schema = Schema([Constraint.range(EX.p, EX.C)])
+        x = Variable("x")
+        query = ConjunctiveQuery([x], [TriplePattern(x, RDF_TYPE, EX.C)])
+        assert answer_query(graph, schema, query) == frozenset()
+
+    def test_inadmissible_constraint_fires_nothing(self):
+        from repro.rdf import RDFS_DOMAIN
+
+        graph = Graph(
+            [
+                Triple(EX.a, RDF_TYPE, EX.C),
+                Triple(RDF_TYPE, RDFS_DOMAIN, EX.D),
+            ]
+        )
+        x = Variable("x")
+        query = ConjunctiveQuery([x], [TriplePattern(x, RDF_TYPE, EX.D)])
+        assert answer_query(graph, Schema(), query) == frozenset()
+
+    def test_program_shape(self, books):
+        graph, schema, query = books
+        program = encode(graph, schema, query)
+        predicates = {predicate for predicate, _ in program.facts}
+        assert "triple" in predicates
+        assert "subjectable" in predicates
+        # 14 entailment rules + 1 query rule.
+        assert len(program.rules) == 15
+
+    def test_matches_saturation_on_lubm_sample(self, lubm_small):
+        from repro.datasets import lubm_queries
+
+        schema = Schema.from_graph(lubm_small)
+        saturated = saturate(lubm_small)
+        for name in ("Q1", "Q5", "Q6", "Q13"):
+            query = lubm_queries()[name]
+            expected = evaluate_cq(saturated, query)
+            assert answer_query(lubm_small, schema, query) == expected

@@ -1,0 +1,171 @@
+"""Unit and integration tests for federated query answering."""
+
+import pytest
+
+from repro.datasets import GeneratorConfig, generate_lubm, lubm_queries, lubm_schema
+from repro.federation import (
+    Endpoint,
+    ExportForbidden,
+    FederatedAnswerer,
+)
+from repro.query import ConjunctiveQuery, TriplePattern, Variable, evaluate_cq
+from repro.rdf import Graph, Namespace, RDF_TYPE, RDFS_SUBCLASSOF, Triple
+from repro.saturation import saturate
+from repro.schema import Constraint, Schema
+
+EX = Namespace("http://example.org/")
+x, y, z = Variable("x"), Variable("y"), Variable("z")
+
+
+def split_graph(graph, parts=3):
+    """Deterministically shard a graph's data triples."""
+    shards = [Graph() for _ in range(parts)]
+    for index, triple in enumerate(sorted(graph.data_triples())):
+        shards[index % parts].add(triple)
+    return shards
+
+
+@pytest.fixture(scope="module")
+def lubm_setup():
+    config = GeneratorConfig(departments=2, undergraduate_students=10,
+                             graduate_students=5, courses=5, graduate_courses=3)
+    graph = generate_lubm(universities=1, seed=6, config=config,
+                          include_schema=False)
+    schema = lubm_schema()
+    shards = split_graph(graph, parts=3)
+    endpoints = [
+        Endpoint("shard%d" % index, shard)
+        for index, shard in enumerate(shards)
+    ]
+    full = graph.copy()
+    full.add_all(schema.to_triples())
+    return graph, schema, endpoints, saturate(full)
+
+
+class TestEndpoint:
+    def test_no_reasoning(self):
+        graph = Graph(
+            [
+                Triple(EX.a, RDF_TYPE, EX.Manager),
+                Triple(EX.Manager, RDFS_SUBCLASSOF, EX.Employee),
+            ]
+        )
+        endpoint = Endpoint("e", graph)
+        query = ConjunctiveQuery([x], [TriplePattern(x, RDF_TYPE, EX.Employee)])
+        assert len(endpoint.evaluate(query)) == 0  # explicit triples only
+
+    def test_result_limit_truncates(self):
+        graph = Graph(
+            [Triple(EX.term("s%d" % index), EX.p, EX.o) for index in range(10)]
+        )
+        endpoint = Endpoint("e", graph, result_limit=3)
+        query = ConjunctiveQuery([x], [TriplePattern(x, EX.p, EX.o)])
+        result = endpoint.evaluate(query)
+        assert len(result) == 3
+        assert result.truncated
+
+    def test_no_truncation_below_limit(self):
+        endpoint = Endpoint("e", Graph([Triple(EX.a, EX.p, EX.o)]), result_limit=5)
+        query = ConjunctiveQuery([x], [TriplePattern(x, EX.p, EX.o)])
+        assert not endpoint.evaluate(query).truncated
+
+    def test_export_forbidden(self):
+        endpoint = Endpoint("e", Graph([Triple(EX.a, EX.p, EX.o)]))
+        with pytest.raises(ExportForbidden):
+            endpoint.export()
+
+    def test_counters(self):
+        endpoint = Endpoint("e", Graph([Triple(EX.a, EX.p, EX.o)]))
+        query = ConjunctiveQuery([x], [TriplePattern(x, EX.p, EX.o)])
+        endpoint.evaluate(query)
+        endpoint.evaluate(query)
+        assert endpoint.requests_served == 2
+        assert endpoint.rows_returned == 2
+        endpoint.reset_counters()
+        assert endpoint.requests_served == 0
+
+    def test_rejects_non_queries(self):
+        endpoint = Endpoint("e", Graph([Triple(EX.a, EX.p, EX.o)]))
+        with pytest.raises(TypeError):
+            endpoint.evaluate("SELECT *")
+
+
+class TestFederatedAnswering:
+    def test_matches_centralized(self, lubm_setup):
+        graph, schema, endpoints, saturated = lubm_setup
+        federation = FederatedAnswerer(endpoints, schema)
+        for name in ("Q1", "Q5", "Q6", "Q13", "Q14"):
+            query = lubm_queries()[name]
+            expected = evaluate_cq(saturated, query)
+            answer = federation.answer(query)
+            assert answer.rows == expected, name
+            assert not answer.truncated
+
+    def test_cross_endpoint_join(self):
+        # The join's two triples live on different endpoints: only
+        # client-side joining can find it.
+        schema = Schema([Constraint.subproperty(EX.p, EX.q)])
+        left = Endpoint("left", Graph([Triple(EX.a, EX.p, EX.b)]))
+        right = Endpoint("right", Graph([Triple(EX.b, EX.p, EX.c)]))
+        federation = FederatedAnswerer([left, right], schema)
+        query = ConjunctiveQuery(
+            [x, z], [TriplePattern(x, EX.q, y), TriplePattern(y, EX.q, z)]
+        )
+        answer = federation.answer(query)
+        assert answer.rows == frozenset({(EX.a, EX.c)})
+
+    def test_constraint_and_fact_in_different_places(self):
+        # The constraint lives with the client, the fact at an
+        # endpoint: implicit facts spanning sources (paper, §1).
+        schema = Schema([Constraint.subclass(EX.Manager, EX.Employee)])
+        endpoint = Endpoint("e", Graph([Triple(EX.a, RDF_TYPE, EX.Manager)]))
+        federation = FederatedAnswerer([endpoint], schema)
+        query = ConjunctiveQuery([x], [TriplePattern(x, RDF_TYPE, EX.Employee)])
+        assert federation.answer(query).rows == frozenset({(EX.a,)})
+
+    def test_schema_atoms_answered_locally(self, lubm_setup):
+        _, schema, endpoints, _ = lubm_setup
+        federation = FederatedAnswerer(endpoints, schema)
+        federation.reset_counters()
+        query = ConjunctiveQuery(
+            [x, y], [TriplePattern(x, RDFS_SUBCLASSOF, y)]
+        )
+        answer = federation.answer(query)
+        assert answer.requests == 0  # no endpoint was bothered
+        assert len(answer.rows) == len(
+            [c for c in schema.entailed_constraints()
+             if c.kind.name == "SUBCLASS"]
+        )
+
+    def test_truncation_reported(self):
+        schema = Schema()
+        triples = [
+            Triple(EX.term("s%d" % index), EX.p, EX.o) for index in range(20)
+        ]
+        endpoint = Endpoint("small", Graph(triples), result_limit=5)
+        federation = FederatedAnswerer([endpoint], schema)
+        query = ConjunctiveQuery([x], [TriplePattern(x, EX.p, EX.o)])
+        answer = federation.answer(query)
+        assert answer.truncated
+        assert answer.cardinality == 5
+
+    def test_request_accounting(self, lubm_setup):
+        _, schema, endpoints, _ = lubm_setup
+        federation = FederatedAnswerer(endpoints, schema)
+        federation.reset_counters()
+        query = lubm_queries()["Q1"]  # two atoms
+        answer = federation.answer(query)
+        # One request per (atom, endpoint) unless short-circuited.
+        assert answer.requests <= len(query.atoms) * len(endpoints)
+        assert answer.requests >= len(endpoints)
+
+    def test_empty_federation_rejected(self):
+        with pytest.raises(ValueError):
+            FederatedAnswerer([], Schema())
+
+    def test_boolean_query(self):
+        schema = Schema()
+        endpoint = Endpoint("e", Graph([Triple(EX.a, EX.p, EX.b)]))
+        federation = FederatedAnswerer([endpoint], schema)
+        query = ConjunctiveQuery([], [TriplePattern(x, EX.p, y)])
+        assert federation.answer(query).rows == frozenset({()})

@@ -1,0 +1,135 @@
+"""Integration: every complete technique computes q(G∞), everywhere.
+
+This is the paper's central correctness statement, checked across all
+four datasets and all three backends — Sat, Ref-UCQ, Ref-SCQ,
+Ref-JUCQ (several covers), Ref-GCov and Dat must agree row for row.
+"""
+
+import pytest
+
+from repro import QueryAnswerer, Strategy
+from repro.datalog import answer_query as datalog_answer
+from repro.datasets import (
+    GeneratorConfig,
+    bib_queries,
+    generate_bib,
+    generate_geo,
+    generate_lubm,
+    geo_queries,
+    lubm_queries,
+)
+from repro.query import Cover, evaluate_cq
+from repro.saturation import saturate
+from repro.schema import Schema
+from repro.storage import DEFAULT_BACKENDS
+
+#: Small but structurally complete LUBM instance for integration runs.
+_TEST_CONFIG = GeneratorConfig(
+    departments=2, undergraduate_students=12, graduate_students=6, courses=6,
+    graduate_courses=4, publications_per_faculty=2,
+)
+
+
+def reference_answer(graph, query):
+    return evaluate_cq(saturate(graph), query)
+
+
+class TestLubmWorkload:
+    @pytest.fixture(scope="class")
+    def graph(self):
+        return generate_lubm(universities=1, seed=4, config=_TEST_CONFIG)
+
+    @pytest.fixture(scope="class")
+    def saturated(self, graph):
+        return saturate(graph)
+
+    @pytest.fixture(scope="class")
+    def answerer(self, graph):
+        return QueryAnswerer(graph)
+
+    @pytest.mark.parametrize(
+        "name", ["Q%d" % index for index in range(1, 15)]
+    )
+    def test_strategies_agree_per_query(self, graph, saturated, answerer, name):
+        query = lubm_queries()[name]
+        expected = evaluate_cq(saturated, query)
+        for strategy in (
+            Strategy.SAT,
+            Strategy.REF_UCQ,
+            Strategy.REF_SCQ,
+            Strategy.REF_GCOV,
+        ):
+            report = answerer.answer(query, strategy)
+            assert report.answer == expected, (name, strategy)
+
+    def test_datalog_agrees_on_selective_queries(self, graph, saturated):
+        schema = Schema.from_graph(graph)
+        for name in ("Q1", "Q3", "Q4", "Q12"):
+            query = lubm_queries()[name]
+            assert datalog_answer(graph, schema, query) == evaluate_cq(
+                saturated, query
+            )
+
+
+class TestBackendsAgree:
+    def test_same_answers_on_all_backends(self):
+        graph = generate_lubm(universities=1, seed=8, config=_TEST_CONFIG)
+        query = lubm_queries()["Q9"]
+        expected = reference_answer(graph, query)
+        for backend in DEFAULT_BACKENDS:
+            answerer = QueryAnswerer(graph, backend=backend)
+            for strategy in (Strategy.REF_SCQ, Strategy.REF_GCOV):
+                assert answerer.answer(query, strategy).answer == expected
+
+
+class TestGeoWorkload:
+    def test_strategies_agree(self):
+        graph = generate_geo(
+            regions=2,
+            departements_per_region=2,
+            communes_per_departement=8,
+            seed=3,
+        )
+        answerer = QueryAnswerer(graph)
+        for name, query in geo_queries().items():
+            expected = reference_answer(graph, query)
+            for strategy in (Strategy.SAT, Strategy.REF_UCQ, Strategy.REF_SCQ):
+                assert (
+                    answerer.answer(query, strategy).answer == expected
+                ), (name, strategy)
+
+
+class TestBibWorkload:
+    def test_strategies_agree(self):
+        graph = generate_bib(authors=30, publications=80, venues=6, seed=3)
+        answerer = QueryAnswerer(graph)
+        for name, query in bib_queries().items():
+            expected = reference_answer(graph, query)
+            for strategy in (Strategy.SAT, Strategy.REF_SCQ, Strategy.REF_GCOV):
+                assert (
+                    answerer.answer(query, strategy).answer == expected
+                ), (name, strategy)
+
+
+class TestArbitraryCovers:
+    def test_random_covers_agree(self):
+        import random
+
+        rng = random.Random(17)
+        graph = generate_lubm(universities=1, seed=4, config=_TEST_CONFIG)
+        answerer = QueryAnswerer(graph)
+        query = lubm_queries()["Q9"]
+        expected = reference_answer(graph, query)
+        atom_count = len(query.atoms)
+        for _ in range(8):
+            # A random partition, possibly plus one overlap.
+            assignment = [rng.randrange(3) for _ in range(atom_count)]
+            fragments = {}
+            for index, block in enumerate(assignment):
+                fragments.setdefault(block, []).append(index)
+            specs = list(fragments.values())
+            if rng.random() < 0.5:
+                specs.append([rng.randrange(atom_count)])
+            cover = Cover(query, specs)
+            report = answerer.answer(query, Strategy.REF_JUCQ, cover=cover)
+            assert report.answer == expected, cover

@@ -1,0 +1,76 @@
+"""Unit tests for namespaces and the RDF/RDFS vocabulary constants."""
+
+import pytest
+
+from repro.rdf import (
+    Namespace,
+    RDF_NS,
+    RDF_TYPE,
+    RDFS_DOMAIN,
+    RDFS_NS,
+    RDFS_RANGE,
+    RDFS_SUBCLASSOF,
+    RDFS_SUBPROPERTYOF,
+    SCHEMA_PROPERTIES,
+    URI,
+    shorten,
+)
+
+
+class TestNamespace:
+    def test_attribute_access(self):
+        EX = Namespace("http://example.org/")
+        assert EX.Book == URI("http://example.org/Book")
+
+    def test_term_method(self):
+        EX = Namespace("http://example.org/")
+        assert EX.term("with space") == URI("http://example.org/with space")
+
+    def test_getitem(self):
+        EX = Namespace("http://example.org/")
+        assert EX["Book"] == EX.Book
+
+    def test_contains(self):
+        EX = Namespace("http://example.org/")
+        assert EX.Book in EX
+        assert URI("http://other.org/x") not in EX
+
+    def test_underscore_attributes_raise(self):
+        EX = Namespace("http://example.org/")
+        with pytest.raises(AttributeError):
+            EX._private
+
+    def test_empty_prefix_rejected(self):
+        with pytest.raises(ValueError):
+            Namespace("")
+
+
+class TestVocabulary:
+    def test_standard_uris(self):
+        assert RDF_TYPE.value == (
+            "http://www.w3.org/1999/02/22-rdf-syntax-ns#type"
+        )
+        assert RDFS_SUBCLASSOF.value == (
+            "http://www.w3.org/2000/01/rdf-schema#subClassOf"
+        )
+
+    def test_schema_properties_exactly_four(self):
+        assert SCHEMA_PROPERTIES == frozenset(
+            {RDFS_SUBCLASSOF, RDFS_SUBPROPERTYOF, RDFS_DOMAIN, RDFS_RANGE}
+        )
+
+    def test_type_not_a_schema_property(self):
+        assert RDF_TYPE not in SCHEMA_PROPERTIES
+
+    def test_namespaces_contain_their_terms(self):
+        assert RDF_TYPE in RDF_NS
+        assert RDFS_DOMAIN in RDFS_NS
+
+
+class TestShorten:
+    def test_well_known(self):
+        assert shorten(RDF_TYPE) == "rdf:type"
+        assert shorten(RDFS_SUBCLASSOF) == "rdfs:subClassOf"
+
+    def test_unknown_falls_back_to_local_name(self):
+        assert shorten(URI("http://example.org/ns#Thing")) == "Thing"

@@ -1,0 +1,335 @@
+"""Property-based tests (hypothesis): the library's core invariants on
+randomly generated graphs, schemas and queries in the DB fragment.
+
+The headline property is the paper's correctness contract,
+
+    q(G∞) = UCQ_ref(db) = SCQ_ref(db) = JUCQ_ref(db, any cover)
+          = Dat(q, G)    = relational executor on any backend,
+
+plus the algebraic laws of saturation (idempotence, monotonicity,
+naive/fast agreement) and incremental-maintenance exactness.
+"""
+
+from __future__ import annotations
+
+import random as random_module
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.datalog import answer_query as datalog_answer
+from repro.query import (
+    ConjunctiveQuery,
+    Cover,
+    TriplePattern,
+    Variable,
+    evaluate,
+    evaluate_cq,
+)
+from repro.rdf import Graph, Literal, Namespace, RDF_TYPE, Triple
+from repro.reformulation import reformulate, scq_reformulation, jucq_for_cover
+from repro.reformulation.atoms import database_graph
+from repro.saturation import IncrementalSaturator, saturate, saturate_naive
+from repro.schema import Constraint, Schema
+from repro.storage import DEFAULT_BACKENDS, Executor, TripleStore
+
+EX = Namespace("http://example.org/")
+
+CLASSES = [EX.term("C%d" % index) for index in range(5)]
+PROPERTIES = [EX.term("p%d" % index) for index in range(4)]
+INDIVIDUALS = [EX.term("i%d" % index) for index in range(6)]
+LITERALS = [Literal("l%d" % index) for index in range(2)]
+
+
+# ---------------------------------------------------------------------------
+# Strategies
+
+constraint_st = st.one_of(
+    st.builds(
+        Constraint.subclass,
+        st.sampled_from(CLASSES),
+        st.sampled_from(CLASSES),
+    ),
+    st.builds(
+        Constraint.subproperty,
+        st.sampled_from(PROPERTIES),
+        st.sampled_from(PROPERTIES),
+    ),
+    st.builds(
+        Constraint.domain,
+        st.sampled_from(PROPERTIES),
+        st.sampled_from(CLASSES),
+    ),
+    st.builds(
+        Constraint.range,
+        st.sampled_from(PROPERTIES),
+        st.sampled_from(CLASSES),
+    ),
+)
+
+schema_st = st.lists(constraint_st, max_size=8).map(Schema)
+
+data_triple_st = st.one_of(
+    st.builds(
+        Triple,
+        st.sampled_from(INDIVIDUALS),
+        st.just(RDF_TYPE),
+        st.sampled_from(CLASSES),
+    ),
+    st.builds(
+        Triple,
+        st.sampled_from(INDIVIDUALS),
+        st.sampled_from(PROPERTIES),
+        st.sampled_from(INDIVIDUALS + LITERALS),
+    ),
+)
+
+graph_st = st.lists(data_triple_st, max_size=12).map(Graph)
+
+_VARS = [Variable(name) for name in "abcd"]
+
+
+@st.composite
+def query_st(draw):
+    """A 1–3 atom CQ over the fixed vocabulary, possibly with variables
+    in class/property position, head = all its variables."""
+    atom_count = draw(st.integers(1, 3))
+    atoms = []
+    for _ in range(atom_count):
+        subject = draw(st.sampled_from(_VARS + INDIVIDUALS[:2]))
+        form = draw(st.integers(0, 3))
+        if form == 0:
+            atoms.append(
+                TriplePattern(
+                    subject, RDF_TYPE, draw(st.sampled_from(CLASSES))
+                )
+            )
+        elif form == 1:
+            atoms.append(
+                TriplePattern(subject, RDF_TYPE, draw(st.sampled_from(_VARS)))
+            )
+        elif form == 2:
+            atoms.append(
+                TriplePattern(
+                    subject,
+                    draw(st.sampled_from(PROPERTIES)),
+                    draw(st.sampled_from(_VARS + INDIVIDUALS[:2] + LITERALS[:1])),
+                )
+            )
+        else:
+            atoms.append(
+                TriplePattern(
+                    subject,
+                    draw(st.sampled_from(_VARS)),
+                    draw(st.sampled_from(_VARS + INDIVIDUALS[:2])),
+                )
+            )
+    variables = sorted(
+        {v for atom in atoms for v in atom.variables()},
+        key=lambda v: v.name,
+    )
+    if not variables:
+        # Keep at least a boolean query meaningful.
+        return ConjunctiveQuery([], atoms)
+    return ConjunctiveQuery(variables, atoms)
+
+
+@st.composite
+def cover_st(draw, query):
+    atom_count = len(query.atoms)
+    assignment = [draw(st.integers(0, 2)) for _ in range(atom_count)]
+    fragments = {}
+    for index, block in enumerate(assignment):
+        fragments.setdefault(block, []).append(index)
+    specs = list(fragments.values())
+    if draw(st.booleans()):
+        specs.append([draw(st.integers(0, atom_count - 1))])
+    return Cover(query, specs)
+
+
+common_settings = settings(
+    max_examples=60,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+# ---------------------------------------------------------------------------
+# Saturation laws
+
+
+@common_settings
+@given(graph=graph_st, schema=schema_st)
+def test_fast_saturation_equals_naive(graph, schema):
+    combined = graph.copy()
+    combined.add_all(schema.to_triples())
+    assert set(saturate(combined)) == set(saturate_naive(combined))
+
+
+@common_settings
+@given(graph=graph_st, schema=schema_st)
+def test_saturation_idempotent(graph, schema):
+    once = saturate(graph, schema)
+    assert set(saturate(once)) == set(once)
+
+
+@common_settings
+@given(graph=graph_st, schema=schema_st, extra=data_triple_st)
+def test_saturation_monotone(graph, schema, extra):
+    bigger = graph.copy()
+    bigger.add(extra)
+    assert set(saturate(graph, schema)) <= set(saturate(bigger, schema))
+
+
+@common_settings
+@given(graph=graph_st, schema=schema_st)
+def test_incremental_insert_matches_batch(graph, schema):
+    incremental = IncrementalSaturator(schema)
+    for triple in graph.data_triples():
+        incremental.insert(triple)
+    expected = saturate(Graph(graph.data_triples()), schema)
+    assert set(incremental.saturated()) == set(expected)
+
+
+@common_settings
+@given(
+    graph=graph_st,
+    schema=schema_st,
+    seed=st.integers(0, 1000),
+)
+def test_incremental_delete_matches_batch(graph, schema, seed):
+    triples = list(graph.data_triples())
+    incremental = IncrementalSaturator(schema, triples)
+    rng = random_module.Random(seed)
+    rng.shuffle(triples)
+    removed = triples[: len(triples) // 2]
+    for triple in removed:
+        incremental.delete(triple)
+    remaining = [t for t in triples if t not in removed]
+    expected = saturate(Graph(remaining), schema)
+    assert set(incremental.saturated()) == set(expected)
+
+
+# ---------------------------------------------------------------------------
+# The correctness contract
+
+
+@common_settings
+@given(graph=graph_st, schema=schema_st, query=query_st())
+def test_ucq_reformulation_equals_saturation(graph, schema, query):
+    saturated = saturate(graph, schema)
+    expected = evaluate_cq(saturated, query)
+    db = database_graph(graph, schema)
+    union = reformulate(query, schema)
+    assert evaluate(db, union) == expected
+
+
+@common_settings
+@given(graph=graph_st, schema=schema_st, query=query_st())
+def test_scq_reformulation_equals_saturation(graph, schema, query):
+    saturated = saturate(graph, schema)
+    expected = evaluate_cq(saturated, query)
+    db = database_graph(graph, schema)
+    assert evaluate(db, scq_reformulation(query, schema)) == expected
+
+
+@common_settings
+@given(graph=graph_st, schema=schema_st, data=st.data())
+def test_arbitrary_cover_equals_saturation(graph, schema, data):
+    query = data.draw(query_st())
+    cover = data.draw(cover_st(query))
+    saturated = saturate(graph, schema)
+    expected = evaluate_cq(saturated, query)
+    db = database_graph(graph, schema)
+    assert evaluate(db, jucq_for_cover(cover, schema)) == expected
+
+
+@common_settings
+@given(graph=graph_st, schema=schema_st, query=query_st())
+def test_datalog_equals_saturation(graph, schema, query):
+    saturated = saturate(graph, schema)
+    expected = evaluate_cq(saturated, query)
+    assert datalog_answer(graph, schema, query) == expected
+
+
+@settings(max_examples=25, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(graph=graph_st, schema=schema_st, query=query_st())
+def test_executor_matches_reference_on_all_backends(graph, schema, query):
+    db = database_graph(graph, schema)
+    store = TripleStore.from_graph(graph, schema)
+    union = reformulate(query, schema)
+    expected = evaluate(db, union)
+    for backend in DEFAULT_BACKENDS:
+        assert Executor(store, backend).run(union).answer() == expected
+
+
+# ---------------------------------------------------------------------------
+# Reformulation size accounting
+
+
+@common_settings
+@given(schema=schema_st, query=query_st())
+def test_ucq_size_matches_materialization(schema, query):
+    from repro.reformulation import ucq_size
+
+    assert ucq_size(query, schema) == len(reformulate(query, schema))
+
+
+# ---------------------------------------------------------------------------
+# Incomplete strategies are sound (never invent answers)
+
+
+@common_settings
+@given(graph=graph_st, schema=schema_st, query=query_st())
+def test_incomplete_policies_are_sound(graph, schema, query):
+    from repro.reformulation import ALLEGROGRAPH_STYLE, VIRTUOSO_STYLE
+
+    db = database_graph(graph, schema)
+    complete = evaluate(db, reformulate(query, schema))
+    for policy in (VIRTUOSO_STYLE, ALLEGROGRAPH_STYLE):
+        partial = evaluate(db, reformulate(query, schema, policy))
+        assert partial <= complete
+
+
+# ---------------------------------------------------------------------------
+# Federation equals centralized answering
+
+
+@settings(max_examples=30, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(
+    graph=graph_st,
+    schema=schema_st,
+    query=query_st(),
+    parts=st.integers(1, 3),
+)
+def test_federation_matches_centralized(graph, schema, query, parts):
+    from repro.federation import Endpoint, FederatedAnswerer
+    from repro.rdf.namespaces import SCHEMA_PROPERTIES
+
+    # The federated client handles data-level queries; patterns with an
+    # unbound property can match endpoint-local schema triples the
+    # client would answer from its own (possibly richer) closure, so
+    # restrict the property positions this test exercises.
+    for atom in query.atoms:
+        prop = atom.property
+        from repro.query import Variable as V
+
+        if isinstance(prop, V):
+            return
+    shards = [Graph() for _ in range(parts)]
+    for index, triple in enumerate(sorted(graph.data_triples())):
+        shards[index % parts].add(triple)
+    endpoints = [
+        Endpoint("s%d" % index, shard) for index, shard in enumerate(shards)
+    ]
+    merged_schema = Schema.from_graph(graph)
+    for constraint in schema.direct_constraints():
+        merged_schema.add(constraint)
+    federation = FederatedAnswerer(endpoints, merged_schema)
+
+    full = Graph(graph.data_triples())
+    expected = evaluate_cq(saturate(full, merged_schema), query)
+    assert federation.answer(query).rows == expected

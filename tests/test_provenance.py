@@ -1,0 +1,161 @@
+"""Unit and property tests for derivation provenance."""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+
+from repro.rdf import (
+    BlankNode,
+    Graph,
+    Literal,
+    Namespace,
+    RDF_TYPE,
+    Triple,
+)
+from repro.saturation import saturate
+from repro.saturation.provenance import (
+    Derivation,
+    explain_triple,
+    format_derivation,
+)
+from repro.schema import Constraint, Schema
+
+from tests.test_property_based import graph_st, schema_st
+
+EX = Namespace("http://example.org/")
+
+
+class TestExplain:
+    def test_explicit(self):
+        graph = Graph([Triple(EX.a, EX.p, EX.b)])
+        derivation = explain_triple(Triple(EX.a, EX.p, EX.b), graph)
+        assert derivation.is_explicit()
+        assert derivation.depth() == 0
+
+    def test_not_entailed(self):
+        graph = Graph([Triple(EX.a, EX.p, EX.b)])
+        assert explain_triple(Triple(EX.a, EX.q, EX.b), graph) is None
+
+    def test_type_propagation_chain(self):
+        schema = Schema(
+            [
+                Constraint.subclass(EX.A, EX.B),
+                Constraint.subclass(EX.B, EX.C),
+            ]
+        )
+        graph = Graph([Triple(EX.x, RDF_TYPE, EX.A)])
+        derivation = explain_triple(Triple(EX.x, RDF_TYPE, EX.C), graph, schema)
+        assert derivation is not None
+        assert derivation.rule == "type-propagation"
+        # The proof bottoms out in the explicit type assertion.
+        leaf = derivation
+        while leaf.premises:
+            leaf = leaf.premises[0]
+        assert leaf.is_explicit()
+        assert leaf.triple == Triple(EX.x, RDF_TYPE, EX.A)
+
+    def test_domain_typing(self):
+        schema = Schema([Constraint.domain(EX.p, EX.C)])
+        graph = Graph([Triple(EX.a, EX.p, EX.b)])
+        derivation = explain_triple(Triple(EX.a, RDF_TYPE, EX.C), graph, schema)
+        assert derivation.rule == "domain-typing"
+        assert derivation.constraint == Constraint.domain(EX.p, EX.C)
+
+    def test_range_typing(self):
+        schema = Schema([Constraint.range(EX.p, EX.C)])
+        graph = Graph([Triple(EX.a, EX.p, EX.b)])
+        derivation = explain_triple(Triple(EX.b, RDF_TYPE, EX.C), graph, schema)
+        assert derivation.rule == "range-typing"
+
+    def test_literal_never_explained_as_typed(self):
+        schema = Schema([Constraint.range(EX.p, EX.C)])
+        graph = Graph([Triple(EX.a, EX.p, Literal("v"))])
+        # A type triple with a literal subject is ill-formed and cannot
+        # even be constructed; the nearest well-formed question:
+        assert explain_triple(Triple(EX.a, RDF_TYPE, EX.C), graph, schema) is None
+
+    def test_property_propagation(self):
+        schema = Schema([Constraint.subproperty(EX.p, EX.q)])
+        graph = Graph([Triple(EX.a, EX.p, EX.b)])
+        derivation = explain_triple(Triple(EX.a, EX.q, EX.b), graph, schema)
+        assert derivation.rule == "property-propagation"
+
+    def test_entailed_schema_triple(self):
+        schema = Schema(
+            [
+                Constraint.subclass(EX.A, EX.B),
+                Constraint.subclass(EX.B, EX.C),
+            ]
+        )
+        graph = Graph()
+        derivation = explain_triple(
+            Constraint.subclass(EX.A, EX.C).to_triple(), graph, schema
+        )
+        assert derivation.rule == "schema-closure"
+
+    def test_chained_derivation(self):
+        schema = Schema(
+            [
+                Constraint.subproperty(EX.writtenBy, EX.hasAuthor),
+                Constraint.domain(EX.writtenBy, EX.Book),
+                Constraint.subclass(EX.Book, EX.Publication),
+            ]
+        )
+        graph = Graph([Triple(EX.d, EX.writtenBy, EX.w)])
+        derivation = explain_triple(
+            Triple(EX.d, RDF_TYPE, EX.Publication), graph, schema
+        )
+        assert derivation is not None
+        # Publication via Book's subclass link over domain typing of
+        # the explicit writtenBy triple.
+        rules = []
+        node = derivation
+        while True:
+            rules.append(node.rule)
+            if not node.premises:
+                break
+            node = node.premises[0]
+        assert rules == ["type-propagation", "domain-typing", "explicit"]
+
+    def test_format(self):
+        schema = Schema([Constraint.subclass(EX.A, EX.B)])
+        graph = Graph([Triple(EX.x, RDF_TYPE, EX.A)])
+        derivation = explain_triple(Triple(EX.x, RDF_TYPE, EX.B), graph, schema)
+        text = format_derivation(derivation)
+        assert "type-propagation" in text
+        assert "[explicit]" in text
+        assert text.count("\n") == 1
+
+
+@settings(max_examples=40, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(graph=graph_st, schema=schema_st)
+def test_every_entailed_triple_is_explainable(graph, schema):
+    """Backward explanation is complete w.r.t. forward saturation."""
+    saturated = saturate(graph, schema)
+    for triple in saturated:
+        derivation = explain_triple(triple, graph, schema)
+        assert derivation is not None, triple
+        assert derivation.triple == triple
+
+
+@settings(max_examples=40, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(graph=graph_st, schema=schema_st)
+def test_explanations_are_sound(graph, schema):
+    """Whatever is explainable is in the saturation."""
+    saturated = set(saturate(graph, schema))
+    candidates = list(saturated)[:10]
+    for triple in candidates:
+        derivation = explain_triple(triple, graph, schema)
+        if derivation is not None:
+            assert triple in saturated
+            # Leaves are explicit or closure facts.
+            stack = [derivation]
+            while stack:
+                node = stack.pop()
+                if not node.premises:
+                    assert node.rule in (
+                        "explicit", "schema-closure",
+                        "domain-typing", "range-typing",
+                    ) or node.is_explicit()
+                stack.extend(node.premises)

@@ -1,0 +1,154 @@
+"""Unit tests for query covers and their induced fragment queries."""
+
+import pytest
+
+from repro.query import (
+    ConjunctiveQuery,
+    Cover,
+    CoverError,
+    TriplePattern,
+    Variable,
+    enumerate_partition_covers,
+    partition_cover_count,
+)
+from repro.rdf import Namespace, RDF_TYPE
+
+EX = Namespace("http://example.org/")
+x, y, z = Variable("x"), Variable("y"), Variable("z")
+
+
+def three_atom_query():
+    return ConjunctiveQuery(
+        [x, z],
+        [
+            TriplePattern(x, RDF_TYPE, EX.C),      # t1
+            TriplePattern(x, EX.p, y),             # t2
+            TriplePattern(y, EX.q, z),             # t3
+        ],
+    )
+
+
+class TestValidation:
+    def test_all_atoms_must_be_covered(self):
+        with pytest.raises(CoverError):
+            Cover(three_atom_query(), [[0, 1]])
+
+    def test_empty_fragment_rejected(self):
+        with pytest.raises(CoverError):
+            Cover(three_atom_query(), [[0, 1, 2], []])
+
+    def test_out_of_range_index_rejected(self):
+        with pytest.raises(CoverError):
+            Cover(three_atom_query(), [[0, 1, 2, 3]])
+
+    def test_overlap_allowed(self):
+        cover = Cover(three_atom_query(), [[0, 1], [1, 2]])
+        assert len(cover) == 2
+        assert not cover.is_partition()
+
+    def test_duplicate_fragments_collapse(self):
+        cover = Cover(three_atom_query(), [[0, 1, 2], [0, 1, 2]])
+        assert len(cover) == 1
+
+    def test_deterministic_order(self):
+        first = Cover(three_atom_query(), [[2], [0, 1]])
+        second = Cover(three_atom_query(), [[0, 1], [2]])
+        assert first.fragments == second.fragments
+
+
+class TestClassicalCovers:
+    def test_single_fragment(self):
+        cover = Cover.single_fragment(three_atom_query())
+        assert len(cover) == 1
+        assert cover.is_partition()
+
+    def test_per_atom(self):
+        cover = Cover.per_atom(three_atom_query())
+        assert len(cover) == 3
+        assert all(len(f) == 1 for f in cover.fragments)
+
+
+class TestFragmentQueries:
+    def test_fragment_head_shared_and_distinguished(self):
+        cover = Cover(three_atom_query(), [[0, 1], [2]])
+        first, second = cover.fragments
+        # {t1,t2}: x distinguished, y shared with {t3}.
+        assert set(cover.fragment_head(first)) == {x, y}
+        # {t3}: y shared, z distinguished.
+        assert set(cover.fragment_head(second)) == {y, z}
+
+    def test_private_variable_projected_away(self):
+        query = ConjunctiveQuery(
+            [x],
+            [TriplePattern(x, EX.p, y), TriplePattern(x, EX.q, z)],
+        )
+        cover = Cover(query, [[0], [1]])
+        heads = [set(cover.fragment_head(f)) for f in cover.fragments]
+        # y and z are private to their fragments and not distinguished.
+        assert heads == [{x}, {x}]
+
+    def test_fragment_query_atoms(self):
+        cover = Cover(three_atom_query(), [[0, 2], [1]])
+        fragment = cover.fragments[0]
+        atoms = cover.fragment_atoms(fragment)
+        assert len(atoms) == 2
+
+    def test_single_fragment_head_is_all_distinguished(self):
+        query = three_atom_query()
+        cover = Cover.single_fragment(query)
+        head = cover.fragment_head(cover.fragments[0])
+        assert set(head) == {x, z}
+
+
+class TestMoves:
+    def test_merge(self):
+        cover = Cover.per_atom(three_atom_query())
+        merged = cover.merge_fragments(cover.fragments[0], cover.fragments[1])
+        assert len(merged) == 2
+
+    def test_merge_requires_membership(self):
+        cover = Cover.per_atom(three_atom_query())
+        with pytest.raises(CoverError):
+            cover.merge_fragments(frozenset({0, 1}), cover.fragments[0])
+
+    def test_add_atom_creates_overlap(self):
+        cover = Cover.per_atom(three_atom_query())
+        grown = cover.add_atom_to_fragment(0, cover.fragments[1])
+        assert not grown.is_partition()
+
+    def test_add_present_atom_rejected(self):
+        cover = Cover.per_atom(three_atom_query())
+        with pytest.raises(CoverError):
+            cover.add_atom_to_fragment(0, cover.fragments[0])
+
+    def test_redundant_fragment_removal(self):
+        cover = Cover(three_atom_query(), [[0, 1], [0], [2]])
+        cleaned = cover.without_redundant_fragments()
+        assert frozenset({0}) not in cleaned.fragments
+        assert len(cleaned) == 2
+
+
+class TestEnumeration:
+    def test_partition_counts_match_bell(self):
+        for atoms in range(1, 6):
+            variables = [Variable("v%d" % index) for index in range(atoms + 1)]
+            query = ConjunctiveQuery(
+                [variables[0]],
+                [
+                    TriplePattern(variables[i], EX.p, variables[i + 1])
+                    for i in range(atoms)
+                ],
+            )
+            covers = list(enumerate_partition_covers(query))
+            assert len(covers) == partition_cover_count(atoms)
+            assert all(cover.is_partition() for cover in covers)
+
+    def test_bell_numbers(self):
+        assert [partition_cover_count(n) for n in range(7)] == [
+            1, 1, 2, 5, 15, 52, 203,
+        ]
+
+    def test_all_partitions_distinct(self):
+        query = three_atom_query()
+        covers = list(enumerate_partition_covers(query))
+        assert len({cover.fragments for cover in covers}) == len(covers)

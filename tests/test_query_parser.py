@@ -1,0 +1,104 @@
+"""Unit tests for the SPARQL-lite parser."""
+
+import pytest
+
+from repro.query import QueryParseError, Variable, parse_query
+from repro.rdf import Literal, RDF_TYPE, URI
+
+
+class TestSelect:
+    def test_simple_select(self):
+        query = parse_query(
+            "SELECT ?x WHERE { ?x rdf:type <http://e/Book> }"
+        )
+        assert query.head == (Variable("x"),)
+        assert query.atoms[0].property == RDF_TYPE
+        assert query.atoms[0].object == URI("http://e/Book")
+
+    def test_multiple_atoms_with_dots(self):
+        query = parse_query(
+            "SELECT ?x ?y WHERE { ?x <http://e/p> ?y . ?y <http://e/q> ?z }"
+        )
+        assert len(query.atoms) == 2
+
+    def test_select_star_order_of_appearance(self):
+        query = parse_query(
+            "SELECT * WHERE { ?b <http://e/p> ?a . ?a <http://e/q> ?c }"
+        )
+        assert query.head == (Variable("b"), Variable("a"), Variable("c"))
+
+    def test_prefix_declaration(self):
+        query = parse_query(
+            "PREFIX ub: <http://u/> SELECT ?x WHERE { ?x ub:memberOf ?y }"
+        )
+        assert query.atoms[0].property == URI("http://u/memberOf")
+
+    def test_default_prefixes(self):
+        query = parse_query(
+            "SELECT ?x ?c WHERE { ?x rdf:type ?c . ?c rdfs:subClassOf ?d }"
+        )
+        assert query.atoms[1].property.value.endswith("subClassOf")
+
+    def test_literal_object(self):
+        query = parse_query(
+            'SELECT ?x WHERE { ?x <http://e/publishedIn> "1949" }'
+        )
+        assert query.atoms[0].object == Literal("1949")
+
+    def test_case_insensitive_keywords(self):
+        query = parse_query("select ?x where { ?x rdf:type <http://e/C> }")
+        assert query.arity == 1
+
+    def test_paper_example_query(self):
+        query = parse_query(
+            """
+            PREFIX ub: <http://swat.cse.lehigh.edu/onto/univ-bench.owl#>
+            SELECT ?x ?u ?y ?v ?z
+            WHERE {
+              ?x rdf:type ?u .
+              ?y rdf:type ?v .
+              ?x ub:mastersDegreeFrom <http://www.Univ532.edu> .
+              ?y ub:doctoralDegreeFrom <http://www.Univ532.edu> .
+              ?x ub:memberOf ?z .
+              ?y ub:memberOf ?z
+            }
+            """
+        )
+        assert query.arity == 5
+        assert len(query.atoms) == 6
+
+
+class TestAsk:
+    def test_ask_is_boolean(self):
+        query = parse_query("ASK WHERE { ?x rdf:type <http://e/C> }")
+        assert query.is_boolean()
+
+
+class TestErrors:
+    def test_undeclared_prefix(self):
+        with pytest.raises(QueryParseError):
+            parse_query("SELECT ?x WHERE { ?x ub:p ?y }")
+
+    def test_missing_where(self):
+        with pytest.raises(QueryParseError):
+            parse_query("SELECT ?x { ?x rdf:type <http://e/C> }")
+
+    def test_empty_where(self):
+        with pytest.raises(QueryParseError):
+            parse_query("SELECT ?x WHERE { }")
+
+    def test_select_without_variables(self):
+        with pytest.raises(QueryParseError):
+            parse_query("SELECT WHERE { ?x rdf:type <http://e/C> }")
+
+    def test_trailing_tokens(self):
+        with pytest.raises(QueryParseError):
+            parse_query("SELECT ?x WHERE { ?x rdf:type <http://e/C> } junk")
+
+    def test_head_variable_not_in_body(self):
+        with pytest.raises(ValueError):
+            parse_query("SELECT ?missing WHERE { ?x rdf:type <http://e/C> }")
+
+    def test_truncated_pattern(self):
+        with pytest.raises(QueryParseError):
+            parse_query("SELECT ?x WHERE { ?x rdf:type }")

@@ -1,0 +1,116 @@
+"""Unit tests for the indexed graph."""
+
+import pytest
+
+from repro.rdf import (
+    Graph,
+    Literal,
+    Namespace,
+    RDF_TYPE,
+    RDFS_SUBCLASSOF,
+    Triple,
+)
+
+EX = Namespace("http://example.org/")
+
+
+def sample_graph():
+    return Graph(
+        [
+            Triple(EX.a, RDF_TYPE, EX.C),
+            Triple(EX.b, RDF_TYPE, EX.C),
+            Triple(EX.a, EX.p, EX.b),
+            Triple(EX.a, EX.p, Literal("v")),
+            Triple(EX.C, RDFS_SUBCLASSOF, EX.D),
+        ]
+    )
+
+
+class TestMutation:
+    def test_add_reports_novelty(self):
+        graph = Graph()
+        triple = Triple(EX.a, EX.p, EX.b)
+        assert graph.add(triple) is True
+        assert graph.add(triple) is False
+        assert len(graph) == 1
+
+    def test_add_all_counts_new(self):
+        graph = Graph()
+        triple = Triple(EX.a, EX.p, EX.b)
+        assert graph.add_all([triple, triple]) == 1
+
+    def test_add_rejects_non_triple(self):
+        with pytest.raises(TypeError):
+            Graph().add((EX.a, EX.p, EX.b))
+
+    def test_discard(self):
+        graph = sample_graph()
+        triple = Triple(EX.a, EX.p, EX.b)
+        assert graph.discard(triple) is True
+        assert triple not in graph
+        assert graph.discard(triple) is False
+
+    def test_discard_cleans_indexes(self):
+        graph = Graph([Triple(EX.a, EX.p, EX.b)])
+        graph.discard(Triple(EX.a, EX.p, EX.b))
+        assert list(graph.match(subject=EX.a)) == []
+        assert list(graph.match(property=EX.p)) == []
+        assert list(graph.match(object=EX.b)) == []
+
+
+class TestMatch:
+    def test_match_by_property(self):
+        graph = sample_graph()
+        assert len(list(graph.match(property=RDF_TYPE))) == 2
+
+    def test_match_by_subject_and_property(self):
+        graph = sample_graph()
+        matches = list(graph.match(subject=EX.a, property=EX.p))
+        assert len(matches) == 2
+
+    def test_match_fully_bound(self):
+        graph = sample_graph()
+        assert len(list(graph.match(EX.a, EX.p, EX.b))) == 1
+
+    def test_match_absent_key_is_empty(self):
+        graph = sample_graph()
+        assert list(graph.match(subject=EX.missing)) == []
+
+    def test_match_all(self):
+        assert len(list(sample_graph().match())) == 5
+
+    def test_subjects_of_type(self):
+        assert sample_graph().subjects_of_type(EX.C) == {EX.a, EX.b}
+
+
+class TestViews:
+    def test_schema_data_split(self):
+        graph = sample_graph()
+        assert len(list(graph.schema_triples())) == 1
+        assert len(list(graph.data_triples())) == 4
+
+    def test_values(self):
+        graph = Graph([Triple(EX.a, EX.p, Literal("v"))])
+        assert graph.values() == {EX.a, EX.p, Literal("v")}
+
+    def test_properties(self):
+        assert sample_graph().properties() == {RDF_TYPE, EX.p, RDFS_SUBCLASSOF}
+
+    def test_copy_is_independent(self):
+        graph = sample_graph()
+        clone = graph.copy()
+        clone.add(Triple(EX.z, EX.p, EX.z2))
+        assert len(clone) == len(graph) + 1
+
+    def test_union(self):
+        left = Graph([Triple(EX.a, EX.p, EX.b)])
+        right = Graph([Triple(EX.c, EX.p, EX.d)])
+        assert len(left.union(right)) == 2
+
+    def test_difference(self):
+        graph = sample_graph()
+        empty = Graph()
+        assert graph.difference(empty) == set(graph)
+
+    def test_equality_is_set_equality(self):
+        assert sample_graph() == sample_graph()

@@ -1,0 +1,112 @@
+"""Unit tests for the N-Triples-style reader/writer."""
+
+import io
+
+import pytest
+
+from repro.rdf import (
+    BlankNode,
+    Graph,
+    Literal,
+    Namespace,
+    ParseError,
+    Triple,
+    URI,
+    graph_to_string,
+    parse_line,
+    parse_term,
+    read_ntriples,
+    write_ntriples,
+)
+
+EX = Namespace("http://example.org/")
+
+
+class TestParseTerm:
+    def test_uri(self):
+        assert parse_term("<http://e/a>") == URI("http://e/a")
+
+    def test_blank_node(self):
+        assert parse_term("_:b1") == BlankNode("b1")
+
+    def test_plain_literal(self):
+        assert parse_term('"hello"') == Literal("hello")
+
+    def test_typed_literal(self):
+        term = parse_term('"1"^^<http://www.w3.org/2001/XMLSchema#integer>')
+        assert term.value == "1"
+        assert term.datatype.value.endswith("integer")
+
+    def test_escaped_literal_roundtrip(self):
+        original = Literal('say "hi"\nthere\\')
+        assert parse_term(original.n3()) == original
+
+    def test_empty_uri_rejected(self):
+        with pytest.raises(ParseError):
+            parse_term("<>")
+
+    def test_garbage_rejected(self):
+        with pytest.raises(ParseError):
+            parse_term("??")
+
+
+class TestParseLine:
+    def test_simple(self):
+        triple = parse_line("<http://e/a> <http://e/p> <http://e/b> .")
+        assert triple == Triple(URI("http://e/a"), URI("http://e/p"), URI("http://e/b"))
+
+    def test_missing_term(self):
+        with pytest.raises(ParseError):
+            parse_line("<http://e/a> <http://e/p> .")
+
+    def test_extra_term(self):
+        with pytest.raises(ParseError):
+            parse_line("<http://e/a> <http://e/p> <http://e/b> <http://e/c> .")
+
+    def test_literal_property_rejected(self):
+        with pytest.raises(ParseError):
+            parse_line('<http://e/a> "p" <http://e/b> .')
+
+    def test_error_carries_line_number(self):
+        with pytest.raises(ParseError) as info:
+            parse_line("junk !", line_number=7)
+        assert "line 7" in str(info.value)
+
+
+class TestGraphIO:
+    def test_roundtrip(self):
+        graph = Graph(
+            [
+                Triple(EX.a, EX.p, EX.b),
+                Triple(EX.a, EX.q, Literal("v w")),
+                Triple(BlankNode("n"), EX.p, Literal('quo"te')),
+            ]
+        )
+        assert read_ntriples(graph_to_string(graph)) == graph
+
+    def test_comments_and_blanks_skipped(self):
+        text = "# header\n\n<http://e/a> <http://e/p> <http://e/b> .\n"
+        assert len(read_ntriples(text)) == 1
+
+    def test_write_is_sorted(self):
+        graph = Graph([Triple(EX.b, EX.p, EX.o), Triple(EX.a, EX.p, EX.o)])
+        lines = graph_to_string(graph).splitlines()
+        assert lines == sorted(lines)
+
+    def test_write_returns_count(self):
+        buffer = io.StringIO()
+        graph = Graph([Triple(EX.a, EX.p, EX.b)])
+        assert write_ntriples(graph, buffer) == 1
+
+    def test_file_roundtrip(self, tmp_path):
+        from repro.rdf import load_file, save_file
+
+        graph = Graph([Triple(EX.a, EX.p, Literal("v"))])
+        path = str(tmp_path / "g.nt")
+        assert save_file(graph, path) == 1
+        assert load_file(path) == graph
+
+    def test_parse_error_includes_line(self):
+        with pytest.raises(ParseError) as info:
+            read_ntriples("<http://e/a> <http://e/p> <http://e/b> .\nbad line\n")
+        assert info.value.line_number == 2

@@ -1,0 +1,83 @@
+"""Unit tests for triples and well-formedness."""
+
+import pytest
+
+from repro.rdf import (
+    BlankNode,
+    Literal,
+    Namespace,
+    RDF_TYPE,
+    RDFS_DOMAIN,
+    RDFS_RANGE,
+    RDFS_SUBCLASSOF,
+    RDFS_SUBPROPERTYOF,
+    Triple,
+    URI,
+)
+
+EX = Namespace("http://example.org/")
+
+
+class TestWellFormedness:
+    def test_literal_subject_rejected(self):
+        with pytest.raises(ValueError):
+            Triple(Literal("x"), EX.p, EX.o)
+
+    def test_blank_node_property_rejected(self):
+        with pytest.raises(ValueError):
+            Triple(EX.s, BlankNode("b"), EX.o)
+
+    def test_literal_property_rejected(self):
+        with pytest.raises(ValueError):
+            Triple(EX.s, Literal("p"), EX.o)
+
+    def test_any_object_allowed(self):
+        for obj in (EX.o, BlankNode("b"), Literal("v")):
+            assert Triple(EX.s, EX.p, obj).object == obj
+
+    def test_blank_node_subject_allowed(self):
+        assert Triple(BlankNode("b"), EX.p, EX.o).subject == BlankNode("b")
+
+
+class TestClassification:
+    def test_class_assertion(self):
+        assert Triple(EX.s, RDF_TYPE, EX.C).is_class_assertion()
+        assert not Triple(EX.s, EX.p, EX.o).is_class_assertion()
+
+    def test_schema_triples(self):
+        for prop in (RDFS_SUBCLASSOF, RDFS_SUBPROPERTYOF, RDFS_DOMAIN, RDFS_RANGE):
+            assert Triple(EX.a, prop, EX.b).is_schema_triple()
+
+    def test_type_triple_is_data(self):
+        triple = Triple(EX.s, RDF_TYPE, EX.C)
+        assert triple.is_data_triple()
+        assert not triple.is_schema_triple()
+
+
+class TestIdentity:
+    def test_equality_and_hash(self):
+        first = Triple(EX.s, EX.p, EX.o)
+        second = Triple(EX.s, EX.p, EX.o)
+        assert first == second
+        assert len({first, second}) == 1
+
+    def test_inequality(self):
+        assert Triple(EX.s, EX.p, EX.o) != Triple(EX.s, EX.p, EX.o2)
+
+    def test_immutable(self):
+        triple = Triple(EX.s, EX.p, EX.o)
+        with pytest.raises(AttributeError):
+            triple.subject = EX.other
+
+    def test_iteration_order(self):
+        triple = Triple(EX.s, EX.p, EX.o)
+        assert list(triple) == [EX.s, EX.p, EX.o]
+
+    def test_sorting(self):
+        a = Triple(EX.a, EX.p, EX.o)
+        b = Triple(EX.b, EX.p, EX.o)
+        assert sorted([b, a]) == [a, b]
+
+    def test_n3(self):
+        triple = Triple(EX.s, EX.p, Literal("v"))
+        assert triple.n3() == '<http://example.org/s> <http://example.org/p> "v" .'

@@ -1,0 +1,217 @@
+"""Unit tests for per-atom reformulation (the rules of [9])."""
+
+import pytest
+
+from repro.query import TriplePattern, Variable
+from repro.rdf import Namespace, RDF_TYPE, RDFS_SUBCLASSOF
+from repro.reformulation import (
+    ALLEGROGRAPH_STYLE,
+    VIRTUOSO_STYLE,
+    atom_reformulation_size,
+    reformulate_atom,
+)
+from repro.schema import Constraint, Schema
+
+EX = Namespace("http://example.org/")
+x, y, v = Variable("x"), Variable("y"), Variable("v")
+
+
+def library_schema():
+    return Schema(
+        [
+            Constraint.subclass(EX.Book, EX.Publication),
+            Constraint.subclass(EX.Novel, EX.Book),
+            Constraint.subproperty(EX.writtenBy, EX.hasAuthor),
+            Constraint.domain(EX.writtenBy, EX.Book),
+            Constraint.range(EX.writtenBy, EX.Person),
+        ]
+    )
+
+
+def atoms_of(alternatives):
+    return {alternative.atom for alternative in alternatives}
+
+
+class TestTypeAtom:
+    def test_identity_always_first(self):
+        atom = TriplePattern(x, RDF_TYPE, EX.Publication)
+        alternatives = reformulate_atom(atom, library_schema())
+        assert alternatives[0].atom == atom
+        assert alternatives[0].substitution == {}
+
+    def test_subclass_unfolding(self):
+        atom = TriplePattern(x, RDF_TYPE, EX.Publication)
+        produced = atoms_of(reformulate_atom(atom, library_schema()))
+        assert TriplePattern(x, RDF_TYPE, EX.Book) in produced
+        assert TriplePattern(x, RDF_TYPE, EX.Novel) in produced
+
+    def test_domain_unfolding(self):
+        atom = TriplePattern(x, RDF_TYPE, EX.Book)
+        produced = atoms_of(reformulate_atom(atom, library_schema()))
+        domain_atoms = [
+            a for a in produced if a.property == EX.writtenBy and a.subject == x
+        ]
+        assert len(domain_atoms) == 1
+
+    def test_domain_unfolding_through_widening(self):
+        # writtenBy's domain Book ⊑ Publication, so Publication-typing
+        # also unfolds into a writtenBy atom.
+        atom = TriplePattern(x, RDF_TYPE, EX.Publication)
+        produced = atoms_of(reformulate_atom(atom, library_schema()))
+        assert any(
+            a.property == EX.writtenBy and a.subject == x for a in produced
+        )
+
+    def test_range_unfolding(self):
+        atom = TriplePattern(x, RDF_TYPE, EX.Person)
+        produced = atoms_of(reformulate_atom(atom, library_schema()))
+        assert any(
+            a.property == EX.writtenBy and a.object == x for a in produced
+        )
+
+    def test_fresh_variables_distinct(self):
+        atom = TriplePattern(x, RDF_TYPE, EX.Book)
+        first = reformulate_atom(atom, library_schema())
+        second = reformulate_atom(atom, library_schema())
+        fresh_first = {
+            alt.atom.object for alt in first if alt.atom.property == EX.writtenBy
+        }
+        fresh_second = {
+            alt.atom.object for alt in second if alt.atom.property == EX.writtenBy
+        }
+        assert fresh_first.isdisjoint(fresh_second)
+
+    def test_size_matches_enumeration(self):
+        schema = library_schema()
+        for klass in (EX.Publication, EX.Book, EX.Person, EX.Unknown):
+            atom = TriplePattern(x, RDF_TYPE, klass)
+            assert atom_reformulation_size(atom, schema) == len(
+                reformulate_atom(atom, schema)
+            )
+
+
+class TestOpenClassVariable:
+    def test_binds_variable_per_class(self):
+        atom = TriplePattern(x, RDF_TYPE, v)
+        alternatives = reformulate_atom(atom, library_schema())
+        bound_classes = {
+            alt.substitution.get(v) for alt in alternatives if alt.substitution
+        }
+        assert EX.Publication in bound_classes
+        assert EX.Book in bound_classes
+
+    def test_identity_kept_unbound(self):
+        atom = TriplePattern(x, RDF_TYPE, v)
+        alternatives = reformulate_atom(atom, library_schema())
+        assert alternatives[0].atom == atom
+        assert alternatives[0].substitution == {}
+
+    def test_size_matches_enumeration(self):
+        atom = TriplePattern(x, RDF_TYPE, v)
+        schema = library_schema()
+        assert atom_reformulation_size(atom, schema) == len(
+            reformulate_atom(atom, schema)
+        )
+
+
+class TestPropertyAtom:
+    def test_subproperty_unfolding(self):
+        atom = TriplePattern(x, EX.hasAuthor, y)
+        produced = atoms_of(reformulate_atom(atom, library_schema()))
+        assert TriplePattern(x, EX.writtenBy, y) in produced
+
+    def test_leaf_property_identity_only(self):
+        atom = TriplePattern(x, EX.writtenBy, y)
+        assert len(reformulate_atom(atom, library_schema())) == 1
+
+    def test_unknown_property_identity_only(self):
+        atom = TriplePattern(x, EX.unknown, y)
+        assert len(reformulate_atom(atom, library_schema())) == 1
+
+    def test_size_matches_enumeration(self):
+        schema = library_schema()
+        atom = TriplePattern(x, EX.hasAuthor, y)
+        assert atom_reformulation_size(atom, schema) == 2
+
+
+class TestOpenPropertyVariable:
+    def test_binds_superproperty(self):
+        atom = TriplePattern(x, v, y)
+        alternatives = reformulate_atom(atom, library_schema())
+        assert any(
+            alt.atom == TriplePattern(x, EX.writtenBy, y)
+            and alt.substitution == {v: EX.hasAuthor}
+            for alt in alternatives
+        )
+
+    def test_includes_type_unfoldings(self):
+        atom = TriplePattern(x, v, y)
+        alternatives = reformulate_atom(atom, library_schema())
+        assert any(
+            alt.substitution.get(v) == RDF_TYPE for alt in alternatives
+        )
+
+    def test_size_matches_enumeration(self):
+        atom = TriplePattern(x, v, y)
+        schema = library_schema()
+        assert atom_reformulation_size(atom, schema) == len(
+            reformulate_atom(atom, schema)
+        )
+
+
+class TestSchemaAtom:
+    def test_identity_only(self):
+        atom = TriplePattern(x, RDFS_SUBCLASSOF, y)
+        alternatives = reformulate_atom(atom, library_schema())
+        assert len(alternatives) == 1
+        assert alternatives[0].atom == atom
+
+    def test_size(self):
+        atom = TriplePattern(EX.Novel, RDFS_SUBCLASSOF, EX.Publication)
+        assert atom_reformulation_size(atom, library_schema()) == 1
+
+
+class TestTypeSubproperty:
+    def test_tau_subproperty_unfolds_type_atoms(self):
+        schema = Schema(
+            [
+                Constraint.subproperty(EX.isA, RDF_TYPE),
+                Constraint.subclass(EX.Book, EX.Publication),
+            ]
+        )
+        atom = TriplePattern(x, RDF_TYPE, EX.Publication)
+        produced = atoms_of(reformulate_atom(atom, schema))
+        assert TriplePattern(x, EX.isA, EX.Publication) in produced
+        assert TriplePattern(x, EX.isA, EX.Book) in produced
+
+
+class TestPolicies:
+    def test_virtuoso_ignores_domain_range(self):
+        atom = TriplePattern(x, RDF_TYPE, EX.Book)
+        produced = atoms_of(
+            reformulate_atom(atom, library_schema(), VIRTUOSO_STYLE)
+        )
+        assert all(a.property == RDF_TYPE for a in produced)
+
+    def test_virtuoso_keeps_hierarchies(self):
+        atom = TriplePattern(x, EX.hasAuthor, y)
+        produced = atoms_of(
+            reformulate_atom(atom, library_schema(), VIRTUOSO_STYLE)
+        )
+        assert TriplePattern(x, EX.writtenBy, y) in produced
+
+    def test_allegrograph_subclass_only(self):
+        schema = library_schema()
+        type_atom = TriplePattern(x, RDF_TYPE, EX.Publication)
+        produced = atoms_of(
+            reformulate_atom(type_atom, schema, ALLEGROGRAPH_STYLE)
+        )
+        assert TriplePattern(x, RDF_TYPE, EX.Book) in produced
+        property_atom = TriplePattern(x, EX.hasAuthor, y)
+        assert len(reformulate_atom(property_atom, schema, ALLEGROGRAPH_STYLE)) == 1
+
+    def test_allegrograph_ignores_open_variables(self):
+        atom = TriplePattern(x, RDF_TYPE, v)
+        assert len(
+            reformulate_atom(atom, library_schema(), ALLEGROGRAPH_STYLE)
+        ) == 1

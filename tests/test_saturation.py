@@ -1,0 +1,188 @@
+"""Unit tests for saturation: rules, fast/naive engines, fixpoint laws."""
+
+import pytest
+
+from repro.rdf import (
+    BlankNode,
+    Graph,
+    Literal,
+    Namespace,
+    RDF_TYPE,
+    RDFS_DOMAIN,
+    RDFS_RANGE,
+    RDFS_SUBCLASSOF,
+    RDFS_SUBPROPERTYOF,
+    Triple,
+)
+from repro.schema import Constraint, Schema
+from repro.saturation import (
+    is_saturated,
+    saturate,
+    saturate_naive,
+)
+
+EX = Namespace("http://example.org/")
+
+
+class TestInstanceRules:
+    def test_type_propagation(self):
+        graph = Graph(
+            [
+                Triple(EX.a, RDF_TYPE, EX.Manager),
+                Triple(EX.Manager, RDFS_SUBCLASSOF, EX.Employee),
+            ]
+        )
+        assert Triple(EX.a, RDF_TYPE, EX.Employee) in saturate(graph)
+
+    def test_type_propagation_transitive(self):
+        graph = Graph(
+            [
+                Triple(EX.a, RDF_TYPE, EX.A),
+                Triple(EX.A, RDFS_SUBCLASSOF, EX.B),
+                Triple(EX.B, RDFS_SUBCLASSOF, EX.C),
+            ]
+        )
+        saturated = saturate(graph)
+        assert Triple(EX.a, RDF_TYPE, EX.B) in saturated
+        assert Triple(EX.a, RDF_TYPE, EX.C) in saturated
+
+    def test_property_propagation(self):
+        graph = Graph(
+            [
+                Triple(EX.a, EX.writtenBy, EX.b),
+                Triple(EX.writtenBy, RDFS_SUBPROPERTYOF, EX.hasAuthor),
+            ]
+        )
+        assert Triple(EX.a, EX.hasAuthor, EX.b) in saturate(graph)
+
+    def test_domain_typing(self):
+        graph = Graph(
+            [
+                Triple(EX.a, EX.p, EX.b),
+                Triple(EX.p, RDFS_DOMAIN, EX.C),
+            ]
+        )
+        assert Triple(EX.a, RDF_TYPE, EX.C) in saturate(graph)
+
+    def test_range_typing(self):
+        graph = Graph(
+            [
+                Triple(EX.a, EX.p, EX.b),
+                Triple(EX.p, RDFS_RANGE, EX.C),
+            ]
+        )
+        assert Triple(EX.b, RDF_TYPE, EX.C) in saturate(graph)
+
+    def test_range_typing_skips_literal_objects(self):
+        graph = Graph(
+            [
+                Triple(EX.a, EX.p, Literal("v")),
+                Triple(EX.p, RDFS_RANGE, EX.C),
+            ]
+        )
+        saturated = saturate(graph)
+        for triple in saturated:
+            assert not isinstance(triple.subject, Literal)
+
+    def test_chained_subproperty_then_domain(self):
+        graph = Graph(
+            [
+                Triple(EX.a, EX.p, EX.b),
+                Triple(EX.p, RDFS_SUBPROPERTYOF, EX.q),
+                Triple(EX.q, RDFS_DOMAIN, EX.C),
+            ]
+        )
+        saturated = saturate(graph)
+        assert Triple(EX.a, EX.q, EX.b) in saturated
+        assert Triple(EX.a, RDF_TYPE, EX.C) in saturated
+
+    def test_type_as_superproperty(self):
+        # p ⊑sp rdf:type: (s p C) entails (s rdf:type C), which chains
+        # into the class hierarchy.
+        graph = Graph(
+            [
+                Triple(EX.a, EX.isA, EX.C),
+                Triple(EX.isA, RDFS_SUBPROPERTYOF, RDF_TYPE),
+                Triple(EX.C, RDFS_SUBCLASSOF, EX.D),
+            ]
+        )
+        saturated = saturate(graph)
+        assert Triple(EX.a, RDF_TYPE, EX.C) in saturated
+        assert Triple(EX.a, RDF_TYPE, EX.D) in saturated
+
+
+class TestSchemaRules:
+    def test_entailed_schema_triples_added(self):
+        graph = Graph(
+            [
+                Triple(EX.A, RDFS_SUBCLASSOF, EX.B),
+                Triple(EX.B, RDFS_SUBCLASSOF, EX.C),
+            ]
+        )
+        assert Triple(EX.A, RDFS_SUBCLASSOF, EX.C) in saturate(graph)
+
+    def test_domain_widening_entailed(self):
+        graph = Graph(
+            [
+                Triple(EX.p, RDFS_DOMAIN, EX.C),
+                Triple(EX.C, RDFS_SUBCLASSOF, EX.D),
+            ]
+        )
+        assert Triple(EX.p, RDFS_DOMAIN, EX.D) in saturate(graph)
+
+    def test_inadmissible_constraints_inert(self):
+        graph = Graph(
+            [
+                Triple(EX.a, RDF_TYPE, EX.C),
+                # Meta-level nonsense: must not fire anything.
+                Triple(RDF_TYPE, RDFS_DOMAIN, EX.D),
+            ]
+        )
+        saturated = saturate(graph)
+        assert Triple(EX.a, RDF_TYPE, EX.D) not in saturated
+        # But the explicit triple is preserved.
+        assert Triple(RDF_TYPE, RDFS_DOMAIN, EX.D) in saturated
+
+
+class TestEngineLaws:
+    def test_fast_equals_naive_on_books(self, books):
+        graph, _, _ = books
+        assert set(saturate(graph)) == set(saturate_naive(graph))
+
+    def test_idempotent(self, books):
+        graph, _, _ = books
+        once = saturate(graph)
+        twice = saturate(once)
+        assert set(once) == set(twice)
+
+    def test_is_saturated(self, books):
+        graph, _, _ = books
+        assert not is_saturated(graph)
+        assert is_saturated(saturate(graph))
+
+    def test_monotone(self, books):
+        graph, _, _ = books
+        bigger = graph.copy()
+        bigger.add(Triple(EX.extra, RDF_TYPE, EX.C))
+        assert set(saturate(graph)) <= set(saturate(bigger))
+
+    def test_input_not_mutated(self, books):
+        graph, _, _ = books
+        before = len(graph)
+        saturate(graph)
+        assert len(graph) == before
+
+    def test_separate_schema_argument(self):
+        data = Graph([Triple(EX.a, RDF_TYPE, EX.Manager)])
+        schema = Schema([Constraint.subclass(EX.Manager, EX.Employee)])
+        saturated = saturate(data, schema)
+        assert Triple(EX.a, RDF_TYPE, EX.Employee) in saturated
+
+    def test_books_implicit_triples(self, books, books_saturated):
+        graph, _, _ = books
+        from repro.datasets.books import BOOKS
+
+        implicit = books_saturated.difference(graph)
+        assert Triple(BOOKS.doi1, RDF_TYPE, BOOKS.Publication) in implicit
+        assert Triple(BOOKS.doi1, BOOKS.hasAuthor, BlankNode("b1")) in implicit
+        assert Triple(BlankNode("b1"), RDF_TYPE, BOOKS.Person) in implicit

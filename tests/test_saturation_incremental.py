@@ -1,0 +1,142 @@
+"""Unit tests for incremental saturation maintenance (E7's machinery)."""
+
+import pytest
+
+from repro.rdf import Graph, Namespace, RDF_TYPE, Triple
+from repro.saturation import IncrementalSaturator, saturate
+from repro.schema import Constraint, Schema
+
+EX = Namespace("http://example.org/")
+
+
+def employee_schema():
+    return Schema(
+        [
+            Constraint.subclass(EX.Manager, EX.Employee),
+            Constraint.subclass(EX.Employee, EX.Person),
+            Constraint.subproperty(EX.manages, EX.worksWith),
+            Constraint.domain(EX.manages, EX.Manager),
+            Constraint.range(EX.manages, EX.Employee),
+        ]
+    )
+
+
+class TestInsert:
+    def test_insert_derives(self):
+        sat = IncrementalSaturator(employee_schema())
+        sat.insert(Triple(EX.ann, EX.manages, EX.bob))
+        graph = sat.saturated()
+        assert Triple(EX.ann, EX.worksWith, EX.bob) in graph
+        assert Triple(EX.ann, RDF_TYPE, EX.Manager) in graph
+        assert Triple(EX.ann, RDF_TYPE, EX.Person) in graph
+        assert Triple(EX.bob, RDF_TYPE, EX.Employee) in graph
+
+    def test_insert_matches_full_saturation(self):
+        schema = employee_schema()
+        data = [
+            Triple(EX.ann, EX.manages, EX.bob),
+            Triple(EX.bob, RDF_TYPE, EX.Manager),
+            Triple(EX.carol, EX.worksWith, EX.ann),
+        ]
+        incremental = IncrementalSaturator(schema, data)
+        full = saturate(Graph(data), schema)
+        assert set(incremental.saturated()) == set(full)
+
+    def test_duplicate_insert_noop(self):
+        sat = IncrementalSaturator(employee_schema())
+        triple = Triple(EX.ann, EX.manages, EX.bob)
+        sat.insert(triple)
+        size = len(sat)
+        sat.insert(triple)
+        assert len(sat) == size
+
+    def test_schema_triple_insert_rejected(self):
+        sat = IncrementalSaturator(employee_schema())
+        with pytest.raises(ValueError):
+            sat.insert(Constraint.subclass(EX.A, EX.B).to_triple())
+
+
+class TestDelete:
+    def test_delete_evicts_unsupported(self):
+        sat = IncrementalSaturator(employee_schema())
+        triple = Triple(EX.ann, EX.manages, EX.bob)
+        sat.insert(triple)
+        sat.delete(triple)
+        assert Triple(EX.ann, RDF_TYPE, EX.Manager) not in sat.saturated()
+        assert len(sat.saturated()) == len(
+            list(employee_schema().entailed_triples())
+        )
+
+    def test_delete_keeps_multiply_supported(self):
+        sat = IncrementalSaturator(employee_schema())
+        first = Triple(EX.ann, EX.manages, EX.bob)
+        second = Triple(EX.ann, EX.manages, EX.carol)
+        sat.insert(first)
+        sat.insert(second)
+        sat.delete(first)
+        # ann is still a Manager thanks to the second triple.
+        assert Triple(EX.ann, RDF_TYPE, EX.Manager) in sat.saturated()
+
+    def test_delete_keeps_explicit_derived_duplicates(self):
+        sat = IncrementalSaturator(employee_schema())
+        sat.insert(Triple(EX.ann, EX.manages, EX.bob))
+        # worksWith is both derivable and explicitly inserted.
+        explicit = Triple(EX.ann, EX.worksWith, EX.bob)
+        sat.insert(explicit)
+        sat.delete(Triple(EX.ann, EX.manages, EX.bob))
+        assert explicit in sat.saturated()
+        sat.delete(explicit)
+        assert explicit not in sat.saturated()
+
+    def test_delete_absent_noop(self):
+        sat = IncrementalSaturator(employee_schema())
+        sat.delete(Triple(EX.ann, EX.manages, EX.bob))
+        assert len(sat.explicit_triples()) == 0
+
+    def test_random_insert_delete_matches_full(self):
+        import random
+
+        rng = random.Random(5)
+        schema = employee_schema()
+        people = [EX.term("p%d" % index) for index in range(6)]
+        pool = [
+            Triple(rng.choice(people), EX.manages, rng.choice(people))
+            for _ in range(20)
+        ] + [
+            Triple(rng.choice(people), RDF_TYPE, EX.Manager) for _ in range(5)
+        ]
+        sat = IncrementalSaturator(schema)
+        live = set()
+        for _ in range(60):
+            triple = rng.choice(pool)
+            if triple in live and rng.random() < 0.5:
+                sat.delete(triple)
+                live.discard(triple)
+            else:
+                sat.insert(triple)
+                live.add(triple)
+            expected = saturate(Graph(live), schema)
+            assert set(sat.saturated()) == set(expected)
+
+
+class TestSchemaUpdates:
+    def test_add_constraint_resaturates(self):
+        sat = IncrementalSaturator(Schema())
+        sat.insert(Triple(EX.ann, RDF_TYPE, EX.Manager))
+        assert Triple(EX.ann, RDF_TYPE, EX.Employee) not in sat.saturated()
+        sat.add_constraint(Constraint.subclass(EX.Manager, EX.Employee))
+        assert Triple(EX.ann, RDF_TYPE, EX.Employee) in sat.saturated()
+
+    def test_remove_constraint_resaturates(self):
+        schema = Schema([Constraint.subclass(EX.Manager, EX.Employee)])
+        sat = IncrementalSaturator(schema)
+        sat.insert(Triple(EX.ann, RDF_TYPE, EX.Manager))
+        sat.remove_constraint(Constraint.subclass(EX.Manager, EX.Employee))
+        assert Triple(EX.ann, RDF_TYPE, EX.Employee) not in sat.saturated()
+
+    def test_derived_count(self):
+        sat = IncrementalSaturator(employee_schema())
+        sat.insert(Triple(EX.ann, EX.manages, EX.bob))
+        # worksWith, Manager, Employee(ann), Person(ann), Employee(bob),
+        # Person(bob)
+        assert sat.derived_count == 6

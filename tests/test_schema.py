@@ -1,0 +1,208 @@
+"""Unit tests for RDFS constraints and the schema closure."""
+
+import pytest
+
+from repro.rdf import (
+    Namespace,
+    RDF_TYPE,
+    RDFS_DOMAIN,
+    RDFS_SUBCLASSOF,
+    RDFS_SUBPROPERTYOF,
+    Triple,
+)
+from repro.schema import (
+    Constraint,
+    ConstraintKind,
+    Schema,
+    constraints_from_triples,
+    is_admissible_constraint,
+)
+
+EX = Namespace("http://example.org/")
+
+
+class TestConstraint:
+    def test_triple_roundtrip(self):
+        constraint = Constraint.subclass(EX.A, EX.B)
+        assert Constraint.from_triple(constraint.to_triple()) == constraint
+
+    def test_from_non_schema_triple_rejected(self):
+        with pytest.raises(ValueError):
+            Constraint.from_triple(Triple(EX.a, EX.p, EX.b))
+
+    def test_kind_property_uris(self):
+        assert ConstraintKind.SUBCLASS.property_uri == RDFS_SUBCLASSOF
+        assert ConstraintKind.DOMAIN.property_uri == RDFS_DOMAIN
+
+    def test_equality(self):
+        assert Constraint.domain(EX.p, EX.C) == Constraint.domain(EX.p, EX.C)
+        assert Constraint.domain(EX.p, EX.C) != Constraint.range(EX.p, EX.C)
+
+    def test_constraints_from_triples_skips_data(self):
+        triples = [
+            Triple(EX.a, EX.p, EX.b),
+            Triple(EX.A, RDFS_SUBCLASSOF, EX.B),
+        ]
+        assert list(constraints_from_triples(triples)) == [
+            Constraint.subclass(EX.A, EX.B)
+        ]
+
+
+class TestAdmissibility:
+    def test_normal_constraint_admissible(self):
+        assert is_admissible_constraint(Triple(EX.A, RDFS_SUBCLASSOF, EX.B))
+
+    def test_builtin_subject_inadmissible(self):
+        assert not is_admissible_constraint(
+            Triple(RDF_TYPE, RDFS_DOMAIN, EX.C)
+        )
+        assert not is_admissible_constraint(
+            Triple(RDFS_SUBCLASSOF, RDFS_SUBPROPERTYOF, EX.p)
+        )
+
+    def test_builtin_object_inadmissible(self):
+        assert not is_admissible_constraint(
+            Triple(EX.p, RDFS_SUBPROPERTYOF, RDFS_SUBCLASSOF)
+        )
+
+    def test_type_as_superproperty_admissible(self):
+        assert is_admissible_constraint(
+            Triple(EX.isA, RDFS_SUBPROPERTYOF, RDF_TYPE)
+        )
+
+    def test_type_as_domain_target_inadmissible(self):
+        assert not is_admissible_constraint(Triple(EX.p, RDFS_DOMAIN, RDF_TYPE))
+
+    def test_data_triple_not_a_constraint(self):
+        assert not is_admissible_constraint(Triple(EX.a, EX.p, EX.b))
+
+    def test_inadmissible_filtered_from_schema(self):
+        schema = Schema.from_triples(
+            [Triple(RDF_TYPE, RDFS_DOMAIN, EX.C), Triple(EX.A, RDFS_SUBCLASSOF, EX.B)]
+        )
+        assert len(schema) == 1
+
+
+class TestClosure:
+    def test_subclass_transitivity(self):
+        schema = Schema(
+            [Constraint.subclass(EX.A, EX.B), Constraint.subclass(EX.B, EX.C)]
+        )
+        assert schema.superclasses(EX.A) == {EX.B, EX.C}
+        assert schema.subclasses(EX.C) == {EX.A, EX.B}
+
+    def test_subproperty_transitivity(self):
+        schema = Schema(
+            [
+                Constraint.subproperty(EX.p, EX.q),
+                Constraint.subproperty(EX.q, EX.r),
+            ]
+        )
+        assert schema.superproperties(EX.p) == {EX.q, EX.r}
+        assert schema.subproperties(EX.r) == {EX.p, EX.q}
+
+    def test_subclass_cycle(self):
+        schema = Schema(
+            [Constraint.subclass(EX.A, EX.B), Constraint.subclass(EX.B, EX.A)]
+        )
+        assert EX.A in schema.superclasses(EX.B)
+        assert EX.B in schema.superclasses(EX.A)
+        # Cycles make every member reachable from itself.
+        assert EX.A in schema.superclasses(EX.A)
+
+    def test_domain_inherited_from_superproperty(self):
+        schema = Schema(
+            [
+                Constraint.subproperty(EX.p, EX.q),
+                Constraint.domain(EX.q, EX.C),
+            ]
+        )
+        assert EX.C in schema.domains(EX.p)
+
+    def test_domain_widened_by_subclass(self):
+        schema = Schema(
+            [
+                Constraint.domain(EX.p, EX.C),
+                Constraint.subclass(EX.C, EX.D),
+            ]
+        )
+        assert schema.domains(EX.p) == {EX.C, EX.D}
+
+    def test_range_inherited_and_widened(self):
+        schema = Schema(
+            [
+                Constraint.subproperty(EX.p, EX.q),
+                Constraint.range(EX.q, EX.C),
+                Constraint.subclass(EX.C, EX.D),
+            ]
+        )
+        assert schema.ranges(EX.p) == {EX.C, EX.D}
+
+    def test_properties_with_domain(self):
+        schema = Schema(
+            [
+                Constraint.domain(EX.p, EX.C),
+                Constraint.subclass(EX.C, EX.D),
+                Constraint.domain(EX.q, EX.E),
+            ]
+        )
+        assert schema.properties_with_domain(EX.D) == {EX.p}
+        assert schema.properties_with_domain(EX.C) == {EX.p}
+        assert schema.properties_with_domain(EX.E) == {EX.q}
+
+    def test_is_subclass_reflexive(self):
+        schema = Schema([Constraint.subclass(EX.A, EX.B)])
+        assert schema.is_subclass(EX.A, EX.A)
+        assert schema.is_subclass(EX.A, EX.B)
+        assert not schema.is_subclass(EX.B, EX.A)
+
+    def test_entailed_constraints(self):
+        schema = Schema(
+            [Constraint.subclass(EX.A, EX.B), Constraint.subclass(EX.B, EX.C)]
+        )
+        assert Constraint.subclass(EX.A, EX.C) in schema.entailed_constraints()
+
+    def test_classes_and_properties(self):
+        schema = Schema(
+            [
+                Constraint.subclass(EX.A, EX.B),
+                Constraint.domain(EX.p, EX.C),
+            ]
+        )
+        assert schema.classes() == frozenset({EX.A, EX.B, EX.C})
+        assert schema.properties() == frozenset({EX.p})
+
+
+class TestMutation:
+    def test_add_invalidates_closure(self):
+        schema = Schema([Constraint.subclass(EX.A, EX.B)])
+        assert schema.superclasses(EX.A) == {EX.B}
+        schema.add(Constraint.subclass(EX.B, EX.C))
+        assert schema.superclasses(EX.A) == {EX.B, EX.C}
+
+    def test_remove_invalidates_closure(self):
+        schema = Schema(
+            [Constraint.subclass(EX.A, EX.B), Constraint.subclass(EX.B, EX.C)]
+        )
+        schema.remove(Constraint.subclass(EX.B, EX.C))
+        assert schema.superclasses(EX.A) == {EX.B}
+
+    def test_add_duplicate_is_noop(self):
+        schema = Schema([Constraint.subclass(EX.A, EX.B)])
+        assert schema.add(Constraint.subclass(EX.A, EX.B)) is False
+
+    def test_remove_absent_is_noop(self):
+        schema = Schema()
+        assert schema.remove(Constraint.subclass(EX.A, EX.B)) is False
+
+    def test_copy_is_independent(self):
+        schema = Schema([Constraint.subclass(EX.A, EX.B)])
+        clone = schema.copy()
+        clone.add(Constraint.subclass(EX.B, EX.C))
+        assert len(schema) == 1
+        assert len(clone) == 2
+
+    def test_from_graph_merges_all_kinds(self, books):
+        graph, schema, _ = books
+        extracted = Schema.from_graph(graph)
+        assert extracted == schema
