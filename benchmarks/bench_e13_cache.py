@@ -1,0 +1,231 @@
+"""E13 — amortizing reformulation: warm vs cold answering.
+
+The cache subsystem's claim: for repeated-query workloads, serving the
+reformulation (and, absent updates, the answer) from the
+:class:`~repro.cache.QueryCache` removes the cost the paper shows
+dominating query answering — the UCQ construction, the SCQ fragment
+reformulations, the GCov cover search.  Measured here on the LUBM
+workload:
+
+* cold vs warm answering per strategy (warm-cache REF_GCOV must be
+  ≥ 5× faster than cold on repeated queries — the acceptance bar);
+* the hit/miss/eviction counters behind those timings;
+* the update penalty: one insert retires answers but not
+  reformulations, so the post-update run pays evaluation only.
+
+Runs two ways: under pytest alongside the other benchmarks, and as a
+script (``python benchmarks/bench_e13_cache.py --quick``) for CI smoke.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+import time
+from typing import Dict, List, Optional, Sequence, Tuple
+
+_SRC = os.path.abspath(
+    os.path.join(os.path.dirname(os.path.abspath(__file__)), os.pardir, "src")
+)
+if os.path.isdir(_SRC) and _SRC not in sys.path:
+    sys.path.insert(0, _SRC)
+
+from repro import QueryAnswerer, Strategy
+from repro.bench import format_table
+from repro.cache import QueryCache
+from repro.datasets import generate_lubm, lubm_queries
+from repro.rdf import RDF_TYPE, Triple
+from repro.rdf.namespaces import Namespace
+
+#: The repeated-query workload: every complete strategy's LUBM subset
+#: that answers in interactive time on the bench instance.
+WORKLOAD = ("Q1", "Q3", "Q5", "Q6", "Q13", "Q14")
+STRATEGIES = (
+    Strategy.REF_GCOV,
+    Strategy.REF_UCQ,
+    Strategy.REF_SCQ,
+    Strategy.SAT,
+)
+
+
+def _answer_ms(answerer: QueryAnswerer, query, strategy: Strategy) -> float:
+    start = time.perf_counter()
+    answerer.answer(query, strategy)
+    return (time.perf_counter() - start) * 1e3
+
+
+def run_cache_comparison(
+    graph,
+    strategies: Sequence[Strategy] = STRATEGIES,
+    names: Sequence[str] = WORKLOAD,
+    warm_rounds: int = 3,
+) -> Tuple[List[List], Dict, Dict[Strategy, float]]:
+    """Answer every workload query cold then warm per strategy.
+
+    Returns (table rows, cache stats, per-strategy speedup) where the
+    speedup is total-cold-ms over best-warm-total-ms.
+    """
+    cache = QueryCache()
+    answerer = QueryAnswerer(graph, cache=cache)
+    answerer.saturated_store()  # SAT timings measure evaluation, as in E3
+    queries = lubm_queries()
+    rows: List[List] = []
+    speedups: Dict[Strategy, float] = {}
+    for strategy in strategies:
+        cold_total = 0.0
+        warm_total = 0.0
+        for name in names:
+            query = queries[name]
+            cold = _answer_ms(answerer, query, strategy)
+            warm = min(
+                _answer_ms(answerer, query, strategy)
+                for _ in range(warm_rounds)
+            )
+            cold_total += cold
+            warm_total += warm
+            rows.append(
+                [strategy.value, name, "%.2f" % cold, "%.3f" % warm,
+                 "%.0fx" % (cold / warm if warm > 0 else float("inf"))]
+            )
+        speedups[strategy] = (
+            cold_total / warm_total if warm_total > 0 else float("inf")
+        )
+    return rows, cache.stats(), speedups
+
+
+def run_update_penalty(graph, names: Sequence[str] = WORKLOAD[:3]) -> List[List]:
+    """Warm the cache, apply one insert, measure the re-answer cost:
+    the answer tier misses (epoch bumped) while the reformulation tier
+    still hits — the update pays evaluation, not reformulation."""
+    cache = QueryCache()
+    answerer = QueryAnswerer(graph, cache=cache)
+    queries = lubm_queries()
+    for name in names:
+        answerer.answer(queries[name], Strategy.REF_GCOV)
+        answerer.answer(queries[name], Strategy.REF_GCOV)
+    EX = Namespace("http://example.org/bench-e13/")
+    answerer.insert(Triple(EX.student, RDF_TYPE, EX.Freshling))
+    rows = []
+    for name in names:
+        start = time.perf_counter()
+        report = answerer.answer(queries[name], Strategy.REF_GCOV)
+        elapsed = (time.perf_counter() - start) * 1e3
+        entry = report.details["cache"]
+        rows.append(
+            [name, "%.2f" % elapsed, entry["answer"],
+             entry["reformulation"] or "-"]
+        )
+    return rows
+
+
+def emit_report(graph) -> str:
+    """The E13 report: timings plus the cache counters (the acceptance
+    criterion asks for hit/miss counters in the emitted report)."""
+    rows, stats, speedups = run_cache_comparison(graph)
+    lines = [
+        format_table(
+            ["strategy", "query", "cold ms", "warm ms", "speedup"],
+            rows,
+            title="E13: cold vs warm answering (LUBM)",
+        ),
+        "",
+        format_table(
+            ["tier", "hits", "misses", "evictions", "invalidations"],
+            [
+                [
+                    tier,
+                    stats[tier]["hits"],
+                    stats[tier]["misses"],
+                    stats[tier]["evictions"],
+                    stats[tier]["invalidations"],
+                ]
+                for tier in ("reformulation", "answer")
+            ],
+            title="cache counters",
+        ),
+        "",
+        format_table(
+            ["query", "post-update ms", "answer tier", "reformulation tier"],
+            run_update_penalty(graph),
+            title="update penalty (one insert, REF_GCOV)",
+        ),
+        "",
+        "warm REF_GCOV speedup over cold: %.0fx (bar: >= 5x)"
+        % speedups[Strategy.REF_GCOV],
+    ]
+    return "\n".join(lines)
+
+
+# ---------------------------------------------------------------------------
+# pytest entry points (collected with the rest of benchmarks/)
+
+
+def test_warm_gcov_at_least_5x(lubm_graph):
+    """The acceptance bar: warm-cache REF_GCOV >= 5x faster than cold."""
+    _, stats, speedups = run_cache_comparison(
+        lubm_graph, strategies=(Strategy.REF_GCOV,)
+    )
+    assert speedups[Strategy.REF_GCOV] >= 5.0, speedups
+    assert stats["answer"]["hits"] > 0
+    assert stats["answer"]["misses"] >= len(WORKLOAD)
+
+
+def test_update_retires_answers_not_reformulations(lubm_graph):
+    rows = run_update_penalty(lubm_graph)
+    for _, _, answer_tier, reformulation_tier in rows:
+        assert answer_tier == "miss"
+        assert reformulation_tier == "hit"
+
+
+def test_benchmark_warm_answering(benchmark, lubm_graph):
+    cache = QueryCache()
+    answerer = QueryAnswerer(lubm_graph, cache=cache)
+    query = lubm_queries()["Q5"]
+    answerer.answer(query, Strategy.REF_GCOV)  # warm it
+    benchmark.pedantic(
+        lambda: answerer.answer(query, Strategy.REF_GCOV),
+        rounds=5,
+        iterations=10,
+    )
+
+
+def test_report_emits(lubm_graph, capsys):
+    report = emit_report(lubm_graph)
+    assert "cache counters" in report
+    assert "hits" in report
+    print("\n" + report)
+
+
+# ---------------------------------------------------------------------------
+# script entry point (CI smoke: python benchmarks/bench_e13_cache.py --quick)
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="one-university instance, assert the 5x bar, exit non-zero on miss",
+    )
+    parser.add_argument("--universities", type=int, default=2)
+    parser.add_argument("--seed", type=int, default=1)
+    args = parser.parse_args(argv)
+    universities = 1 if args.quick else args.universities
+    graph = generate_lubm(universities=universities, seed=args.seed)
+    print(emit_report(graph))
+    _, _, speedups = run_cache_comparison(
+        graph, strategies=(Strategy.REF_GCOV,)
+    )
+    if speedups[Strategy.REF_GCOV] < 5.0:
+        print(
+            "FAIL: warm REF_GCOV only %.1fx faster than cold"
+            % speedups[Strategy.REF_GCOV],
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -20,8 +20,15 @@ Quickstart::
     print(report.answer)
 """
 
+from .cache import QueryCache
 from .core import AnswerReport, QueryAnswerer, Strategy
 
 __version__ = "1.0.0"
 
-__all__ = ["AnswerReport", "QueryAnswerer", "Strategy", "__version__"]
+__all__ = [
+    "AnswerReport",
+    "QueryAnswerer",
+    "QueryCache",
+    "Strategy",
+    "__version__",
+]

@@ -110,6 +110,39 @@ def _quick_e12() -> str:
     return "SQLite answers the reformulated books query: %d row(s)" % len(answer)
 
 
+def _quick_e13() -> str:
+    import time
+
+    from ..cache import QueryCache
+    from ..core import QueryAnswerer, Strategy
+    from ..datasets import generate_lubm, lubm_queries
+
+    answerer = QueryAnswerer(
+        generate_lubm(universities=1, seed=1), cache=QueryCache()
+    )
+    query = lubm_queries()["Q5"]
+
+    def answer_ms() -> float:
+        start = time.perf_counter()
+        answerer.answer(query, Strategy.REF_GCOV)
+        return (time.perf_counter() - start) * 1e3
+
+    cold = answer_ms()
+    warm = min(answer_ms() for _ in range(3))
+    stats = answerer.cache.stats()
+    return (
+        "Q5 via REF_GCOV: cold %.1f ms, warm %.3f ms (%.0fx); "
+        "answer tier %d hit(s) / %d miss(es)"
+        % (
+            cold,
+            warm,
+            cold / warm if warm > 0 else float("inf"),
+            stats["answer"]["hits"],
+            stats["answer"]["misses"],
+        )
+    )
+
+
 EXPERIMENTS: List[Experiment] = [
     Experiment("E1", "Example 1's UCQ reformulation blow-up and parse failure",
                "benchmarks/bench_e1_reformulation_size.py", _quick_e1),
@@ -135,6 +168,8 @@ EXPERIMENTS: List[Experiment] = [
                "benchmarks/bench_e11_federation.py"),
     Experiment("E12", "Validation on a genuine RDBMS (SQLite)",
                "benchmarks/bench_e12_real_rdbms.py", _quick_e12),
+    Experiment("E13", "Amortized answering: the reformulation & answer cache",
+               "benchmarks/bench_e13_cache.py", _quick_e13),
     Experiment("A1", "Ablation: exact statistics vs textbook uniformity",
                "benchmarks/bench_a1_statistics_ablation.py"),
     Experiment("A2", "Ablation: UCQ subsumption pruning",

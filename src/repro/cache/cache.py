@@ -1,0 +1,249 @@
+"""The query cache: reformulations, answers, and their invalidation.
+
+Reformulation cost dominates repeated query answering — the UCQ
+blow-up, the SCQ intermediate results and the GCov cover search are
+all recomputed per call in a cache-less answerer, even for identical
+queries.  Ontop's ``QuestQueryProcessor`` makes a query cache a
+first-class collaborator of the reformulator for this reason; this
+module is that layer for every strategy in the repository.
+
+Three tiers:
+
+1. **Reformulation tier** — UCQ/SCQ/JUCQ reformulations, GCov covers
+   and UCQ size estimates, keyed on ``(query canonical form, schema
+   fingerprint, policy switches, kind)``.  Valid as long as the schema
+   is unchanged: reformulation is a function of query and schema only.
+   (GCov entries additionally carry the dataset token — the chosen
+   cover is cost-based, hence data-dependent; a stale cover would
+   still be answer-correct, but its diagnostics would mislead.)
+2. **Answer tier** — computed answers, keyed on the reformulation key
+   *plus* a dataset token, the evaluation engine/backend, and the
+   **data epoch**: a counter bumped on every data mutation, so any
+   update retires all previously cached answers without scanning them.
+3. **Invalidation hooks** — ``watch_graph`` / ``watch_store`` /
+   ``watch_saturator`` subscribe the cache to live updates: data-triple
+   changes bump the data epoch (answers stale, reformulations kept);
+   schema-triple/constraint changes additionally purge the
+   reformulation tier (reformulations are schema-derived).
+
+Epoch semantics: invalidation by epoch is *lazy* — stale answer
+entries are not eagerly removed, they simply become unreachable (their
+key embeds an old epoch) and age out of the LRU.  Schema changes, by
+contrast, purge eagerly, because a schema change is rare and frees the
+whole reformulation tier at once.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any, Dict, Hashable, Optional, Tuple
+
+from ..rdf.triples import Triple
+from ..schema.schema import Schema
+from .keys import cover_key, policy_key, query_key
+from .lru import LRUCache
+
+#: Distinguishes datasets sharing one cache (keys embed it so answers
+#: computed over one graph are never served for another).
+_dataset_counter = itertools.count(1)
+
+
+def dataset_token() -> int:
+    """A fresh token identifying one dataset/answerer within a process."""
+    return next(_dataset_counter)
+
+
+class QueryCache:
+    """A keyed, size-bounded reformulation + answer cache (see module doc).
+
+    One instance may back several answerers (each contributes its own
+    dataset token to answer keys); pass it to
+    :class:`~repro.core.answerer.QueryAnswerer` and
+    :class:`~repro.federation.client.FederatedAnswerer` as ``cache=``.
+
+    >>> cache = QueryCache()
+    >>> cache.data_epoch
+    0
+    >>> cache.note_data_change()
+    >>> cache.data_epoch
+    1
+    """
+
+    def __init__(
+        self,
+        reformulation_capacity: int = 256,
+        answer_capacity: int = 2048,
+    ):
+        self.reformulations = LRUCache(reformulation_capacity)
+        self.answers = LRUCache(answer_capacity)
+        #: Bumped on every data mutation; embedded in answer keys.
+        self.data_epoch = 0
+        #: Bumped on every schema mutation; embedded in every key.
+        self.schema_epoch = 0
+        #: How often each invalidation class fired.
+        self.data_invalidations = 0
+        self.schema_invalidations = 0
+
+    # ------------------------------------------------------------------
+    # Tier 3: invalidation
+
+    def note_data_change(self) -> None:
+        """A data triple changed: retire cached answers (lazily)."""
+        self.data_epoch += 1
+        self.data_invalidations += 1
+
+    def note_schema_change(self) -> None:
+        """A constraint changed: retire reformulations and answers."""
+        self.schema_epoch += 1
+        self.schema_invalidations += 1
+        self.reformulations.invalidate()
+        self.answers.invalidate()
+
+    def note_triple_change(self, triple: Triple, operation: str = "change") -> None:
+        """Classify one mutated triple: schema triples invalidate
+        reformulations too, data triples only answers."""
+        if triple.is_schema_triple():
+            self.note_schema_change()
+        else:
+            self.note_data_change()
+
+    def invalidate_all(self) -> None:
+        """Drop everything (both tiers), without touching the epochs."""
+        self.reformulations.invalidate()
+        self.answers.invalidate()
+
+    # ------------------------------------------------------------------
+    # Watch hooks (wired into the mutable containers' listener lists)
+
+    def watch_graph(self, graph) -> None:
+        """Subscribe to a :class:`~repro.rdf.graph.Graph`'s mutations."""
+        graph.add_listener(self.note_triple_change)
+
+    def watch_store(self, store) -> None:
+        """Subscribe to a :class:`~repro.storage.store.TripleStore`."""
+        store.add_listener(self.note_triple_change)
+
+    def watch_saturator(self, saturator) -> None:
+        """Subscribe to an
+        :class:`~repro.saturation.incremental.IncrementalSaturator`:
+        data deltas bump the epoch, constraint changes purge."""
+        saturator.add_listener(self._on_saturator_event)
+
+    def _on_saturator_event(self, subject, operation: str) -> None:
+        if operation.startswith("constraint"):
+            self.note_schema_change()
+        else:
+            self.note_data_change()
+
+    # ------------------------------------------------------------------
+    # Tier 1: reformulations
+
+    def reformulation_key(
+        self,
+        kind: str,
+        query,
+        schema: Schema,
+        policy,
+        extra: Hashable = None,
+    ) -> Tuple:
+        """The canonical reformulation-tier key (see module doc)."""
+        return (
+            kind,
+            query_key(query),
+            schema.fingerprint(),
+            policy_key(policy),
+            self.schema_epoch,
+            extra,
+        )
+
+    def lookup_reformulation(self, key: Tuple) -> Optional[Any]:
+        return self.reformulations.get(key)
+
+    def store_reformulation(self, key: Tuple, value: Any) -> None:
+        self.reformulations.put(key, value)
+
+    # ------------------------------------------------------------------
+    # Tier 2: answers
+
+    def answer_key(
+        self,
+        token: int,
+        query,
+        schema: Schema,
+        policy,
+        strategy: str,
+        cover=None,
+        extra: Hashable = None,
+    ) -> Tuple:
+        """The answer-tier key: reformulation identity plus dataset
+        token and the current epochs."""
+        return (
+            "answer",
+            token,
+            strategy,
+            query_key(query),
+            None if cover is None else cover_key(cover),
+            schema.fingerprint(),
+            policy_key(policy),
+            self.data_epoch,
+            self.schema_epoch,
+            extra,
+        )
+
+    def endpoint_key(
+        self,
+        token: int,
+        endpoint_name: str,
+        query,
+        schema: Schema,
+        policy,
+    ) -> Tuple:
+        """An answer-tier key for one endpoint's sub-answer in a
+        federation (per-endpoint caching: each source's contribution is
+        reusable independently of the others)."""
+        return (
+            "endpoint",
+            token,
+            endpoint_name,
+            query_key(query),
+            schema.fingerprint(),
+            policy_key(policy),
+            self.data_epoch,
+            self.schema_epoch,
+        )
+
+    def lookup_answer(self, key: Tuple) -> Optional[Any]:
+        return self.answers.get(key)
+
+    def store_answer(self, key: Tuple, value: Any) -> None:
+        self.answers.put(key, value)
+
+    # ------------------------------------------------------------------
+    # Introspection
+
+    def stats(self) -> Dict[str, Any]:
+        """A nested counter snapshot (attached to answer diagnostics
+        and printed by ``repro cache-stats``)."""
+        return {
+            "reformulation": dict(
+                self.reformulations.stats.as_dict(),
+                entries=len(self.reformulations),
+                capacity=self.reformulations.capacity,
+            ),
+            "answer": dict(
+                self.answers.stats.as_dict(),
+                entries=len(self.answers),
+                capacity=self.answers.capacity,
+            ),
+            "data_epoch": self.data_epoch,
+            "schema_epoch": self.schema_epoch,
+            "data_invalidations": self.data_invalidations,
+            "schema_invalidations": self.schema_invalidations,
+        }
+
+    def __repr__(self) -> str:
+        return "QueryCache(<%d reformulations, %d answers, epoch %d>)" % (
+            len(self.reformulations),
+            len(self.answers),
+            self.data_epoch,
+        )

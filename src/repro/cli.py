@@ -22,6 +22,7 @@ import sys
 from typing import Optional
 
 from .bench import format_table
+from .cache import QueryCache
 from .core import QueryAnswerer, Strategy
 from .datasets import (
     books_dataset,
@@ -107,30 +108,153 @@ def cmd_stats(args) -> int:
     return 0
 
 
+def _positive_int(value: str) -> int:
+    """argparse type for capacities: a clean error beats a traceback."""
+    number = int(value)
+    if number < 1:
+        raise argparse.ArgumentTypeError(
+            "must be a positive integer, got %s" % value
+        )
+    return number
+
+
+def _make_cache(args):
+    """The answer cache the flags ask for, or None when disabled."""
+    if not getattr(args, "cache", False):
+        return None
+    return QueryCache(
+        reformulation_capacity=args.cache_size, answer_capacity=args.cache_size
+    )
+
+
 def cmd_answer(args) -> int:
-    answerer = QueryAnswerer(_build_graph(args), engine=args.engine)
+    if args.strategy == Strategy.REF_JUCQ.value:
+        print("ref-jucq needs an explicit cover; use the `covers` "
+              "subcommand, or ref-gcov for the cost-chosen cover")
+        return 2
+    cache = _make_cache(args)
+    answerer = QueryAnswerer(_build_graph(args), engine=args.engine, cache=cache)
     query = _resolve_query(args)
     strategies = (
         list(Strategy)
         if args.strategy == "all"
         else [Strategy(args.strategy)]
     )
+    repeat = max(1, args.repeat)
     rows = []
     for strategy in strategies:
         if strategy is Strategy.REF_JUCQ:
             continue  # needs an explicit cover; use `covers`
         try:
-            report = answerer.answer(query, strategy)
-            rows.append(
-                [strategy.value, "%.1f" % (report.elapsed_seconds * 1e3),
-                 report.cardinality]
-            )
+            reports = [answerer.answer(query, strategy) for _ in range(repeat)]
+            report = reports[-1]
+            row = [strategy.value, "%.1f" % (reports[0].elapsed_seconds * 1e3)]
+            if repeat > 1:
+                row.append("%.1f" % (report.elapsed_seconds * 1e3))
+            row.append(report.cardinality)
+            if cache is not None:
+                row.append(report.details.get("cache", {}).get("answer", "-"))
+            rows.append(row)
             if args.show_answers and len(strategies) == 1:
                 for answer_row in sorted(report.answer)[: args.limit]:
                     print("   ", tuple(str(term.lexical()) for term in answer_row))
         except (QueryTooLargeError, ReformulationTooLarge) as exc:
-            rows.append([strategy.value, "FAIL", str(exc)[:60]])
-    print(format_table(["strategy", "ms", "answers"], rows, title="answers"))
+            row = [strategy.value, "FAIL"]
+            if repeat > 1:
+                row.append("-")
+            row.append(str(exc)[:60])
+            if cache is not None:
+                row.append("-")
+            rows.append(row)
+    header = ["strategy", "ms"]
+    if repeat > 1:
+        header.append("warm ms")
+    header.append("answers")
+    if cache is not None:
+        header.append("cache")
+    print(format_table(header, rows, title="answers"))
+    return 0
+
+
+def cmd_cache_stats(args) -> int:
+    """Answer a query repeatedly through a fresh cache and print the
+    warm/cold timings plus the hit/miss/eviction/invalidation counters
+    of both tiers — the observability face of the cache subsystem."""
+    if args.strategy == Strategy.REF_JUCQ.value:
+        print("ref-jucq needs an explicit cover; use the `covers` "
+              "subcommand, or ref-gcov for the cost-chosen cover")
+        return 2
+    cache = QueryCache(
+        reformulation_capacity=args.cache_size, answer_capacity=args.cache_size
+    )
+    answerer = QueryAnswerer(_build_graph(args), engine=args.engine, cache=cache)
+    query = _resolve_query(args)
+    strategies = (
+        list(Strategy)
+        if args.strategy == "all"
+        else [Strategy(args.strategy)]
+    )
+    repeat = max(2, args.repeat)
+    rows = []
+    for strategy in strategies:
+        if strategy is Strategy.REF_JUCQ:
+            continue
+        try:
+            reports = [answerer.answer(query, strategy) for _ in range(repeat)]
+        except (QueryTooLargeError, ReformulationTooLarge) as exc:
+            rows.append([strategy.value, "FAIL", "-", "-", str(exc)[:40]])
+            continue
+        cold, warm = reports[0], reports[-1]
+        speedup = (
+            cold.elapsed_seconds / warm.elapsed_seconds
+            if warm.elapsed_seconds > 0
+            else float("inf")
+        )
+        rows.append(
+            [
+                strategy.value,
+                "%.2f" % (cold.elapsed_seconds * 1e3),
+                "%.3f" % (warm.elapsed_seconds * 1e3),
+                "%.0fx" % speedup,
+                cold.cardinality,
+            ]
+        )
+    print(
+        format_table(
+            ["strategy", "cold ms", "warm ms", "speedup", "answers"],
+            rows,
+            title="cold vs warm (%d runs)" % repeat,
+        )
+    )
+    print()
+    stats = cache.stats()
+    tier_rows = [
+        [
+            tier,
+            stats[tier]["hits"],
+            stats[tier]["misses"],
+            stats[tier]["evictions"],
+            stats[tier]["invalidations"],
+            "%d/%d" % (stats[tier]["entries"], stats[tier]["capacity"]),
+        ]
+        for tier in ("reformulation", "answer")
+    ]
+    print(
+        format_table(
+            ["tier", "hits", "misses", "evictions", "invalidations", "entries"],
+            tier_rows,
+            title="cache counters",
+        )
+    )
+    print(
+        "\nepochs: data %d (invalidations %d), schema %d (invalidations %d)"
+        % (
+            stats["data_epoch"],
+            stats["data_invalidations"],
+            stats["schema_epoch"],
+            stats["schema_invalidations"],
+        )
+    )
     return 0
 
 
@@ -243,7 +367,32 @@ def build_parser() -> argparse.ArgumentParser:
     answer.add_argument("--limit", type=int, default=20)
     answer.add_argument("--engine", default="builtin",
                         choices=["builtin", "sqlite"])
+    answer.add_argument("--cache", action="store_true",
+                        help="answer through a reformulation+answer cache "
+                             "(see `cache-stats` for its counters)")
+    answer.add_argument("--cache-size", type=_positive_int, default=1024,
+                        help="LRU capacity per cache tier (default 1024)")
+    answer.add_argument("--repeat", type=int, default=1,
+                        help="answer N times (with --cache the repeats hit "
+                             "the cache; a warm-ms column is shown)")
     answer.set_defaults(func=cmd_answer)
+
+    cache_stats = subparsers.add_parser(
+        "cache-stats",
+        help="cold vs warm answering through the cache, with counters",
+    )
+    add_common(cache_stats)
+    cache_stats.add_argument("--query", help="a catalog query name")
+    cache_stats.add_argument("--sparql", help="an inline SPARQL-lite query")
+    cache_stats.add_argument("--strategy", default="all",
+                             choices=["all"] + [s.value for s in Strategy])
+    cache_stats.add_argument("--engine", default="builtin",
+                             choices=["builtin", "sqlite"])
+    cache_stats.add_argument("--cache-size", type=_positive_int, default=1024,
+                             help="LRU capacity per cache tier (default 1024)")
+    cache_stats.add_argument("--repeat", type=int, default=3,
+                             help="runs per strategy (first is cold; default 3)")
+    cache_stats.set_defaults(func=cmd_cache_stats)
 
     explain = subparsers.add_parser("explain", help="show a plan (demo step 3)")
     add_common(explain)

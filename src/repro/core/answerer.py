@@ -24,6 +24,7 @@ import enum
 import time
 from typing import Dict, FrozenSet, Optional, Tuple
 
+from ..cache import QueryCache, dataset_token
 from ..datalog.encoding import answer_query as datalog_answer
 from ..optimizer.gcov import GCovResult, gcov
 from ..query.algebra import ConjunctiveQuery
@@ -95,6 +96,13 @@ class AnswerReport:
     def cardinality(self) -> int:
         return len(self.answer)
 
+    @property
+    def diagnostics(self) -> Dict:
+        """Strategy-specific diagnostics; when the answerer carries a
+        cache this includes a ``"cache"`` entry with the hit/miss
+        outcome of this call and a counter snapshot."""
+        return self.details
+
     def __repr__(self) -> str:
         return "AnswerReport(%s, %d rows, %.1f ms)" % (
             self.strategy.value,
@@ -120,12 +128,19 @@ class QueryAnswerer:
         backend: BackendProfile = HASH_BACKEND,
         policy: ReformulationPolicy = COMPLETE,
         engine: str = "builtin",
+        cache: Optional[QueryCache] = None,
     ):
         """``engine`` selects the evaluation engine for the relational
         strategies: ``"builtin"`` (the instrumented executor; default)
         or ``"sqlite"`` (generated SQL on a real RDBMS — answers are
         identical, per the test-suite, but plan metrics are the
-        engine's own and not reported)."""
+        engine's own and not reported).
+
+        ``cache`` (opt-in) amortizes repeated answering: reformulations
+        and answers are served from a :class:`~repro.cache.QueryCache`
+        and invalidated through the live-update hooks — see
+        :mod:`repro.cache.cache`.  One cache may be shared by several
+        answerers."""
         if engine not in ("builtin", "sqlite"):
             raise ValueError("unknown engine %r" % (engine,))
         self.graph = graph
@@ -144,6 +159,15 @@ class QueryAnswerer:
         self._saturated_store: Optional[TripleStore] = None
         self._saturator = None
         self._saturation_seconds: Optional[float] = None
+        self.cache = cache
+        self._dataset_token: Optional[int] = None
+        if cache is not None:
+            self._dataset_token = dataset_token()
+            # Invalidation hook: every mutation of the logical graph
+            # (the answerer's own insert/delete included) bumps the
+            # cache's epochs — schema triples purge reformulations,
+            # data triples retire answers only.
+            cache.watch_graph(self.graph)
 
     def _evaluate(self, query, saturated: bool = False):
         """Run a relational query on the selected engine; returns
@@ -226,6 +250,23 @@ class QueryAnswerer:
         return self._saturation_seconds
 
     # ------------------------------------------------------------------
+    # Caching plumbing
+
+    def _cached_reformulation(self, kind, query, policy, compute, extra=None):
+        """Serve *compute*'s result from the cache's reformulation tier
+        when possible; returns (value, hit) with hit None when no cache
+        is configured."""
+        if self.cache is None:
+            return compute(), None
+        key = self.cache.reformulation_key(kind, query, self.schema, policy, extra)
+        value = self.cache.lookup_reformulation(key)
+        if value is not None:
+            return value, True
+        value = compute()
+        self.cache.store_reformulation(key, value)
+        return value, False
+
+    # ------------------------------------------------------------------
 
     def answer(
         self,
@@ -244,7 +285,57 @@ class QueryAnswerer:
         strategy genuinely cannot run — the failure modes the paper
         demonstrates, surfaced rather than hidden.
         """
+        if strategy is Strategy.REF_JUCQ and cover is None:
+            raise ValueError("REF_JUCQ requires a cover")
         start = time.perf_counter()
+        answer_key = None
+        if self.cache is not None:
+            answer_key = self.cache.answer_key(
+                self._dataset_token,
+                query,
+                self.schema,
+                self.policy,
+                strategy.value,
+                cover=cover if strategy is Strategy.REF_JUCQ else None,
+                extra=(self.engine, self.backend.name, max_disjuncts),
+            )
+            cached = self.cache.lookup_answer(answer_key)
+            if cached is not None:
+                answer, details = cached
+                details = dict(details)
+                details["cache"] = {
+                    "answer": "hit",
+                    "reformulation": None,
+                    "stats": self.cache.stats(),
+                }
+                return AnswerReport(
+                    strategy, answer, time.perf_counter() - start, details
+                )
+        report = self._answer_uncached(query, strategy, cover, max_disjuncts, start)
+        if self.cache is not None:
+            reformulation_hit = report.details.pop("_reformulation_cache", None)
+            self.cache.store_answer(answer_key, (report.answer, dict(report.details)))
+            report.details["cache"] = {
+                "answer": "miss",
+                "reformulation": (
+                    None
+                    if reformulation_hit is None
+                    else ("hit" if reformulation_hit else "miss")
+                ),
+                "stats": self.cache.stats(),
+            }
+        else:
+            report.details.pop("_reformulation_cache", None)
+        return report
+
+    def _answer_uncached(
+        self,
+        query: ConjunctiveQuery,
+        strategy: Strategy,
+        cover: Optional[Cover],
+        max_disjuncts: Optional[int],
+        start: float,
+    ) -> AnswerReport:
         if strategy == Strategy.SAT:
             answer, execution = self._evaluate(query, saturated=True)
             elapsed = time.perf_counter() - start
@@ -268,7 +359,12 @@ class QueryAnswerer:
                 Strategy.REF_VIRTUOSO: VIRTUOSO_STYLE,
                 Strategy.REF_ALLEGRO: ALLEGROGRAPH_STYLE,
             }[strategy]
-            size = ucq_size(query, self.schema, policy)
+            size, _ = self._cached_reformulation(
+                "ucq-size",
+                query,
+                policy,
+                lambda: ucq_size(query, self.schema, policy),
+            )
             # A UCQ of n disjuncts over an α-atom query has ~n·α atoms;
             # refuse before materializing what the backend cannot parse.
             projected_atoms = size * len(query.atoms)
@@ -276,20 +372,35 @@ class QueryAnswerer:
                 raise QueryTooLargeError(
                     projected_atoms, self.backend.max_query_atoms, self.backend.name
                 )
-            union = reformulate(
-                query, self.schema, policy, max_disjuncts=max_disjuncts
+            union, reformulation_hit = self._cached_reformulation(
+                "ucq",
+                query,
+                policy,
+                lambda: reformulate(
+                    query, self.schema, policy, max_disjuncts=max_disjuncts
+                ),
+                extra=max_disjuncts,
             )
             answer, execution = self._evaluate(union)
             return AnswerReport(
                 strategy,
                 answer,
                 time.perf_counter() - start,
-                {"ucq_disjuncts": size, "policy": policy.name},
+                {
+                    "ucq_disjuncts": size,
+                    "policy": policy.name,
+                    "_reformulation_cache": reformulation_hit,
+                },
                 execution,
             )
 
         if strategy == Strategy.REF_SCQ:
-            jucq = scq_reformulation(query, self.schema, self.policy)
+            jucq, reformulation_hit = self._cached_reformulation(
+                "scq",
+                query,
+                self.policy,
+                lambda: scq_reformulation(query, self.schema, self.policy),
+            )
             answer, execution = self._evaluate(jucq)
             return AnswerReport(
                 strategy,
@@ -298,6 +409,7 @@ class QueryAnswerer:
                 {
                     "fragments": jucq.fragment_count(),
                     "atom_count": jucq.atom_count(),
+                    "_reformulation_cache": reformulation_hit,
                 },
                 execution,
             )
@@ -305,31 +417,61 @@ class QueryAnswerer:
         if strategy == Strategy.REF_JUCQ:
             if cover is None:
                 raise ValueError("REF_JUCQ requires a cover")
-            jucq = jucq_for_cover(cover, self.schema, self.policy)
-            answer, execution = self._evaluate(jucq)
-            return AnswerReport(
-                strategy,
-                answer,
-                time.perf_counter() - start,
-                {"cover": repr(cover), "atom_count": jucq.atom_count()},
-                execution,
-            )
+            from ..cache.keys import cover_key
 
-        if strategy == Strategy.REF_GCOV:
-            search = gcov(
-                query, self.schema, self.store, self.backend, self.policy
+            jucq, reformulation_hit = self._cached_reformulation(
+                "jucq-cover",
+                query,
+                self.policy,
+                lambda: jucq_for_cover(cover, self.schema, self.policy),
+                extra=None if self.cache is None else cover_key(cover),
             )
-            jucq = jucq_for_cover(search.cover, self.schema, self.policy)
             answer, execution = self._evaluate(jucq)
             return AnswerReport(
                 strategy,
                 answer,
                 time.perf_counter() - start,
                 {
-                    "cover": repr(search.cover),
-                    "estimated_cost": search.cost,
-                    "explored_covers": search.explored_count,
+                    "cover": repr(cover),
+                    "atom_count": jucq.atom_count(),
+                    "_reformulation_cache": reformulation_hit,
                 },
+                execution,
+            )
+
+        if strategy == Strategy.REF_GCOV:
+            # The cover choice is cost-based, hence data-dependent: the
+            # entry carries the dataset token so answerers sharing one
+            # cache never trade covers tuned to each other's data.
+            def run_gcov():
+                search = gcov(
+                    query, self.schema, self.store, self.backend, self.policy
+                )
+                jucq = jucq_for_cover(search.cover, self.schema, self.policy)
+                return (
+                    jucq,
+                    {
+                        "cover": repr(search.cover),
+                        "estimated_cost": search.cost,
+                        "explored_covers": search.explored_count,
+                    },
+                )
+
+            (jucq, gcov_details), reformulation_hit = self._cached_reformulation(
+                "gcov",
+                query,
+                self.policy,
+                run_gcov,
+                extra=(self._dataset_token, self.backend.name),
+            )
+            answer, execution = self._evaluate(jucq)
+            details = dict(gcov_details)
+            details["_reformulation_cache"] = reformulation_hit
+            return AnswerReport(
+                strategy,
+                answer,
+                time.perf_counter() - start,
+                details,
                 execution,
             )
 

@@ -32,6 +32,7 @@ from __future__ import annotations
 
 from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
 
+from ..cache import QueryCache, dataset_token
 from ..query.algebra import (
     ConjunctiveQuery,
     HeadTerm,
@@ -87,19 +88,43 @@ class FederatedAnswerer:
         endpoints: Sequence[Endpoint],
         schema: Schema,
         policy: ReformulationPolicy = COMPLETE,
+        cache: Optional[QueryCache] = None,
     ):
+        """``cache`` (opt-in) stores each endpoint's per-atom sub-answer
+        in the cache's answer tier (and the atomic UCQs in its
+        reformulation tier), so repeated queries — and queries sharing
+        atoms — skip network round-trips entirely.  The federation has
+        no push notifications for remote updates; call
+        :meth:`invalidate` when a source is known to have changed."""
         if not endpoints:
             raise ValueError("a federation needs at least one endpoint")
         self.endpoints = list(endpoints)
         self.schema = schema
         self.policy = policy
+        self.cache = cache
+        self._token: Optional[int] = dataset_token() if cache is not None else None
 
     # ------------------------------------------------------------------
+
+    def invalidate(self) -> None:
+        """Declare the endpoints' contents changed: cached sub-answers
+        are retired (the reformulations stay — they are schema-only)."""
+        if self.cache is not None:
+            self.cache.note_data_change()
 
     def _atom_union(self, atom: TriplePattern, head: Sequence[HeadTerm]) -> UnionQuery:
         """The UCQ of alternatives for one atom, projected on *head*."""
         single = ConjunctiveQuery(head, [atom])
-        return reformulate(single, self.schema, self.policy)
+        if self.cache is None:
+            return reformulate(single, self.schema, self.policy)
+        key = self.cache.reformulation_key(
+            "atom-ucq", single, self.schema, self.policy
+        )
+        union = self.cache.lookup_reformulation(key)
+        if union is None:
+            union = reformulate(single, self.schema, self.policy)
+            self.cache.store_reformulation(key, union)
+        return union
 
     def _schema_atom_rows(
         self, atom: TriplePattern, head: Tuple[HeadTerm, ...]
@@ -127,17 +152,39 @@ class FederatedAnswerer:
 
         if atom.property in SCHEMA_PROPERTIES:
             return self._schema_atom_rows(atom, head), False, 0, 0
-        union = self._atom_union(atom, head)
+        union: Optional[UnionQuery] = None
+        single = ConjunctiveQuery(head, [atom])
         rows: Set[Row] = set()
         truncated = False
         requests = 0
         transferred = 0
-        for endpoint in self.endpoints:
+        for index, endpoint in enumerate(self.endpoints):
+            key = None
+            if self.cache is not None:
+                key = self.cache.endpoint_key(
+                    self._token,
+                    "%d:%s" % (index, endpoint.name),
+                    single,
+                    self.schema,
+                    self.policy,
+                )
+                cached = self.cache.lookup_answer(key)
+                if cached is not None:
+                    cached_rows, cached_truncated = cached
+                    rows.update(cached_rows)
+                    truncated = truncated or cached_truncated
+                    continue  # no request made: the hit is the point
+            if union is None:
+                union = self._atom_union(atom, head)
             result = endpoint.evaluate(union)
             rows.update(result.rows)
             truncated = truncated or result.truncated
             requests += 1
             transferred += len(result)
+            if key is not None:
+                self.cache.store_answer(
+                    key, (frozenset(result.rows), result.truncated)
+                )
         return rows, truncated, requests, transferred
 
     def answer(self, query: ConjunctiveQuery) -> FederatedAnswer:

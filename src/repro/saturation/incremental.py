@@ -72,8 +72,20 @@ class IncrementalSaturator:
         self._support: Dict[Triple, int] = Counter()
         self._saturated = Graph()
         self._saturated.add_all(self._schema.entailed_triples())
+        self._listeners = []
         if data is not None:
             self.insert_all(data)
+
+    def add_listener(self, callback) -> None:
+        """Register ``callback(subject, operation)`` invoked after every
+        successful mutation: ``(triple, "insert"|"delete")`` for data,
+        ``(constraint, "constraint-add"|"constraint-remove")`` for
+        schema changes — the cache subsystem distinguishes the two."""
+        self._listeners.append(callback)
+
+    def _notify(self, subject, operation: str) -> None:
+        for callback in self._listeners:
+            callback(subject, operation)
 
     # ------------------------------------------------------------------
     # Views
@@ -120,6 +132,8 @@ class IncrementalSaturator:
             self._support[consequence] += 1
             if self._saturated.add(consequence):
                 added.append(consequence)
+        if self._listeners:
+            self._notify(triple, "insert")
         return added
 
     def insert_all(self, triples: Iterable[Triple]) -> None:
@@ -145,6 +159,8 @@ class IncrementalSaturator:
         if triple not in self._support:
             if self._saturated.discard(triple):
                 removed.append(triple)
+        if self._listeners:
+            self._notify(triple, "delete")
         return removed
 
     def delete_all(self, triples: Iterable[Triple]) -> None:
@@ -157,10 +173,14 @@ class IncrementalSaturator:
     def add_constraint(self, constraint: Constraint) -> None:
         if self._schema.add(constraint):
             self._resaturate()
+            if self._listeners:
+                self._notify(constraint, "constraint-add")
 
     def remove_constraint(self, constraint: Constraint) -> None:
         if self._schema.remove(constraint):
             self._resaturate()
+            if self._listeners:
+                self._notify(constraint, "constraint-remove")
 
     def _resaturate(self) -> None:
         self._support = Counter()
@@ -168,8 +188,14 @@ class IncrementalSaturator:
         self._saturated.add_all(self._schema.entailed_triples())
         explicit = self._explicit
         self._explicit = set()
-        for triple in explicit:
-            self.insert(triple)
+        # Re-inserting explicit triples is internal churn, not a data
+        # change: the constraint event alone reaches the listeners.
+        listeners, self._listeners = self._listeners, []
+        try:
+            for triple in explicit:
+                self.insert(triple)
+        finally:
+            self._listeners = listeners
 
     def __len__(self) -> int:
         return len(self._saturated)

@@ -93,6 +93,7 @@ class Schema:
     def __init__(self, constraints: Optional[Iterable[Constraint]] = None):
         self._constraints: Set[Constraint] = set()
         self._dirty = True
+        self._fingerprint: Optional[str] = None
         # Closure structures, (re)built by _ensure_closed().
         self._sub_class: Dict[Term, Set[Term]] = {}
         self._super_class: Dict[Term, Set[Term]] = {}
@@ -126,6 +127,7 @@ class Schema:
             return False
         self._constraints.add(constraint)
         self._dirty = True
+        self._fingerprint = None
         return True
 
     def remove(self, constraint: Constraint) -> bool:
@@ -134,10 +136,34 @@ class Schema:
             return False
         self._constraints.discard(constraint)
         self._dirty = True
+        self._fingerprint = None
         return True
 
     def copy(self) -> "Schema":
         return Schema(self._constraints)
+
+    def fingerprint(self) -> str:
+        """A digest identifying the direct constraint set.
+
+        Deterministic across processes (content-derived, not id-based)
+        and invalidated by :meth:`add`/:meth:`remove`; the cache
+        subsystem keys reformulations on it, so any schema change —
+        and only a schema change — retires them.
+        """
+        if self._fingerprint is None:
+            import hashlib
+
+            encoded = sorted(
+                (
+                    constraint.kind.value,
+                    constraint.left.sort_key(),
+                    constraint.right.sort_key(),
+                )
+                for constraint in self._constraints
+            )
+            digest = hashlib.sha1(repr(encoded).encode("utf-8"))
+            self._fingerprint = digest.hexdigest()
+        return self._fingerprint
 
     # ------------------------------------------------------------------
     # Closure maintenance

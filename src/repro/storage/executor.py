@@ -46,14 +46,21 @@ class ExecutionResult:
         self._rows = rows
         self._store = store
         self.elapsed_seconds = elapsed_seconds
+        self._answer: Optional[FrozenSet[Tuple[Term, ...]]] = None
 
     @property
     def row_count(self) -> int:
         return len(self._rows)
 
     def answer(self) -> FrozenSet[Tuple[Term, ...]]:
-        """The decoded answer relation (set semantics)."""
-        return frozenset(self._store.decode_row(row) for row in self._rows)
+        """The decoded answer relation (set semantics), memoized —
+        diagnostics-heavy callers read it repeatedly and must not pay
+        decoding and re-freezing each time."""
+        if self._answer is None:
+            self._answer = frozenset(
+                self._store.decode_row(row) for row in self._rows
+            )
+        return self._answer
 
     def max_intermediate_rows(self) -> int:
         """The largest operator output in the plan — the quantity that

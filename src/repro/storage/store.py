@@ -54,6 +54,17 @@ class TripleStore:
         self._type_id: Optional[int] = None
         self.statistics = StoreStatistics(lambda: self._type_id)
         self.schema = Schema()
+        self._listeners = []
+
+    def add_listener(self, callback) -> None:
+        """Register ``callback(triple, operation)`` invoked after every
+        successful :meth:`insert`/:meth:`delete` (operation ``"insert"``
+        or ``"delete"``) — the cache subsystem's invalidation hook."""
+        self._listeners.append(callback)
+
+    def _notify(self, triple: Triple, operation: str) -> None:
+        for callback in self._listeners:
+            callback(triple, operation)
 
     # ------------------------------------------------------------------
     # Loading
@@ -90,7 +101,10 @@ class TripleStore:
             self.dictionary.encode(triple.property),
             self.dictionary.encode(triple.object),
         )
-        return self._insert_encoded(encoded)
+        inserted = self._insert_encoded(encoded)
+        if inserted and self._listeners:
+            self._notify(triple, "insert")
+        return inserted
 
     def _insert_encoded(self, encoded: EncodedTriple) -> bool:
         if encoded in self._triples:
@@ -126,6 +140,8 @@ class TripleStore:
             if not self._pos[property_id]:
                 del self._pos[property_id]
         self.statistics.unrecord(subject_id, property_id, object_id)
+        if self._listeners:
+            self._notify(triple, "delete")
         return True
 
     # ------------------------------------------------------------------

@@ -1,0 +1,318 @@
+"""Unit tests for the cache subsystem: LRU bounds, key
+canonicalization, epoch invalidation, and the invalidation hooks'
+schema/data granularity."""
+
+import pytest
+
+from repro.cache import LRUCache, QueryCache, cover_key, policy_key, query_key
+from repro.core import QueryAnswerer, Strategy
+from repro.datasets import books_dataset
+from repro.query import ConjunctiveQuery, Cover, TriplePattern, Variable
+from repro.rdf import Graph, Namespace, RDF_TYPE, RDFS_SUBCLASSOF, Triple
+from repro.reformulation import COMPLETE, VIRTUOSO_STYLE, ReformulationPolicy
+from repro.saturation import IncrementalSaturator
+from repro.schema import Constraint, Schema
+from repro.storage import TripleStore
+
+EX = Namespace("http://example.org/")
+x, y, z = Variable("x"), Variable("y"), Variable("z")
+
+
+class TestLRUCache:
+    def test_bound_is_enforced(self):
+        cache = LRUCache(capacity=3)
+        for index in range(10):
+            cache.put(index, index)
+        assert len(cache) == 3
+        assert cache.stats.evictions == 7
+
+    def test_least_recently_used_goes_first(self):
+        cache = LRUCache(capacity=2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        assert cache.get("a") == 1  # refresh "a"
+        cache.put("c", 3)  # evicts "b"
+        assert "b" not in cache
+        assert "a" in cache and "c" in cache
+
+    def test_put_refreshes_recency(self):
+        cache = LRUCache(capacity=2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        cache.put("a", 10)  # refresh, not grow
+        cache.put("c", 3)  # evicts "b"
+        assert cache.get("a") == 10
+        assert "b" not in cache
+
+    def test_hit_miss_counters(self):
+        cache = LRUCache(capacity=2)
+        cache.put("a", 1)
+        assert cache.get("a") == 1
+        assert cache.get("missing") is None
+        assert cache.stats.hits == 1
+        assert cache.stats.misses == 1
+        assert cache.stats.hit_rate == 0.5
+
+    def test_invalidate_counts_dropped_entries(self):
+        cache = LRUCache(capacity=4)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        assert cache.invalidate() == 2
+        assert len(cache) == 0
+        assert cache.stats.invalidations == 2
+        assert cache.stats.evictions == 0  # distinct counters
+
+    def test_rejects_nonpositive_capacity(self):
+        with pytest.raises(ValueError):
+            LRUCache(capacity=0)
+
+
+class TestKeyCanonicalization:
+    def test_alpha_equivalent_queries_share_a_key(self):
+        a = ConjunctiveQuery(
+            [x], [TriplePattern(x, EX.p, y), TriplePattern(y, RDF_TYPE, EX.C)]
+        )
+        renamed = ConjunctiveQuery(
+            [x], [TriplePattern(x, EX.p, z), TriplePattern(z, RDF_TYPE, EX.C)]
+        )
+        reordered = ConjunctiveQuery(
+            [x], [TriplePattern(y, RDF_TYPE, EX.C), TriplePattern(x, EX.p, y)]
+        )
+        assert query_key(a) == query_key(renamed) == query_key(reordered)
+
+    def test_different_queries_differ(self):
+        a = ConjunctiveQuery([x], [TriplePattern(x, EX.p, y)])
+        b = ConjunctiveQuery([x], [TriplePattern(x, EX.q, y)])
+        head_differs = ConjunctiveQuery([y], [TriplePattern(x, EX.p, y)])
+        assert query_key(a) != query_key(b)
+        assert query_key(a) != query_key(head_differs)
+
+    def test_policy_key_is_semantic_not_nominal(self):
+        renamed = ReformulationPolicy(name="renamed-complete")
+        assert policy_key(renamed) == policy_key(COMPLETE)
+        assert policy_key(VIRTUOSO_STYLE) != policy_key(COMPLETE)
+
+    def test_cover_key_ignores_variable_names(self):
+        def make(var):
+            query = ConjunctiveQuery(
+                [x], [TriplePattern(x, EX.p, var), TriplePattern(var, EX.q, x)]
+            )
+            return Cover(query, [[0], [0, 1]])
+
+        assert cover_key(make(y)) == cover_key(make(z))
+
+    def test_cover_key_separates_fragmentations(self):
+        query = ConjunctiveQuery(
+            [x], [TriplePattern(x, EX.p, y), TriplePattern(y, EX.q, x)]
+        )
+        assert cover_key(Cover(query, [[0], [1]])) != cover_key(
+            Cover(query, [[0, 1]])
+        )
+
+    def test_ucq_key_ignores_disjunct_order(self):
+        a = ConjunctiveQuery([x], [TriplePattern(x, EX.p, y)])
+        b = ConjunctiveQuery([x], [TriplePattern(x, EX.q, y)])
+        from repro.query import UnionQuery
+
+        assert query_key(UnionQuery([a, b])) == query_key(UnionQuery([b, a]))
+
+    def test_schema_fingerprint_tracks_constraints(self):
+        schema = Schema([Constraint.subclass(EX.B, EX.A)])
+        original = schema.fingerprint()
+        assert original == schema.fingerprint()  # stable
+        schema.add(Constraint.subclass(EX.C, EX.A))
+        changed = schema.fingerprint()
+        assert changed != original
+        schema.remove(Constraint.subclass(EX.C, EX.A))
+        assert schema.fingerprint() == original  # content-derived
+
+    def test_fingerprint_independent_of_insertion_order(self):
+        first = Schema([Constraint.subclass(EX.B, EX.A),
+                        Constraint.domain(EX.p, EX.A)])
+        second = Schema([Constraint.domain(EX.p, EX.A),
+                         Constraint.subclass(EX.B, EX.A)])
+        assert first.fingerprint() == second.fingerprint()
+
+
+class TestEpochInvalidation:
+    def _answerer(self):
+        graph, schema, query = books_dataset()
+        cache = QueryCache()
+        return QueryAnswerer(graph, schema, cache=cache), query, cache
+
+    def test_warm_answer_is_a_hit(self):
+        answerer, query, cache = self._answerer()
+        cold = answerer.answer(query, Strategy.REF_GCOV)
+        warm = answerer.answer(query, Strategy.REF_GCOV)
+        assert cold.details["cache"]["answer"] == "miss"
+        assert warm.details["cache"]["answer"] == "hit"
+        assert warm.answer == cold.answer
+
+    def test_alpha_equivalent_query_hits(self):
+        graph, schema, _ = books_dataset()
+        cache = QueryCache()
+        answerer = QueryAnswerer(graph, schema, cache=cache)
+        AUTHOR = Namespace("http://example.org/books/").hasAuthor
+        first = ConjunctiveQuery([x], [TriplePattern(y, AUTHOR, x)])
+        renamed = ConjunctiveQuery([x], [TriplePattern(z, AUTHOR, x)])
+        cold = answerer.answer(first, Strategy.REF_UCQ)
+        warm = answerer.answer(renamed, Strategy.REF_UCQ)
+        assert warm.details["cache"]["answer"] == "hit"
+        assert warm.answer == cold.answer
+
+    def test_insert_bumps_epoch_and_retires_answers(self):
+        answerer, query, cache = self._answerer()
+        answerer.answer(query, Strategy.REF_GCOV)
+        epoch = cache.data_epoch
+        assert answerer.insert(
+            Triple(EX.fresh, RDF_TYPE, Namespace("http://example.org/books/").Book)
+        )
+        assert cache.data_epoch == epoch + 1
+        after = answerer.answer(query, Strategy.REF_GCOV)
+        assert after.details["cache"]["answer"] == "miss"
+        # ... but the reformulation survived the data change.
+        assert after.details["cache"]["reformulation"] == "hit"
+
+    def test_delete_bumps_epoch(self):
+        answerer, query, cache = self._answerer()
+        triple = next(iter(answerer.graph.data_triples()))
+        answerer.answer(query, Strategy.SAT)
+        epoch = cache.data_epoch
+        assert answerer.delete(triple)
+        assert cache.data_epoch == epoch + 1
+        assert (
+            answerer.answer(query, Strategy.SAT).details["cache"]["answer"]
+            == "miss"
+        )
+
+    def test_noop_mutations_do_not_invalidate(self):
+        answerer, query, cache = self._answerer()
+        answerer.answer(query, Strategy.REF_GCOV)
+        epoch = cache.data_epoch
+        triple = next(iter(answerer.graph.data_triples()))
+        assert not answerer.insert(triple)  # already present
+        assert not answerer.delete(
+            Triple(EX.absent, RDF_TYPE, EX.Nothing)
+        )
+        assert cache.data_epoch == epoch
+        assert (
+            answerer.answer(query, Strategy.REF_GCOV).details["cache"]["answer"]
+            == "hit"
+        )
+
+    def test_answers_computed_after_update_reflect_it(self):
+        graph, schema, query = books_dataset()
+        cache = QueryCache()
+        answerer = QueryAnswerer(graph, schema, cache=cache)
+        baseline = answerer.answer(query, Strategy.REF_UCQ).answer
+        from repro.rdf import Literal
+
+        BOOKS = Namespace("http://example.org/books/")
+        answerer.insert(Triple(BOOKS.doi9, BOOKS.hasAuthor, BOOKS.author9))
+        answerer.insert(Triple(BOOKS.author9, BOOKS.hasName, Literal("A. New")))
+        answerer.insert(Triple(BOOKS.doi9, BOOKS.publishedIn, Literal("1949")))
+        updated = answerer.answer(query, Strategy.REF_UCQ).answer
+        assert updated != baseline
+        assert answerer.answer(query, Strategy.REF_UCQ).answer == updated
+
+
+class TestInvalidationGranularity:
+    def test_schema_triple_purges_reformulations(self):
+        cache = QueryCache()
+        graph = Graph([Triple(EX.a, RDF_TYPE, EX.B)])
+        cache.watch_graph(graph)
+        cache.store_reformulation(("k",), "value")
+        cache.store_answer(("a",), "value")
+        graph.add(Triple(EX.B, RDFS_SUBCLASSOF, EX.A))
+        assert cache.schema_invalidations == 1
+        assert len(cache.reformulations) == 0
+        assert len(cache.answers) == 0
+
+    def test_data_triple_keeps_reformulations(self):
+        cache = QueryCache()
+        graph = Graph()
+        cache.watch_graph(graph)
+        cache.store_reformulation(("k",), "value")
+        graph.add(Triple(EX.a, RDF_TYPE, EX.B))
+        assert cache.data_invalidations == 1
+        assert cache.schema_invalidations == 0
+        assert len(cache.reformulations) == 1  # still there
+        assert cache.data_epoch == 1  # answers keyed out lazily
+
+    def test_store_hook(self):
+        cache = QueryCache()
+        store = TripleStore()
+        cache.watch_store(store)
+        store.insert(Triple(EX.a, EX.p, EX.b))
+        assert cache.data_epoch == 1
+        store.insert(Triple(EX.a, EX.p, EX.b))  # duplicate: no event
+        assert cache.data_epoch == 1
+        store.delete(Triple(EX.a, EX.p, EX.b))
+        assert cache.data_epoch == 2
+        store.insert(Triple(EX.B, RDFS_SUBCLASSOF, EX.A))
+        assert cache.schema_epoch == 1
+
+    def test_saturator_hook_distinguishes_constraint_changes(self):
+        cache = QueryCache()
+        saturator = IncrementalSaturator(
+            Schema([Constraint.subclass(EX.Manager, EX.Employee)])
+        )
+        cache.watch_saturator(saturator)
+        saturator.insert(Triple(EX.ann, RDF_TYPE, EX.Manager))
+        assert cache.data_epoch == 1
+        assert cache.schema_epoch == 0
+        saturator.add_constraint(Constraint.subclass(EX.Employee, EX.Person))
+        assert cache.schema_epoch == 1
+        # Resaturation's internal re-inserts are not data events.
+        assert cache.data_epoch == 1
+        saturator.delete(Triple(EX.ann, RDF_TYPE, EX.Manager))
+        assert cache.data_epoch == 2
+
+    def test_shared_cache_keeps_datasets_apart(self):
+        cache = QueryCache()
+        graph_a, schema, query = books_dataset()
+        graph_b = Graph(graph_a)  # same triples minus one author link
+        removed = next(iter(graph_b.match(property=Namespace(
+            "http://example.org/books/").writtenBy)))
+        graph_b.discard(removed)
+        first = QueryAnswerer(graph_a, schema, cache=cache)
+        second = QueryAnswerer(graph_b, schema, cache=cache)
+        answer_a = first.answer(query, Strategy.REF_UCQ)
+        answer_b = second.answer(query, Strategy.REF_UCQ)
+        # Same query + schema, different datasets: both must miss the
+        # answer tier and disagree, while sharing the reformulation.
+        assert answer_b.details["cache"]["answer"] == "miss"
+        assert answer_b.details["cache"]["reformulation"] == "hit"
+        assert answer_a.answer != answer_b.answer
+
+    def test_stats_snapshot_shape(self):
+        cache = QueryCache(reformulation_capacity=7, answer_capacity=9)
+        stats = cache.stats()
+        assert stats["reformulation"]["capacity"] == 7
+        assert stats["answer"]["capacity"] == 9
+        for tier in ("reformulation", "answer"):
+            for counter in ("hits", "misses", "evictions", "invalidations"):
+                assert stats[tier][counter] == 0
+
+
+class TestExecutionResultMemoization:
+    def test_answer_is_memoized(self):
+        from repro.storage import Executor
+
+        graph, schema, query = books_dataset()
+        store = TripleStore.from_graph(graph, schema)
+        execution = Executor(store).run(
+            ConjunctiveQuery([x], [TriplePattern(x, RDF_TYPE, y)])
+        )
+        first = execution.answer()
+        assert execution.answer() is first  # same frozenset object
+
+    def test_memoized_answer_matches_rows(self):
+        from repro.storage import Executor
+
+        graph, schema, _ = books_dataset()
+        store = TripleStore.from_graph(graph, schema)
+        execution = Executor(store).run(
+            ConjunctiveQuery([x], [TriplePattern(x, RDF_TYPE, y)])
+        )
+        assert len(execution.answer()) <= execution.row_count

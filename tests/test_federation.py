@@ -169,3 +169,163 @@ class TestFederatedAnswering:
         federation = FederatedAnswerer([endpoint], schema)
         query = ConjunctiveQuery([], [TriplePattern(x, EX.p, y)])
         assert federation.answer(query).rows == frozenset({()})
+
+
+class TestErrorPaths:
+    """Endpoints answering partially, emptily, or not usefully at all."""
+
+    def test_empty_endpoint_does_not_poison_the_union(self):
+        schema = Schema([Constraint.subclass(EX.Manager, EX.Employee)])
+        populated = Endpoint("full", Graph([Triple(EX.a, RDF_TYPE, EX.Manager)]))
+        empty = Endpoint("empty", Graph())
+        federation = FederatedAnswerer([populated, empty], schema)
+        query = ConjunctiveQuery([x], [TriplePattern(x, RDF_TYPE, EX.Employee)])
+        answer = federation.answer(query)
+        assert answer.rows == frozenset({(EX.a,)})
+        assert not answer.truncated
+
+    def test_all_endpoints_empty(self):
+        federation = FederatedAnswerer(
+            [Endpoint("a", Graph()), Endpoint("b", Graph())], Schema()
+        )
+        query = ConjunctiveQuery(
+            [x, z], [TriplePattern(x, EX.p, y), TriplePattern(y, EX.q, z)]
+        )
+        answer = federation.answer(query)
+        assert answer.rows == frozenset()
+        assert not answer.truncated
+        assert answer.rows_transferred == 0
+
+    def test_empty_first_atom_short_circuits_the_join(self):
+        # Once an atom with variables yields no rows the join is empty;
+        # the client must not bother the endpoints about later atoms.
+        endpoints = [
+            Endpoint("e%d" % index, Graph([Triple(EX.a, EX.q, EX.b)]))
+            for index in range(3)
+        ]
+        federation = FederatedAnswerer(endpoints, Schema())
+        query = ConjunctiveQuery(
+            [x], [TriplePattern(x, EX.nowhere, y), TriplePattern(x, EX.q, y)]
+        )
+        answer = federation.answer(query)
+        assert answer.rows == frozenset()
+        assert answer.requests == len(endpoints)  # first atom only
+        for endpoint in endpoints:
+            assert endpoint.requests_served == 1
+
+    def test_truncation_mid_join_is_reported_and_sound(self):
+        # One endpoint truncates the first atom's sub-answer: the final
+        # answer may miss rows but must be a *subset* of the complete
+        # one and carry the truncation flag.
+        triples = [
+            Triple(EX.term("s%d" % index), EX.p, EX.hub) for index in range(8)
+        ]
+        join = [Triple(EX.hub, EX.q, EX.target)]
+        truncating = Endpoint("short", Graph(triples), result_limit=3)
+        other = Endpoint("other", Graph(join))
+        federation = FederatedAnswerer([truncating, other], Schema())
+        query = ConjunctiveQuery(
+            [x, z], [TriplePattern(x, EX.p, y), TriplePattern(y, EX.q, z)]
+        )
+        answer = federation.answer(query)
+        complete = frozenset(
+            {(triple.subject, EX.target) for triple in triples}
+        )
+        assert answer.truncated
+        assert answer.rows <= complete
+        assert answer.cardinality == 3
+
+    def test_partial_overlap_across_endpoints_deduplicates(self):
+        shared = Triple(EX.a, EX.p, EX.b)
+        federation = FederatedAnswerer(
+            [
+                Endpoint("left", Graph([shared])),
+                Endpoint("right", Graph([shared, Triple(EX.c, EX.p, EX.d)])),
+            ],
+            Schema(),
+        )
+        query = ConjunctiveQuery([x, y], [TriplePattern(x, EX.p, y)])
+        answer = federation.answer(query)
+        assert answer.rows == frozenset({(EX.a, EX.b), (EX.c, EX.d)})
+        # Both endpoints shipped the shared row; the union deduplicates
+        # but the transfer accounting records what actually moved.
+        assert answer.rows_transferred == 3
+
+    def test_ground_atom_failure_empties_a_boolean_answer(self):
+        endpoint = Endpoint("e", Graph([Triple(EX.a, EX.p, EX.b)]))
+        federation = FederatedAnswerer([endpoint], Schema())
+        query = ConjunctiveQuery([], [TriplePattern(EX.a, EX.p, EX.missing)])
+        assert federation.answer(query).rows == frozenset()
+
+
+class TestCachedFederation:
+    from repro.cache import QueryCache  # noqa: F401 — imported for use below
+
+    def _setup(self, result_limit=None):
+        from repro.cache import QueryCache
+
+        schema = Schema([Constraint.subclass(EX.Manager, EX.Employee)])
+        endpoints = [
+            Endpoint(
+                "left",
+                Graph([Triple(EX.a, RDF_TYPE, EX.Manager)]),
+                result_limit=result_limit,
+            ),
+            Endpoint("right", Graph([Triple(EX.b, RDF_TYPE, EX.Employee)])),
+        ]
+        cache = QueryCache()
+        return FederatedAnswerer(endpoints, schema, cache=cache), cache
+
+    def test_warm_answer_makes_no_requests(self):
+        federation, _ = self._setup()
+        query = ConjunctiveQuery([x], [TriplePattern(x, RDF_TYPE, EX.Employee)])
+        cold = federation.answer(query)
+        warm = federation.answer(query)
+        assert cold.requests == 2
+        assert warm.requests == 0
+        assert warm.rows == cold.rows == frozenset({(EX.a,), (EX.b,)})
+
+    def test_invalidate_restores_fetches(self):
+        federation, _ = self._setup()
+        query = ConjunctiveQuery([x], [TriplePattern(x, RDF_TYPE, EX.Employee)])
+        federation.answer(query)
+        federation.invalidate()
+        assert federation.answer(query).requests == 2
+
+    def test_truncation_flag_survives_the_cache(self):
+        federation, _ = self._setup(result_limit=0)
+        query = ConjunctiveQuery([x], [TriplePattern(x, RDF_TYPE, EX.Employee)])
+        assert federation.answer(query).truncated
+        warm = federation.answer(query)
+        assert warm.requests == 0
+        assert warm.truncated  # a cached partial answer stays partial
+
+    def test_shared_atoms_hit_across_queries(self):
+        federation, cache = self._setup()
+        first = ConjunctiveQuery([x], [TriplePattern(x, RDF_TYPE, EX.Employee)])
+        second = ConjunctiveQuery(
+            [y], [TriplePattern(y, RDF_TYPE, EX.Employee)]
+        )  # alpha-equivalent atom
+        federation.answer(first)
+        assert federation.answer(second).requests == 0
+
+    def test_two_federations_sharing_a_cache_stay_apart(self):
+        from repro.cache import QueryCache
+
+        cache = QueryCache()
+        schema = Schema()
+        query = ConjunctiveQuery([x], [TriplePattern(x, EX.p, y)])
+        first = FederatedAnswerer(
+            [Endpoint("e", Graph([Triple(EX.a, EX.p, EX.b)]))],
+            schema,
+            cache=cache,
+        )
+        second = FederatedAnswerer(
+            [Endpoint("e", Graph([Triple(EX.c, EX.p, EX.d)]))],
+            schema,
+            cache=cache,
+        )
+        assert first.answer(query).rows == frozenset({(EX.a,)})
+        # Same endpoint name, same query — but a different federation:
+        # the dataset token keeps the sub-answers apart.
+        assert second.answer(query).rows == frozenset({(EX.c,)})
