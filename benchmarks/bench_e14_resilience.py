@@ -1,0 +1,319 @@
+"""E14 — resilience under injected faults: graceful partial answers.
+
+The resilience layer's claim, measured instead of asserted: a
+federation wrapped in seeded :class:`~repro.resilience.FaultPlan`
+chaos stays *sound* (every answer is a subset of the fault-free one),
+*honest* (a lossy answer is never certified complete), and degrades
+*gracefully* (a permanent outage on one shard still yields the full
+answer over the remaining sources, with the dead endpoint's circuit
+breaker open).  Reported here on the LUBM federation:
+
+* a fault-rate sweep (transient-error probability 0 → 0.6): per-rate
+  completeness ratio, request/retry counts and how often the retry
+  policy recovered a complete answer anyway;
+* the outage scenario: one of three shards dead from the start —
+  answer over the survivors, breaker state, requests wasted.
+
+Everything runs on an injected :class:`~repro.resilience.FakeClock`:
+backoff sleeps and breaker cooldowns are simulated, so the "chaos"
+benchmark finishes in milliseconds and replays bit-identically for a
+given ``REPRO_CHAOS_SEED`` (the CI matrix sets three fixed values).
+
+Runs two ways: under pytest alongside the other benchmarks, and as a
+script (``python benchmarks/bench_e14_resilience.py --quick``) for CI
+smoke.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+from typing import Dict, List, Optional, Sequence
+
+_SRC = os.path.abspath(
+    os.path.join(os.path.dirname(os.path.abspath(__file__)), os.pardir, "src")
+)
+if os.path.isdir(_SRC) and _SRC not in sys.path:
+    sys.path.insert(0, _SRC)
+
+from repro.bench import format_table
+from repro.datasets import generate_lubm, lubm_queries, lubm_schema
+from repro.federation import Endpoint, FederatedAnswerer
+from repro.rdf import Graph
+from repro.resilience import ChaosEndpoint, FakeClock, FaultPlan, RetryPolicy
+from repro.resilience.breaker import OPEN
+from repro.resilience.report import SKIPPED_OPEN_CIRCUIT
+
+#: CI sets this per matrix leg; locally the default keeps runs stable.
+CHAOS_SEED = int(os.environ.get("REPRO_CHAOS_SEED", "0"))
+
+#: The federated LUBM subset (E11's workload — answers via a handful
+#: of per-atom requests, so fault rates bite without dominating).
+WORKLOAD = ("Q1", "Q5", "Q6", "Q13")
+FAULT_RATES = (0.0, 0.1, 0.3, 0.6)
+PARTS = 3
+
+
+def _shard(graph, parts: int = PARTS) -> List[Graph]:
+    shards = [Graph() for _ in range(parts)]
+    for index, triple in enumerate(sorted(graph.data_triples())):
+        shards[index % parts].add(triple)
+    return shards
+
+
+def _federation(
+    shards: Sequence[Graph],
+    schema,
+    clock: FakeClock,
+    plan_factory=None,
+    seed: int = CHAOS_SEED,
+    breaker_threshold: int = 3,
+) -> FederatedAnswerer:
+    """A federation over *shards*; with *plan_factory* each endpoint is
+    wrapped in its own seeded chaos plan."""
+    endpoints = [
+        Endpoint("shard%d" % index, shard)
+        for index, shard in enumerate(shards)
+    ]
+    if plan_factory is not None:
+        endpoints = [
+            ChaosEndpoint(endpoint, plan_factory(index), clock=clock)
+            for index, endpoint in enumerate(endpoints)
+        ]
+    return FederatedAnswerer(
+        endpoints,
+        schema,
+        retry_policy=RetryPolicy(max_attempts=3, seed=seed),
+        request_deadline=30.0,
+        breaker_threshold=breaker_threshold,
+        clock=clock,
+    )
+
+
+def run_fault_sweep(
+    graph,
+    schema,
+    rates: Sequence[float] = FAULT_RATES,
+    names: Sequence[str] = WORKLOAD,
+    seed: int = CHAOS_SEED,
+) -> List[Dict]:
+    """Answer the workload under each transient-fault rate.
+
+    Returns one record per rate with the aggregate completeness ratio
+    (retained answer rows over fault-free answer rows), request/retry
+    counts, and the soundness verdict (chaotic ⊆ complete, lossy ⇒
+    confessed) — the assertions CI relies on.
+    """
+    queries = lubm_queries()
+    shards = _shard(graph)
+    baseline = _federation(shards, schema, FakeClock(), seed=seed)
+    complete = {name: baseline.answer(queries[name]) for name in names}
+    records: List[Dict] = []
+    for rate in rates:
+        clock = FakeClock()
+        federation = _federation(
+            shards,
+            schema,
+            clock,
+            plan_factory=lambda index: FaultPlan(
+                # Decorrelate per (sweep seed, rate, endpoint) so every
+                # leg of the sweep replays its own fault schedule.
+                seed=seed * 7919 + int(rate * 100) * 31 + index,
+                transient_rate=rate,
+            ),
+            seed=seed,
+        )
+        retained = expected = requests = retries = 0
+        complete_answers = sound = honest = 0
+        for name in names:
+            answer = federation.answer(queries[name])
+            full = complete[name].rows
+            retained += len(answer.rows & full)
+            expected += len(full)
+            requests += sum(e.requests for e in answer.report)
+            retries += answer.report.total_retries()
+            complete_answers += int(answer.complete)
+            sound += int(answer.rows <= full)
+            honest += int(answer.complete <= (answer.rows == full))
+        records.append(
+            {
+                "rate": rate,
+                "ratio": retained / expected if expected else 1.0,
+                "requests": requests,
+                "retries": retries,
+                "complete": complete_answers,
+                "queries": len(names),
+                "sound": sound == len(names),
+                "honest": honest == len(names),
+            }
+        )
+    return records
+
+
+def run_outage_scenario(
+    graph, schema, seed: int = CHAOS_SEED, name: str = "Q13"
+) -> Dict:
+    """One of three shards dead from request zero: the answer must
+    equal the fault-free answer over the two survivors, the dead
+    endpoint's breaker must open, and no wall-clock time passes."""
+    queries = lubm_queries()
+    shards = _shard(graph)
+    survivors = _federation(shards[1:], schema, FakeClock(), seed=seed)
+    expected = survivors.answer(queries[name]).rows
+
+    clock = FakeClock()
+    federation = _federation(
+        shards,
+        schema,
+        clock,
+        plan_factory=lambda index: FaultPlan(
+            seed=seed + index, outage_after=0 if index == 0 else None
+        ),
+        seed=seed,
+        # An outage is non-retryable, so the dead shard sees one
+        # request per query atom; threshold 2 lets a two-atom query
+        # open the breaker within a single federated answer.
+        breaker_threshold=2,
+    )
+    answer = federation.answer(queries[name])
+    dead = answer.report["shard0"]
+    return {
+        "rows": answer.rows,
+        "expected": expected,
+        "complete": answer.complete,
+        "dead_status": dead.status,
+        "dead_requests": dead.requests,
+        "breaker_open": federation.breakers[0].state == OPEN,
+        "breaker_rejections": federation.breakers[0].rejected_requests,
+        "skipped": answer.report.skipped_endpoints,
+        "fake_sleeps": len(clock.sleeps),
+    }
+
+
+def emit_report(graph, schema, seed: int = CHAOS_SEED) -> str:
+    sweep = run_fault_sweep(graph, schema, seed=seed)
+    outage = run_outage_scenario(graph, schema, seed=seed)
+    lines = [
+        format_table(
+            ["fault rate", "completeness", "complete answers",
+             "requests", "retries", "sound"],
+            [
+                [
+                    "%.1f" % record["rate"],
+                    "%.0f%%" % (record["ratio"] * 100),
+                    "%d/%d" % (record["complete"], record["queries"]),
+                    record["requests"],
+                    record["retries"],
+                    "yes" if record["sound"] and record["honest"] else "NO",
+                ]
+                for record in sweep
+            ],
+            title="E14: transient-fault sweep (LUBM federation, seed %d)"
+            % seed,
+        ),
+        "",
+        "outage scenario (shard0 dead from request 0, Q13):",
+        "  answer over survivors: %s (%d rows, complete=%s)"
+        % (
+            "MATCH" if outage["rows"] == outage["expected"] else "MISMATCH",
+            len(outage["rows"]),
+            outage["complete"],
+        ),
+        "  shard0: status=%s after %d request(s); breaker open=%s, "
+        "rejected %d call(s)"
+        % (
+            outage["dead_status"],
+            outage["dead_requests"],
+            outage["breaker_open"],
+            outage["breaker_rejections"],
+        ),
+        "  clock: %d simulated sleep(s), zero wall-clock waiting"
+        % outage["fake_sleeps"],
+    ]
+    return "\n".join(lines)
+
+
+# ---------------------------------------------------------------------------
+# pytest entry points (collected with the rest of benchmarks/)
+
+
+def test_fault_sweep_is_sound_and_honest(lubm_graph):
+    records = run_fault_sweep(lubm_graph, lubm_schema())
+    for record in records:
+        assert record["sound"], record
+        assert record["honest"], record
+    # Rate 0 is the control: nothing lost, everything certified.
+    assert records[0]["ratio"] == 1.0
+    assert records[0]["complete"] == records[0]["queries"]
+    assert records[0]["retries"] == 0
+
+
+def test_retries_recover_low_fault_rates(lubm_graph):
+    """At a 10% transient rate the retry policy (3 attempts) should
+    recover every query to a certified-complete answer."""
+    records = run_fault_sweep(lubm_graph, lubm_schema(), rates=(0.1,))
+    (record,) = records
+    assert record["complete"] == record["queries"], record
+    assert record["ratio"] == 1.0
+
+
+def test_outage_degrades_gracefully(lubm_graph):
+    outage = run_outage_scenario(lubm_graph, lubm_schema())
+    assert outage["rows"] == outage["expected"]
+    assert not outage["complete"]
+    assert outage["dead_status"] in ("degraded", SKIPPED_OPEN_CIRCUIT)
+    assert outage["breaker_open"]
+
+
+def test_report_emits(lubm_graph):
+    report = emit_report(lubm_graph, lubm_schema())
+    assert "transient-fault sweep" in report
+    assert "outage scenario" in report
+    print("\n" + report)
+
+
+# ---------------------------------------------------------------------------
+# script entry point (CI smoke: python benchmarks/bench_e14_resilience.py --quick)
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="one-university instance, assert soundness, exit non-zero on miss",
+    )
+    parser.add_argument("--universities", type=int, default=2)
+    parser.add_argument("--seed", type=int, default=1)
+    parser.add_argument(
+        "--chaos-seed",
+        type=int,
+        default=CHAOS_SEED,
+        help="fault-schedule seed (default: $REPRO_CHAOS_SEED or 0)",
+    )
+    args = parser.parse_args(argv)
+    universities = 1 if args.quick else args.universities
+    graph = generate_lubm(
+        universities=universities, seed=args.seed, include_schema=False
+    )
+    schema = lubm_schema()
+    print(emit_report(graph, schema, seed=args.chaos_seed))
+    failures = []
+    for record in run_fault_sweep(graph, schema, seed=args.chaos_seed):
+        if not (record["sound"] and record["honest"]):
+            failures.append("rate %.1f lost soundness" % record["rate"])
+    outage = run_outage_scenario(graph, schema, seed=args.chaos_seed)
+    if outage["rows"] != outage["expected"]:
+        failures.append("outage answer diverged from the survivors' answer")
+    if not outage["breaker_open"]:
+        failures.append("dead endpoint's breaker never opened")
+    if failures:
+        for failure in failures:
+            print("FAIL: %s" % failure, file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -22,11 +22,14 @@ Quickstart::
 
 from .cache import QueryCache
 from .core import AnswerReport, QueryAnswerer, Strategy
+from .resilience import BudgetExceeded, ExecutionBudget
 
 __version__ = "1.0.0"
 
 __all__ = [
     "AnswerReport",
+    "BudgetExceeded",
+    "ExecutionBudget",
     "QueryAnswerer",
     "QueryCache",
     "Strategy",

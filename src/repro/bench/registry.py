@@ -143,6 +143,45 @@ def _quick_e13() -> str:
     )
 
 
+def _quick_e14() -> str:
+    from ..datasets import generate_lubm, lubm_queries, lubm_schema
+    from ..federation import Endpoint, FederatedAnswerer
+    from ..rdf import Graph
+    from ..resilience import ChaosEndpoint, FakeClock, FaultPlan, RetryPolicy
+
+    graph = generate_lubm(universities=1, seed=1, include_schema=False)
+    shards = [Graph() for _ in range(3)]
+    for index, triple in enumerate(sorted(graph.data_triples())):
+        shards[index % 3].add(triple)
+    clock = FakeClock()
+    federation = FederatedAnswerer(
+        [
+            ChaosEndpoint(
+                Endpoint("shard%d" % index, shard),
+                FaultPlan(seed=index, transient_rate=0.3),
+                clock=clock,
+            )
+            for index, shard in enumerate(shards)
+        ],
+        lubm_schema(),
+        retry_policy=RetryPolicy(max_attempts=3, seed=0),
+        breaker_threshold=3,
+        clock=clock,
+    )
+    answer = federation.answer(lubm_queries()["Q13"])
+    return (
+        "Q13 under 30%% transient chaos: %d row(s), %s, %d retr%s, "
+        "%d simulated sleep(s)"
+        % (
+            answer.cardinality,
+            "complete" if answer.complete else "partial",
+            answer.report.total_retries(),
+            "y" if answer.report.total_retries() == 1 else "ies",
+            len(clock.sleeps),
+        )
+    )
+
+
 EXPERIMENTS: List[Experiment] = [
     Experiment("E1", "Example 1's UCQ reformulation blow-up and parse failure",
                "benchmarks/bench_e1_reformulation_size.py", _quick_e1),
@@ -170,6 +209,8 @@ EXPERIMENTS: List[Experiment] = [
                "benchmarks/bench_e12_real_rdbms.py", _quick_e12),
     Experiment("E13", "Amortized answering: the reformulation & answer cache",
                "benchmarks/bench_e13_cache.py", _quick_e13),
+    Experiment("E14", "Resilience: fault-injected federation, graceful degradation",
+               "benchmarks/bench_e14_resilience.py", _quick_e14),
     Experiment("A1", "Ablation: exact statistics vs textbook uniformity",
                "benchmarks/bench_a1_statistics_ablation.py"),
     Experiment("A2", "Ablation: UCQ subsumption pruning",

@@ -42,6 +42,7 @@ from .schema import Schema
 from .query import parse_query
 from .rdf import load_file, shorten
 from .reformulation import ReformulationTooLarge
+from .resilience.errors import BudgetExceeded
 from .storage import QueryTooLargeError, explain as explain_plan
 
 
@@ -118,6 +119,26 @@ def _positive_int(value: str) -> int:
     return number
 
 
+def _positive_float(value: str) -> float:
+    """argparse type for durations: a clean error beats a traceback."""
+    number = float(value)
+    if number <= 0:
+        raise argparse.ArgumentTypeError(
+            "must be a positive number, got %s" % value
+        )
+    return number
+
+
+def _rate(value: str) -> float:
+    """argparse type for fault probabilities: must lie in [0, 1]."""
+    number = float(value)
+    if not 0.0 <= number <= 1.0:
+        raise argparse.ArgumentTypeError(
+            "must be a probability in [0, 1], got %s" % value
+        )
+    return number
+
+
 def _make_cache(args):
     """The answer cache the flags ask for, or None when disabled."""
     if not getattr(args, "cache", False):
@@ -140,13 +161,25 @@ def cmd_answer(args) -> int:
         if args.strategy == "all"
         else [Strategy(args.strategy)]
     )
+    budget_kwargs = {}
+    if args.row_budget is not None or args.timeout is not None:
+        budget_kwargs = dict(
+            row_budget=args.row_budget,
+            time_budget=args.timeout,
+            budget_fallbacks=args.max_retries,
+        )
     repeat = max(1, args.repeat)
     rows = []
     for strategy in strategies:
         if strategy is Strategy.REF_JUCQ:
             continue  # needs an explicit cover; use `covers`
+        if budget_kwargs and strategy is Strategy.DATALOG:
+            continue  # no relational evaluation, nothing to budget
         try:
-            reports = [answerer.answer(query, strategy) for _ in range(repeat)]
+            reports = [
+                answerer.answer(query, strategy, **budget_kwargs)
+                for _ in range(repeat)
+            ]
             report = reports[-1]
             row = [strategy.value, "%.1f" % (reports[0].elapsed_seconds * 1e3)]
             if repeat > 1:
@@ -158,7 +191,7 @@ def cmd_answer(args) -> int:
             if args.show_answers and len(strategies) == 1:
                 for answer_row in sorted(report.answer)[: args.limit]:
                     print("   ", tuple(str(term.lexical()) for term in answer_row))
-        except (QueryTooLargeError, ReformulationTooLarge) as exc:
+        except (QueryTooLargeError, ReformulationTooLarge, BudgetExceeded) as exc:
             row = [strategy.value, "FAIL"]
             if repeat > 1:
                 row.append("-")
@@ -256,6 +289,77 @@ def cmd_cache_stats(args) -> int:
         )
     )
     return 0
+
+
+def cmd_federate(args) -> int:
+    """Shard the dataset across N endpoints, answer the query through
+    the federated client, and print the answer with its per-endpoint
+    completeness report.  Chaos flags (seeded) inject faults so the
+    retry/breaker/degradation machinery can be exercised from a shell.
+    """
+    from .federation import Endpoint, FederatedAnswerer
+    from .rdf import Graph
+    from .resilience import ExecutionBudget, RetryPolicy
+    from .resilience.faults import ChaosEndpoint, FaultPlan
+
+    graph = _build_graph(args)
+    query = _resolve_query(args)
+    schema = Schema.from_graph(graph)
+    shards = [Graph() for _ in range(args.endpoints)]
+    for index, triple in enumerate(sorted(graph.data_triples())):
+        shards[index % args.endpoints].add(triple)
+    endpoints = [
+        Endpoint("shard-%d" % index, shard, result_limit=args.result_limit)
+        for index, shard in enumerate(shards)
+    ]
+    if args.outage is not None and not (0 <= args.outage < args.endpoints):
+        raise SystemExit(
+            "--outage must name an endpoint index in [0, %d)" % args.endpoints
+        )
+    chaotic = args.transient_rate > 0 or args.outage is not None
+    if chaotic:
+        endpoints = [
+            ChaosEndpoint(
+                endpoint,
+                FaultPlan(
+                    seed=args.chaos_seed + index,
+                    transient_rate=args.transient_rate,
+                    outage_after=0 if index == args.outage else None,
+                ),
+            )
+            for index, endpoint in enumerate(endpoints)
+        ]
+    answerer = FederatedAnswerer(
+        endpoints,
+        schema,
+        retry_policy=RetryPolicy(
+            max_attempts=args.max_retries + 1, seed=args.chaos_seed
+        ),
+        request_deadline=args.timeout,
+        breaker_threshold=args.breaker_threshold,
+    )
+    budget = (
+        ExecutionBudget(max_rows=args.row_budget)
+        if args.row_budget is not None
+        else None
+    )
+    try:
+        result = answerer.answer(query, budget=budget)
+    except BudgetExceeded as exc:
+        print("budget exceeded: %s" % exc)
+        return 1
+    print(
+        "%d answer row(s) over %d endpoint(s), %d request(s), "
+        "%d row(s) transferred"
+        % (result.cardinality, args.endpoints, result.requests,
+           result.rows_transferred)
+    )
+    if args.show_answers:
+        for answer_row in sorted(result.rows)[: args.limit]:
+            print("   ", tuple(str(term.lexical()) for term in answer_row))
+    print()
+    print(result.report.summary())
+    return 0 if result.complete else 3
 
 
 def cmd_explain(args) -> int:
@@ -375,7 +479,53 @@ def build_parser() -> argparse.ArgumentParser:
     answer.add_argument("--repeat", type=int, default=1,
                         help="answer N times (with --cache the repeats hit "
                              "the cache; a warm-ms column is shown)")
+    answer.add_argument("--timeout", type=_positive_float, default=None,
+                        help="evaluation time budget in seconds; overruns "
+                             "fail cleanly instead of hanging")
+    answer.add_argument("--row-budget", type=_positive_int, default=None,
+                        help="cap on cumulative intermediate rows during "
+                             "evaluation (builtin engine)")
+    answer.add_argument("--max-retries", type=_positive_int, default=3,
+                        help="budget-exceeded fallback attempts: how many "
+                             "next-best covers the optimizer may try "
+                             "(default 3)")
     answer.set_defaults(func=cmd_answer)
+
+    federate = subparsers.add_parser(
+        "federate",
+        help="answer over the dataset sharded across N endpoints, with "
+             "optional injected faults and a completeness report",
+    )
+    add_common(federate)
+    federate.add_argument("--query", help="a catalog query name")
+    federate.add_argument("--sparql", help="an inline SPARQL-lite query")
+    federate.add_argument("--endpoints", type=_positive_int, default=3,
+                          help="number of shards/endpoints (default 3)")
+    federate.add_argument("--result-limit", type=_positive_int, default=None,
+                          help="per-endpoint answer truncation limit")
+    federate.add_argument("--timeout", type=_positive_float, default=None,
+                          help="per-request deadline in seconds (retries "
+                               "included)")
+    federate.add_argument("--max-retries", type=_positive_int, default=2,
+                          help="retry attempts after a transient endpoint "
+                               "failure (default 2)")
+    federate.add_argument("--row-budget", type=_positive_int, default=None,
+                          help="cap on rows materialized by the client-side "
+                               "joins")
+    federate.add_argument("--breaker-threshold", type=_positive_int,
+                          default=None,
+                          help="consecutive failures that open an "
+                               "endpoint's circuit breaker")
+    federate.add_argument("--chaos-seed", type=int, default=0,
+                          help="seed for the injected fault schedule")
+    federate.add_argument("--transient-rate", type=_rate, default=0.0,
+                          help="probability a request fails transiently")
+    federate.add_argument("--outage", type=int, default=None,
+                          help="index of an endpoint that is permanently "
+                               "down")
+    federate.add_argument("--show-answers", action="store_true")
+    federate.add_argument("--limit", type=int, default=20)
+    federate.set_defaults(func=cmd_federate)
 
     cache_stats = subparsers.add_parser(
         "cache-stats",

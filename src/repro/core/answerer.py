@@ -39,6 +39,8 @@ from ..reformulation.policy import (
     ReformulationPolicy,
     VIRTUOSO_STYLE,
 )
+from ..resilience.budget import ExecutionBudget
+from ..resilience.errors import BudgetExceeded
 from ..saturation.engine import saturate
 from ..schema.schema import Schema
 from ..storage.backends import BackendProfile, HASH_BACKEND, QueryTooLargeError
@@ -169,10 +171,17 @@ class QueryAnswerer:
             # data triples retire answers only.
             cache.watch_graph(self.graph)
 
-    def _evaluate(self, query, saturated: bool = False):
+    def _evaluate(self, query, saturated: bool = False, budget=None):
         """Run a relational query on the selected engine; returns
-        (answer, execution-or-None)."""
+        (answer, execution-or-None).  ``budget`` (builtin engine only)
+        bounds the evaluation's intermediate results — see
+        :class:`~repro.resilience.budget.ExecutionBudget`."""
         if self.engine == "sqlite":
+            if budget is not None:
+                raise ValueError(
+                    "execution budgets require the builtin engine; the "
+                    "sqlite engine evaluates inside the RDBMS"
+                )
             if saturated:
                 if self._saturated_sql_backend is None:
                     self._saturated_sql_backend = SqliteBackend(
@@ -187,7 +196,7 @@ class QueryAnswerer:
             if saturated
             else self.executor
         )
-        execution = executor.run(query)
+        execution = executor.run(query, budget=budget)
         return execution.answer(), execution
 
     # ------------------------------------------------------------------
@@ -274,6 +283,9 @@ class QueryAnswerer:
         strategy: Strategy = Strategy.REF_GCOV,
         cover: Optional[Cover] = None,
         max_disjuncts: Optional[int] = None,
+        row_budget: Optional[int] = None,
+        time_budget: Optional[float] = None,
+        budget_fallbacks: int = 3,
     ) -> AnswerReport:
         """Answer *query* with *strategy*.
 
@@ -284,9 +296,44 @@ class QueryAnswerer:
         :class:`~repro.storage.backends.QueryTooLargeError` when the
         strategy genuinely cannot run — the failure modes the paper
         demonstrates, surfaced rather than hidden.
+
+        ``row_budget`` / ``time_budget`` (builtin engine only) bound
+        the evaluation's cumulative intermediate rows and wall time; an
+        overrun raises
+        :class:`~repro.resilience.errors.BudgetExceeded` — with one
+        escape hatch: for the cover strategies (``REF_SCQ``,
+        ``REF_JUCQ``, ``REF_GCOV``) up to ``budget_fallbacks``
+        cheaper-estimated covers from the greedy search are retried,
+        each under a *fresh* budget, before giving up.  A budget-capped
+        run that completes (directly or via fallback) still returns the
+        complete answer — budgets never truncate, they only refuse.
+        Budget-exceeded runs are never cached.
         """
         if strategy is Strategy.REF_JUCQ and cover is None:
             raise ValueError("REF_JUCQ requires a cover")
+        budget_factory = None
+        if row_budget is not None or time_budget is not None:
+            if self.engine != "builtin":
+                raise ValueError(
+                    "execution budgets require the builtin engine, not %r"
+                    % (self.engine,)
+                )
+            if strategy is Strategy.DATALOG:
+                raise ValueError(
+                    "the DATALOG strategy does not support execution budgets"
+                )
+            if budget_fallbacks < 0:
+                raise ValueError("budget_fallbacks must be >= 0")
+            # Validate eagerly (and once): the factory then mints a
+            # fresh budget per evaluation attempt, so a fallback cover
+            # gets the full allowance, not the failed attempt's dregs.
+            ExecutionBudget(max_rows=row_budget, max_seconds=time_budget)
+
+            def budget_factory():
+                return ExecutionBudget(
+                    max_rows=row_budget, max_seconds=time_budget
+                )
+
         start = time.perf_counter()
         answer_key = None
         if self.cache is not None:
@@ -311,7 +358,15 @@ class QueryAnswerer:
                 return AnswerReport(
                     strategy, answer, time.perf_counter() - start, details
                 )
-        report = self._answer_uncached(query, strategy, cover, max_disjuncts, start)
+        report = self._answer_uncached(
+            query,
+            strategy,
+            cover,
+            max_disjuncts,
+            start,
+            budget_factory,
+            budget_fallbacks,
+        )
         if self.cache is not None:
             reformulation_hit = report.details.pop("_reformulation_cache", None)
             self.cache.store_answer(answer_key, (report.answer, dict(report.details)))
@@ -328,6 +383,59 @@ class QueryAnswerer:
             report.details.pop("_reformulation_cache", None)
         return report
 
+    def _fallback_evaluate(
+        self,
+        jucq,
+        query: ConjunctiveQuery,
+        budget_factory,
+        fallbacks: int,
+        details: Dict,
+        exclude_repr: Optional[str],
+    ):
+        """Evaluate *jucq* under a fresh budget; on
+        :class:`~repro.resilience.errors.BudgetExceeded`, retry up to
+        *fallbacks* next-best covers from the greedy search (cheapest
+        estimated cost first, the failed cover excluded), each under a
+        fresh budget.  Exhausting the fallbacks re-raises the original
+        overrun — with every attempt's cover recorded in *details* so
+        the caller can see what was tried."""
+        try:
+            return self._evaluate(jucq, budget=budget_factory())
+        except BudgetExceeded as primary:
+            if fallbacks <= 0:
+                raise
+            details["budget_exceeded"] = primary.diagnostics()
+            search = gcov(
+                query, self.schema, self.store, self.backend, self.policy
+            )
+            ranked = sorted(search.explored, key=lambda pair: pair[1])
+            excluded = {exclude_repr} if exclude_repr is not None else set()
+            failed: list = []
+            for candidate, _cost in ranked:
+                shown = repr(candidate)
+                if shown in excluded:
+                    continue
+                excluded.add(shown)
+                candidate_jucq = jucq_for_cover(
+                    candidate, self.schema, self.policy
+                )
+                try:
+                    answer, execution = self._evaluate(
+                        candidate_jucq, budget=budget_factory()
+                    )
+                except BudgetExceeded:
+                    failed.append(shown)
+                    if len(failed) >= fallbacks:
+                        break
+                    continue
+                details["budget_fallback_cover"] = shown
+                details["budget_fallback_attempts"] = len(failed) + 1
+                if failed:
+                    details["budget_fallback_failed"] = failed
+                return answer, execution
+            details["budget_fallback_failed"] = failed
+            raise primary
+
     def _answer_uncached(
         self,
         query: ConjunctiveQuery,
@@ -335,9 +443,16 @@ class QueryAnswerer:
         cover: Optional[Cover],
         max_disjuncts: Optional[int],
         start: float,
+        budget_factory=None,
+        budget_fallbacks: int = 0,
     ) -> AnswerReport:
+        def budget():
+            return None if budget_factory is None else budget_factory()
+
         if strategy == Strategy.SAT:
-            answer, execution = self._evaluate(query, saturated=True)
+            answer, execution = self._evaluate(
+                query, saturated=True, budget=budget()
+            )
             elapsed = time.perf_counter() - start
             return AnswerReport(
                 strategy,
@@ -381,7 +496,7 @@ class QueryAnswerer:
                 ),
                 extra=max_disjuncts,
             )
-            answer, execution = self._evaluate(union)
+            answer, execution = self._evaluate(union, budget=budget())
             return AnswerReport(
                 strategy,
                 answer,
@@ -401,16 +516,29 @@ class QueryAnswerer:
                 self.policy,
                 lambda: scq_reformulation(query, self.schema, self.policy),
             )
-            answer, execution = self._evaluate(jucq)
+            details = {
+                "fragments": jucq.fragment_count(),
+                "atom_count": jucq.atom_count(),
+                "_reformulation_cache": reformulation_hit,
+            }
+            if budget_factory is None:
+                answer, execution = self._evaluate(jucq)
+            else:
+                # The SCQ *is* the per-atom cover's JUCQ: exclude it
+                # from the fallback ranking, it just failed.
+                answer, execution = self._fallback_evaluate(
+                    jucq,
+                    query,
+                    budget_factory,
+                    budget_fallbacks,
+                    details,
+                    repr(Cover.per_atom(query)),
+                )
             return AnswerReport(
                 strategy,
                 answer,
                 time.perf_counter() - start,
-                {
-                    "fragments": jucq.fragment_count(),
-                    "atom_count": jucq.atom_count(),
-                    "_reformulation_cache": reformulation_hit,
-                },
+                details,
                 execution,
             )
 
@@ -426,16 +554,27 @@ class QueryAnswerer:
                 lambda: jucq_for_cover(cover, self.schema, self.policy),
                 extra=None if self.cache is None else cover_key(cover),
             )
-            answer, execution = self._evaluate(jucq)
+            details = {
+                "cover": repr(cover),
+                "atom_count": jucq.atom_count(),
+                "_reformulation_cache": reformulation_hit,
+            }
+            if budget_factory is None:
+                answer, execution = self._evaluate(jucq)
+            else:
+                answer, execution = self._fallback_evaluate(
+                    jucq,
+                    query,
+                    budget_factory,
+                    budget_fallbacks,
+                    details,
+                    repr(cover),
+                )
             return AnswerReport(
                 strategy,
                 answer,
                 time.perf_counter() - start,
-                {
-                    "cover": repr(cover),
-                    "atom_count": jucq.atom_count(),
-                    "_reformulation_cache": reformulation_hit,
-                },
+                details,
                 execution,
             )
 
@@ -464,9 +603,19 @@ class QueryAnswerer:
                 run_gcov,
                 extra=(self._dataset_token, self.backend.name),
             )
-            answer, execution = self._evaluate(jucq)
             details = dict(gcov_details)
             details["_reformulation_cache"] = reformulation_hit
+            if budget_factory is None:
+                answer, execution = self._evaluate(jucq)
+            else:
+                answer, execution = self._fallback_evaluate(
+                    jucq,
+                    query,
+                    budget_factory,
+                    budget_fallbacks,
+                    details,
+                    details.get("cover"),
+                )
             return AnswerReport(
                 strategy,
                 answer,

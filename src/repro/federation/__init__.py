@@ -1,8 +1,8 @@
 """Federated query answering over independent RDF endpoints (the
 distributed scenario of the paper's introduction)."""
 
+from .endpoint import Endpoint, ExportForbidden, TruncatedResult, truncate_rows
 from .client import FederatedAnswer, FederatedAnswerer
-from .endpoint import Endpoint, ExportForbidden, TruncatedResult
 
 __all__ = [
     "Endpoint",
@@ -10,4 +10,5 @@ __all__ = [
     "FederatedAnswer",
     "FederatedAnswerer",
     "TruncatedResult",
+    "truncate_rows",
 ]

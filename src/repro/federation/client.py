@@ -26,6 +26,20 @@ closed schema (the client holds the constraints, so it *is* the
 authority on entailed constraints); atoms with a variable in property
 position match the client closure plus whatever constraint triples the
 endpoints expose explicitly.
+
+**Resilience.**  Real endpoints fail: the same Section 1 that motivates
+federation describes sources that truncate, refuse and disappear.  The
+client therefore wraps every endpoint call in the
+:mod:`repro.resilience` machinery — optional retry with backoff
+(``retry_policy``), a per-request deadline (``request_deadline``), and
+a per-endpoint circuit breaker (``breaker_threshold``) — and degrades
+gracefully: a failed or skipped endpoint costs its *contribution*, not
+the answer.  Every answer carries a
+:class:`~repro.resilience.report.CompletenessReport` stating, per
+endpoint, whether its sub-answers were ok, truncated, degraded (failed
+past retries/deadline) or skipped (open circuit).  Degraded responses
+are **never** written to the sub-answer cache: a cache must not launder
+a failure into a complete answer.
 """
 
 from __future__ import annotations
@@ -44,6 +58,18 @@ from ..query.evaluation import _join_relations  # shared join kernel
 from ..rdf.terms import Literal, Term
 from ..reformulation.engine import reformulate
 from ..reformulation.policy import COMPLETE, ReformulationPolicy
+from ..resilience.breaker import CircuitBreaker
+from ..resilience.budget import ExecutionBudget
+from ..resilience.clock import Clock, Deadline, SYSTEM_CLOCK
+from ..resilience.errors import DeadlineExceeded, EndpointFailure
+from ..resilience.report import (
+    CompletenessReport,
+    DEGRADED,
+    EndpointReport,
+    SKIPPED_OPEN_CIRCUIT,
+    TRUNCATED,
+)
+from ..resilience.retry import RetryPolicy
 from ..schema.schema import Schema
 from .endpoint import Endpoint
 
@@ -59,6 +85,7 @@ class FederatedAnswer:
         truncated: bool,
         requests: int,
         rows_transferred: int,
+        report: Optional[CompletenessReport] = None,
     ):
         self.rows = rows
         #: True when any endpoint truncated a sub-answer — the client
@@ -66,13 +93,28 @@ class FederatedAnswer:
         self.truncated = truncated
         self.requests = requests
         self.rows_transferred = rows_transferred
+        #: Per-endpoint status/retry/elapsed accounting (always present
+        #: on answers produced by :meth:`FederatedAnswerer.answer`).
+        self.report = report
 
     @property
     def cardinality(self) -> int:
         return len(self.rows)
 
+    @property
+    def complete(self) -> bool:
+        """Certified complete: nothing truncated, degraded or skipped."""
+        if self.truncated:
+            return False
+        return self.report is None or self.report.complete
+
     def __repr__(self) -> str:
-        flag = " (TRUNCATED)" if self.truncated else ""
+        if self.complete:
+            flag = ""
+        elif self.report is not None and not self.report.complete:
+            flag = " (PARTIAL)"
+        else:
+            flag = " (TRUNCATED)"
         return "FederatedAnswer(%d rows, %d requests%s)" % (
             self.cardinality,
             self.requests,
@@ -89,20 +131,67 @@ class FederatedAnswerer:
         schema: Schema,
         policy: ReformulationPolicy = COMPLETE,
         cache: Optional[QueryCache] = None,
+        retry_policy: Optional[RetryPolicy] = None,
+        request_deadline: Optional[float] = None,
+        breaker_threshold: Optional[int] = None,
+        breaker_cooldown: float = 30.0,
+        clock: Optional[Clock] = None,
     ):
         """``cache`` (opt-in) stores each endpoint's per-atom sub-answer
         in the cache's answer tier (and the atomic UCQs in its
         reformulation tier), so repeated queries — and queries sharing
         atoms — skip network round-trips entirely.  The federation has
         no push notifications for remote updates; call
-        :meth:`invalidate` when a source is known to have changed."""
+        :meth:`invalidate` when a source is known to have changed.
+
+        Resilience knobs (all opt-in; defaults preserve the fail-fast
+        behaviour of a reliable lab federation):
+
+        * ``retry_policy`` — retries transient endpoint errors with the
+          policy's backoff; ``None`` means one attempt per request;
+        * ``request_deadline`` — seconds allowed per (atom, endpoint)
+          fetch *including* retries; overruns degrade that endpoint;
+        * ``breaker_threshold`` / ``breaker_cooldown`` — per-endpoint
+          circuit breakers (``None`` disables them);
+        * ``clock`` — the time source backoffs, deadlines and cooldowns
+          run on; inject a :class:`~repro.resilience.clock.FakeClock`
+          for instant, deterministic tests.
+        """
         if not endpoints:
             raise ValueError("a federation needs at least one endpoint")
+        if request_deadline is not None and request_deadline <= 0:
+            raise ValueError(
+                "request_deadline must be positive, got %r" % (request_deadline,)
+            )
         self.endpoints = list(endpoints)
         self.schema = schema
         self.policy = policy
         self.cache = cache
         self._token: Optional[int] = dataset_token() if cache is not None else None
+        self.clock = clock if clock is not None else SYSTEM_CLOCK
+        self.retry_policy = retry_policy
+        self.request_deadline = request_deadline
+        #: One breaker per endpoint position, or None when disabled.
+        self.breakers: Optional[List[CircuitBreaker]] = None
+        if breaker_threshold is not None:
+            self.breakers = [
+                CircuitBreaker(
+                    failure_threshold=breaker_threshold,
+                    cooldown_seconds=breaker_cooldown,
+                    clock=self.clock,
+                )
+                for _ in self.endpoints
+            ]
+        # Report labels: endpoint names, uniquified by position so two
+        # same-named sources cannot merge their accounting.
+        self._labels: List[str] = []
+        seen: Dict[str, int] = {}
+        for endpoint in self.endpoints:
+            count = seen.get(endpoint.name, 0)
+            seen[endpoint.name] = count + 1
+            self._labels.append(
+                endpoint.name if count == 0 else "%s#%d" % (endpoint.name, count)
+            )
 
     # ------------------------------------------------------------------
 
@@ -143,8 +232,75 @@ class FederatedAnswerer:
             )
         return rows
 
+    # ------------------------------------------------------------------
+    # Guarded endpoint calls
+
+    def _call_endpoint(
+        self, index: int, endpoint: Endpoint, union: UnionQuery,
+        entry: EndpointReport,
+    ):
+        """One guarded fetch: breaker gate, retries with backoff, and a
+        per-request deadline.  Returns the
+        :class:`~repro.federation.endpoint.TruncatedResult`, or ``None``
+        when the endpoint is skipped or exhausted (the caller degrades
+        gracefully; nothing may be cached then)."""
+        breaker = self.breakers[index] if self.breakers is not None else None
+        if breaker is not None and not breaker.allow():
+            entry.note_status(SKIPPED_OPEN_CIRCUIT)
+            return None
+        deadline = (
+            Deadline(self.request_deadline, self.clock)
+            if self.request_deadline is not None
+            else None
+        )
+        started = self.clock.monotonic()
+        requests_before = entry.requests
+
+        def attempt():
+            entry.requests += 1
+            if deadline is not None:
+                deadline.check("request to endpoint %r" % (endpoint.name,))
+            try:
+                result = endpoint.evaluate(union)
+            except EndpointFailure:
+                if breaker is not None:
+                    breaker.record_failure()
+                raise
+            if deadline is not None and deadline.expired():
+                # The answer arrived after the deadline: an honest
+                # client has already moved on, and a chronically slow
+                # endpoint counts against its breaker.
+                if breaker is not None:
+                    breaker.record_failure()
+                raise DeadlineExceeded(
+                    "endpoint %r answered after the %.3fs deadline"
+                    % (endpoint.name, self.request_deadline),
+                    elapsed_seconds=deadline.elapsed(),
+                )
+            if breaker is not None:
+                breaker.record_success()
+            return result
+
+        try:
+            if self.retry_policy is None:
+                result = attempt()
+            else:
+                result, _ = self.retry_policy.run(
+                    attempt, clock=self.clock, deadline=deadline
+                )
+        except (EndpointFailure, DeadlineExceeded) as exc:
+            entry.note_error(exc)
+            entry.note_status(DEGRADED)
+            result = None
+        entry.retries += max(0, entry.requests - requests_before - 1)
+        entry.elapsed_seconds += self.clock.monotonic() - started
+        return result
+
     def _fetch_atom(
-        self, atom: TriplePattern, head: Tuple[HeadTerm, ...]
+        self,
+        atom: TriplePattern,
+        head: Tuple[HeadTerm, ...],
+        entries: Sequence[EndpointReport],
     ) -> Tuple[Set[Row], bool, int, int]:
         """Evaluate one atom's UCQ on every endpoint; union the rows.
         Constraint atoms short-circuit to the client's schema."""
@@ -159,6 +315,7 @@ class FederatedAnswerer:
         requests = 0
         transferred = 0
         for index, endpoint in enumerate(self.endpoints):
+            entry = entries[index]
             key = None
             if self.cache is not None:
                 key = self.cache.endpoint_key(
@@ -173,23 +330,50 @@ class FederatedAnswerer:
                     cached_rows, cached_truncated = cached
                     rows.update(cached_rows)
                     truncated = truncated or cached_truncated
+                    entry.cache_hits += 1
+                    entry.rows += len(cached_rows)
+                    if cached_truncated:
+                        entry.note_status(TRUNCATED)
                     continue  # no request made: the hit is the point
             if union is None:
                 union = self._atom_union(atom, head)
-            result = endpoint.evaluate(union)
+            requests_before = entry.requests
+            result = self._call_endpoint(index, endpoint, union, entry)
+            requests += entry.requests - requests_before
+            if result is None:
+                # Degraded or skipped: answer from the other sources;
+                # crucially, nothing is cached for this endpoint — a
+                # failure must never be served later as a sub-answer.
+                continue
             rows.update(result.rows)
             truncated = truncated or result.truncated
-            requests += 1
             transferred += len(result)
+            entry.rows += len(result.rows)
+            if result.truncated:
+                entry.note_status(TRUNCATED)
             if key is not None:
                 self.cache.store_answer(
                     key, (frozenset(result.rows), result.truncated)
                 )
         return rows, truncated, requests, transferred
 
-    def answer(self, query: ConjunctiveQuery) -> FederatedAnswer:
+    def answer(
+        self,
+        query: ConjunctiveQuery,
+        budget: Optional[ExecutionBudget] = None,
+    ) -> FederatedAnswer:
         """The complete answer of *query* over the union graph (unless
-        an endpoint truncates, which the result reports)."""
+        an endpoint truncates, degrades or is skipped — the answer's
+        :class:`~repro.resilience.report.CompletenessReport` says which,
+        and the rows are then a sound subset of the complete answer).
+
+        ``budget`` (opt-in) bounds the *local* join evaluation: a
+        cross-endpoint blowup raises
+        :class:`~repro.resilience.errors.BudgetExceeded` instead of
+        consuming the client."""
+        started = self.clock.monotonic()
+        report = CompletenessReport(self._labels)
+        entries = [report[label] for label in self._labels]
         requests = 0
         transferred = 0
         truncated = False
@@ -214,16 +398,18 @@ class FederatedAnswerer:
             if not atom.variables():
                 exposed = ()
             atom_rows, atom_truncated, atom_requests, atom_transferred = (
-                self._fetch_atom(atom, exposed)
+                self._fetch_atom(atom, exposed, entries)
             )
             requests += atom_requests
             transferred += atom_transferred
             truncated = truncated or atom_truncated
+            if budget is not None:
+                budget.charge_rows(len(atom_rows), operator="atom %d union" % index)
             if schema_columns is None:
                 schema_columns, rows = exposed, atom_rows
             else:
                 schema_columns, rows = _join_relations(
-                    schema_columns, rows, exposed, atom_rows
+                    schema_columns, rows, exposed, atom_rows, budget=budget
                 )
             if not rows and not atom.is_ground():
                 break
@@ -241,8 +427,9 @@ class FederatedAnswerer:
                 else:
                     output.append(item)
             projected.add(tuple(output))
+        report.elapsed_seconds = self.clock.monotonic() - started
         return FederatedAnswer(
-            frozenset(projected), truncated, requests, transferred
+            frozenset(projected), truncated, requests, transferred, report
         )
 
     # ------------------------------------------------------------------

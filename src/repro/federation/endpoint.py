@@ -30,6 +30,27 @@ from ..storage.store import TripleStore
 Row = Tuple[Term, ...]
 
 
+def truncate_rows(rows, limit: Optional[int]) -> Tuple[FrozenSet[Row], bool]:
+    """The one truncation code path: keep the deterministic sorted
+    prefix of *rows* under *limit* (reproducible experiments; real
+    endpoints return an arbitrary page).
+
+    Shared by :meth:`Endpoint.evaluate` and the chaos harness's flaky
+    truncation (:class:`~repro.resilience.faults.ChaosEndpoint`), so
+    injected truncation cannot diverge from genuine truncation
+    semantics.
+
+    >>> rows, truncated = truncate_rows({(3,), (1,), (2,)}, 2)
+    >>> (sorted(rows), truncated)
+    ([(1,), (2,)], True)
+    >>> truncate_rows({(1,)}, None)[1]
+    False
+    """
+    if limit is not None and len(rows) > limit:
+        return frozenset(sorted(rows)[:limit]), True
+    return frozenset(rows), False
+
+
 class ExportForbidden(RuntimeError):
     """The endpoint refuses to hand over its full contents.
 
@@ -95,13 +116,7 @@ class Endpoint:
             raise TypeError("endpoints answer CQs and UCQs, got %r" % (query,))
         self.requests_served += 1
         answer = self._executor.run(query).answer()
-        truncated = False
-        if self.result_limit is not None and len(answer) > self.result_limit:
-            # Deterministic truncation (sorted prefix) so experiments
-            # are reproducible; real endpoints return an arbitrary page.
-            kept = sorted(answer)[: self.result_limit]
-            answer = frozenset(kept)
-            truncated = True
+        answer, truncated = truncate_rows(answer, self.result_limit)
         self.rows_returned += len(answer)
         return TruncatedResult(answer, truncated)
 

@@ -104,24 +104,37 @@ def _project(head: Sequence[HeadTerm], binding: Substitution) -> Row:
     return tuple(row)
 
 
-def evaluate_cq(graph: Graph, query: ConjunctiveQuery) -> Answer:
+def evaluate_cq(graph: Graph, query: ConjunctiveQuery, budget=None) -> Answer:
     """Evaluate a CQ against the explicit triples of *graph*.
 
     Returns the set of head rows (set semantics, as in the paper).
     A boolean query returns ``{()}`` when satisfied, ``{}`` otherwise.
     Solutions binding a guarded (``nonliteral_variables``) variable to
-    a literal are discarded.
+    a literal are discarded.  ``budget`` (opt-in) probes row/time
+    limits every ``CHECK_INTERVAL`` solutions and charges the final
+    answer size.
     """
     from ..rdf.terms import Literal
 
     guard = query.nonliteral_variables
     rows: Set[Row] = set()
+    if budget is not None:
+        from ..resilience.budget import CHECK_INTERVAL
+
+        produced = 0
     for binding in _solutions(graph, query.atoms):
+        if budget is not None:
+            produced += 1
+            if produced % CHECK_INTERVAL == 0:
+                budget.probe_rows(len(rows) + 1, operator="backtracking scan")
+                budget.check_time(operator="backtracking scan")
         if guard and any(
             isinstance(binding.get(variable), Literal) for variable in guard
         ):
             continue
         rows.add(_project(query.head, binding))
+    if budget is not None:
+        budget.charge_rows(len(rows), operator="backtracking scan")
     return frozenset(rows)
 
 
@@ -138,6 +151,7 @@ def _join_relations(
     left_rows: Set[Row],
     right_schema: Tuple[HeadTerm, ...],
     right_rows: Set[Row],
+    budget=None,
 ) -> Tuple[Tuple[HeadTerm, ...], Set[Row]]:
     """Hash-join two relations on their shared variables.
 
@@ -145,6 +159,12 @@ def _join_relations(
     (repeats allowed), constants are payload columns.  The join output
     schema is the left schema followed by the right columns whose
     variables are not already present on the left.
+
+    ``budget`` (an :class:`~repro.resilience.budget.ExecutionBudget`)
+    bounds the output: the join probes the budget mid-loop every
+    ``CHECK_INTERVAL`` produced rows — a Cartesian blowup raises
+    :class:`~repro.resilience.errors.BudgetExceeded` instead of
+    materialising — and charges the final output size on completion.
     """
     left_positions: Dict[Variable, int] = {}
     for index, item in enumerate(left_schema):
@@ -168,25 +188,43 @@ def _join_relations(
         table.setdefault(key, []).append(row)
 
     output: Set[Row] = set()
+    if budget is not None:
+        from ..resilience.budget import CHECK_INTERVAL
+
+        probe_at = CHECK_INTERVAL
     for row in right_rows:
         key = tuple(row[ri] for _, ri in join_pairs)
         for match in table.get(key, ()):
             output.add(match + tuple(row[i] for i in keep_right))
+            if budget is not None and len(output) >= probe_at:
+                budget.probe_rows(len(output), operator="hash join")
+                budget.check_time(operator="hash join")
+                probe_at = len(output) + CHECK_INTERVAL
+    if budget is not None:
+        budget.charge_rows(len(output), operator="hash join")
     return output_schema, output
 
 
-def evaluate_jucq(graph: Graph, query: JoinOfUnions) -> Answer:
+def evaluate_jucq(graph: Graph, query: JoinOfUnions, budget=None) -> Answer:
     """Evaluate a JUCQ: fragment UCQs joined on shared variables, then
-    projected on the query head."""
+    projected on the query head.  ``budget`` bounds the evaluation (see
+    :func:`_join_relations`); fragment answers are charged as they
+    materialise."""
     schema: Optional[Tuple[HeadTerm, ...]] = None
     rows: Set[Row] = set()
-    for fragment_head, union in zip(query.fragment_heads, query.fragments):
+    for index, (fragment_head, union) in enumerate(
+        zip(query.fragment_heads, query.fragments)
+    ):
         fragment_rows = set(evaluate_ucq(graph, union))
+        if budget is not None:
+            budget.charge_rows(
+                len(fragment_rows), operator="fragment %d union" % index
+            )
         if schema is None:
             schema, rows = tuple(fragment_head), fragment_rows
         else:
             schema, rows = _join_relations(
-                schema, rows, tuple(fragment_head), fragment_rows
+                schema, rows, tuple(fragment_head), fragment_rows, budget=budget
             )
         if not rows:
             return frozenset()

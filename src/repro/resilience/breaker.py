@@ -1,0 +1,114 @@
+"""Per-endpoint circuit breakers.
+
+A dead endpoint must not keep absorbing the federation's request
+budget: after ``failure_threshold`` consecutive failures the breaker
+*opens* and requests are refused locally (:class:`CircuitOpen`) until
+``cooldown_seconds`` of injected time pass, after which a single probe
+is allowed (*half-open*).  The probe's outcome decides: success closes
+the circuit, failure re-opens it for another cooldown.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from .clock import Clock, SYSTEM_CLOCK
+from .errors import CircuitOpen
+
+CLOSED = "closed"
+OPEN = "open"
+HALF_OPEN = "half-open"
+
+
+class CircuitBreaker:
+    """The classic closed → open → half-open state machine.
+
+    >>> from repro.resilience.clock import FakeClock
+    >>> clock = FakeClock()
+    >>> breaker = CircuitBreaker(failure_threshold=2, cooldown_seconds=10,
+    ...                          clock=clock)
+    >>> breaker.record_failure(); breaker.record_failure(); breaker.state
+    'open'
+    >>> clock.advance(10.0); breaker.state
+    'half-open'
+    >>> breaker.record_success(); breaker.state
+    'closed'
+    """
+
+    def __init__(
+        self,
+        failure_threshold: int = 3,
+        cooldown_seconds: float = 30.0,
+        clock: Optional[Clock] = None,
+    ):
+        if failure_threshold < 1:
+            raise ValueError(
+                "failure_threshold must be >= 1, got %r" % (failure_threshold,)
+            )
+        if cooldown_seconds < 0:
+            raise ValueError(
+                "cooldown_seconds must be >= 0, got %r" % (cooldown_seconds,)
+            )
+        self.failure_threshold = failure_threshold
+        self.cooldown_seconds = cooldown_seconds
+        self.clock = clock if clock is not None else SYSTEM_CLOCK
+        self._state = CLOSED
+        self._consecutive_failures = 0
+        self._opened_at: Optional[float] = None
+        #: Lifetime counters, for reports.
+        self.times_opened = 0
+        self.rejected_requests = 0
+
+    @property
+    def state(self) -> str:
+        """The current state; an elapsed cooldown shows as half-open."""
+        if self._state == OPEN and (
+            self.clock.monotonic() - self._opened_at >= self.cooldown_seconds
+        ):
+            return HALF_OPEN
+        return self._state
+
+    def allow(self) -> bool:
+        """May a request be sent now?  Open circuits refuse (and count
+        the refusal); a half-open circuit lets the probe through."""
+        if self.state == OPEN:
+            self.rejected_requests += 1
+            return False
+        return True
+
+    def check(self, what: str = "endpoint") -> None:
+        """:meth:`allow` as an exception, for call sites that prefer
+        control flow by raising."""
+        if not self.allow():
+            raise CircuitOpen(
+                "%s refused: circuit open after %d consecutive failures "
+                "(cooldown %.1fs)"
+                % (what, self._consecutive_failures, self.cooldown_seconds)
+            )
+
+    def record_success(self) -> None:
+        self._consecutive_failures = 0
+        self._state = CLOSED
+        self._opened_at = None
+
+    def record_failure(self) -> None:
+        self._consecutive_failures += 1
+        if self.state == HALF_OPEN:
+            # The probe failed: a fresh cooldown starts now.
+            self._state = OPEN
+            self._opened_at = self.clock.monotonic()
+            self.times_opened += 1
+        elif (
+            self._state == CLOSED
+            and self._consecutive_failures >= self.failure_threshold
+        ):
+            self._state = OPEN
+            self._opened_at = self.clock.monotonic()
+            self.times_opened += 1
+
+    def __repr__(self) -> str:
+        return "CircuitBreaker(%s, failures=%d/%d)" % (
+            self.state,
+            self._consecutive_failures,
+            self.failure_threshold,
+        )

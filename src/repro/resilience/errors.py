@@ -1,0 +1,95 @@
+"""The failure vocabulary of the resilience layer.
+
+Every fault the federation can survive is a typed exception defined
+here, so policy code (retry, breakers, degradation) dispatches on
+types rather than string-matching messages.  The module is dependency-
+free on purpose: it is imported by the storage executor, the reference
+evaluator, the federation client and the chaos harness without
+creating cycles.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+
+class EndpointFailure(RuntimeError):
+    """Base class for request-level endpoint failures.
+
+    ``endpoint_name`` identifies the source that failed (when known) so
+    completeness reports can attribute the degradation.
+    """
+
+    def __init__(self, message: str, endpoint_name: Optional[str] = None):
+        super().__init__(message)
+        self.endpoint_name = endpoint_name
+
+
+class TransientEndpointError(EndpointFailure):
+    """A failure worth retrying: the request may succeed if re-sent
+    (connection reset, 5xx, momentary overload)."""
+
+
+class EndpointOutage(EndpointFailure):
+    """A permanent failure: the endpoint is gone for the rest of the
+    run.  Retrying is pointless; the breaker should open instead."""
+
+
+class DeadlineExceeded(RuntimeError):
+    """A per-request deadline elapsed before a usable response arrived.
+
+    Raised by the federation client around endpoint calls — either
+    before an attempt (no time left to try) or after one (the response
+    came back too late to be waited for honestly).
+    """
+
+    def __init__(self, message: str, elapsed_seconds: Optional[float] = None):
+        super().__init__(message)
+        self.elapsed_seconds = elapsed_seconds
+
+
+class CircuitOpen(RuntimeError):
+    """A request was refused locally because the endpoint's circuit
+    breaker is open — the endpoint has failed enough times recently
+    that sending more requests would only burn the request budget."""
+
+
+class BudgetExceeded(RuntimeError):
+    """A local evaluation outgrew its row or time budget.
+
+    Carries partial diagnostics: what tripped (``"rows"`` or
+    ``"time"``), how much had been produced, where in the plan, and the
+    elapsed time — so callers can report *how far* evaluation got
+    instead of presenting a bare failure.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        kind: str,
+        rows_produced: int = 0,
+        row_budget: Optional[int] = None,
+        elapsed_seconds: Optional[float] = None,
+        time_budget: Optional[float] = None,
+        operator: Optional[str] = None,
+    ):
+        super().__init__(message)
+        #: ``"rows"`` or ``"time"`` — which limit tripped.
+        self.kind = kind
+        self.rows_produced = rows_produced
+        self.row_budget = row_budget
+        self.elapsed_seconds = elapsed_seconds
+        self.time_budget = time_budget
+        #: The operator being evaluated when the budget tripped.
+        self.operator = operator
+
+    def diagnostics(self) -> dict:
+        """The structured payload, for reports and CLI rendering."""
+        return {
+            "kind": self.kind,
+            "rows_produced": self.rows_produced,
+            "row_budget": self.row_budget,
+            "elapsed_seconds": self.elapsed_seconds,
+            "time_budget": self.time_budget,
+            "operator": self.operator,
+        }

@@ -1,0 +1,212 @@
+"""Deterministic fault injection for federated endpoints.
+
+A :class:`FaultPlan` is a *seeded* schedule of failures: every draw
+comes from one ``random.Random(seed)`` consumed in request order, so a
+(plan seed, request sequence) pair replays the identical faults in
+every test, benchmark and CI run — chaos without flakiness.
+
+A :class:`ChaosEndpoint` wraps any endpoint-shaped object and applies
+the plan per request: added latency (charged to the injected clock, so
+deadlines observe it), transient errors, a permanent outage from a
+configured request index, and flaky truncation — which reuses the
+*same* truncation code path as a real
+:class:`~repro.federation.endpoint.Endpoint`, so injected truncation
+cannot diverge from genuine truncation semantics.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, Optional
+
+from ..federation.endpoint import TruncatedResult, truncate_rows
+from .clock import Clock, SYSTEM_CLOCK
+from .errors import EndpointOutage, TransientEndpointError
+
+
+class FaultDecision:
+    """What the plan injects into one request."""
+
+    __slots__ = ("outage", "transient", "latency_seconds", "truncate_to")
+
+    def __init__(
+        self,
+        outage: bool = False,
+        transient: bool = False,
+        latency_seconds: float = 0.0,
+        truncate_to: Optional[int] = None,
+    ):
+        self.outage = outage
+        self.transient = transient
+        self.latency_seconds = latency_seconds
+        self.truncate_to = truncate_to
+
+
+class FaultPlan:
+    """A seeded per-request fault schedule (see module doc).
+
+    * ``transient_rate`` — probability a request fails retryably;
+    * ``outage_after`` — requests served before the endpoint dies for
+      good (``0`` = dead from the start, ``None`` = never);
+    * ``latency_rate`` / ``latency_seconds`` — probability and size of
+      injected delay (slept on the injected clock *before* the answer);
+    * ``truncation_rate`` / ``truncation_limit`` — probability that a
+      successful answer is flakily truncated to the limit.
+
+    >>> plan = FaultPlan(seed=7, transient_rate=0.5)
+    >>> first = [plan.decide().transient for _ in range(8)]
+    >>> replay = FaultPlan(seed=7, transient_rate=0.5)
+    >>> first == [replay.decide().transient for _ in range(8)]
+    True
+    """
+
+    def __init__(
+        self,
+        seed: int = 0,
+        transient_rate: float = 0.0,
+        outage_after: Optional[int] = None,
+        latency_rate: float = 0.0,
+        latency_seconds: float = 0.0,
+        truncation_rate: float = 0.0,
+        truncation_limit: Optional[int] = None,
+    ):
+        for name, rate in (
+            ("transient_rate", transient_rate),
+            ("latency_rate", latency_rate),
+            ("truncation_rate", truncation_rate),
+        ):
+            if not 0.0 <= rate <= 1.0:
+                raise ValueError("%s must be in [0, 1], got %r" % (name, rate))
+        if latency_seconds < 0:
+            raise ValueError("latency_seconds must be >= 0")
+        if outage_after is not None and outage_after < 0:
+            raise ValueError("outage_after must be >= 0 or None")
+        if truncation_rate > 0 and truncation_limit is None:
+            raise ValueError("truncation_rate needs a truncation_limit")
+        self.seed = seed
+        self.transient_rate = transient_rate
+        self.outage_after = outage_after
+        self.latency_rate = latency_rate
+        self.latency_seconds = latency_seconds
+        self.truncation_rate = truncation_rate
+        self.truncation_limit = truncation_limit
+        self._rng = random.Random(seed)
+        self.requests_seen = 0
+
+    def decide(self) -> FaultDecision:
+        """The faults for the next request.  Draws happen in a fixed
+        order regardless of rates, so determinism survives config
+        changes of unrelated fault axes."""
+        index = self.requests_seen
+        self.requests_seen += 1
+        # One draw per axis, always consumed (order-stable determinism).
+        transient_draw = self._rng.random()
+        latency_draw = self._rng.random()
+        truncation_draw = self._rng.random()
+        if self.outage_after is not None and index >= self.outage_after:
+            return FaultDecision(outage=True)
+        latency = (
+            self.latency_seconds
+            if self.latency_rate > 0 and latency_draw < self.latency_rate
+            else 0.0
+        )
+        if self.transient_rate > 0 and transient_draw < self.transient_rate:
+            return FaultDecision(transient=True, latency_seconds=latency)
+        truncate_to = (
+            self.truncation_limit
+            if self.truncation_rate > 0 and truncation_draw < self.truncation_rate
+            else None
+        )
+        return FaultDecision(latency_seconds=latency, truncate_to=truncate_to)
+
+    def __repr__(self) -> str:
+        return (
+            "FaultPlan(seed=%d, transient=%.2f, outage_after=%s, "
+            "latency=%.2f@%.3fs, truncation=%.2f@%s)"
+            % (
+                self.seed,
+                self.transient_rate,
+                self.outage_after,
+                self.latency_rate,
+                self.latency_seconds,
+                self.truncation_rate,
+                self.truncation_limit,
+            )
+        )
+
+
+class ChaosEndpoint:
+    """An endpoint wrapper that injects the plan's faults per request.
+
+    Mirrors the :class:`~repro.federation.endpoint.Endpoint` interface
+    (``name``, ``triple_count``, ``evaluate``, ``export``, counters) so
+    it drops into a :class:`~repro.federation.client.FederatedAnswerer`
+    unchanged.  Its own counters record *attempts* — including the ones
+    that failed before reaching the wrapped endpoint.
+    """
+
+    def __init__(self, endpoint, plan: FaultPlan, clock: Optional[Clock] = None):
+        self.inner = endpoint
+        self.plan = plan
+        self.clock = clock if clock is not None else SYSTEM_CLOCK
+        self.requests_served = 0
+        self.rows_returned = 0
+        #: How often each fault class actually fired.
+        self.faults_injected: Dict[str, int] = {
+            "transient": 0,
+            "outage": 0,
+            "latency": 0,
+            "truncation": 0,
+        }
+
+    @property
+    def name(self) -> str:
+        return self.inner.name
+
+    @property
+    def triple_count(self) -> int:
+        return self.inner.triple_count
+
+    @property
+    def result_limit(self):
+        return self.inner.result_limit
+
+    def evaluate(self, query) -> TruncatedResult:
+        self.requests_served += 1
+        decision = self.plan.decide()
+        if decision.latency_seconds > 0:
+            self.faults_injected["latency"] += 1
+            self.clock.sleep(decision.latency_seconds)
+        if decision.outage:
+            self.faults_injected["outage"] += 1
+            raise EndpointOutage(
+                "endpoint %r is down (permanent outage)" % (self.name,),
+                endpoint_name=self.name,
+            )
+        if decision.transient:
+            self.faults_injected["transient"] += 1
+            raise TransientEndpointError(
+                "endpoint %r failed transiently" % (self.name,),
+                endpoint_name=self.name,
+            )
+        result = self.inner.evaluate(query)
+        if decision.truncate_to is not None:
+            rows, truncated = truncate_rows(result.rows, decision.truncate_to)
+            if truncated:
+                self.faults_injected["truncation"] += 1
+            result = TruncatedResult(rows, truncated or result.truncated)
+        self.rows_returned += len(result)
+        return result
+
+    def export(self):
+        return self.inner.export()
+
+    def reset_counters(self) -> None:
+        self.requests_served = 0
+        self.rows_returned = 0
+        for key in self.faults_injected:
+            self.faults_injected[key] = 0
+        self.inner.reset_counters()
+
+    def __repr__(self) -> str:
+        return "ChaosEndpoint(%r, %r)" % (self.inner, self.plan)

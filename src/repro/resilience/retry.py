@@ -1,0 +1,94 @@
+"""Retry with exponential backoff and full jitter.
+
+The policy is deliberately boring — capped exponential growth, full
+jitter drawn from a *seeded* generator, an attempt cap — and fully
+injected: the clock that sleeps and the RNG that jitters are both
+owned by the policy instance, so a test constructs
+``RetryPolicy(seed=7)`` with a :class:`~repro.resilience.clock.FakeClock`
+and replays the exact same backoff schedule every run.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, Optional, Tuple, Type
+
+from .clock import Clock, Deadline, SYSTEM_CLOCK
+from .errors import TransientEndpointError
+
+
+class RetryPolicy:
+    """Exponential backoff with full jitter (AWS-style).
+
+    The delay before retry *n* (1-based failure count) is drawn
+    uniformly from ``[0, min(max_delay, base_delay * multiplier**(n-1))]``.
+    ``max_attempts`` counts total tries, so ``max_attempts=1`` disables
+    retrying while keeping the call-shape uniform.
+
+    >>> policy = RetryPolicy(max_attempts=4, base_delay=1.0, seed=1)
+    >>> all(0 <= policy.backoff(n) <= 2 ** (n - 1) for n in (1, 2, 3))
+    True
+    """
+
+    def __init__(
+        self,
+        max_attempts: int = 3,
+        base_delay: float = 0.05,
+        max_delay: float = 2.0,
+        multiplier: float = 2.0,
+        seed: int = 0,
+    ):
+        if max_attempts < 1:
+            raise ValueError("max_attempts must be >= 1, got %r" % (max_attempts,))
+        if base_delay < 0 or max_delay < 0:
+            raise ValueError("delays must be non-negative")
+        if multiplier < 1.0:
+            raise ValueError("multiplier must be >= 1, got %r" % (multiplier,))
+        self.max_attempts = max_attempts
+        self.base_delay = base_delay
+        self.max_delay = max_delay
+        self.multiplier = multiplier
+        self.seed = seed
+        self._rng = random.Random(seed)
+
+    def backoff(self, failures: int) -> float:
+        """The jittered delay after the *failures*-th consecutive failure."""
+        ceiling = min(
+            self.max_delay, self.base_delay * self.multiplier ** (failures - 1)
+        )
+        return self._rng.uniform(0.0, ceiling)
+
+    def run(
+        self,
+        attempt: Callable[[], object],
+        clock: Optional[Clock] = None,
+        deadline: Optional[Deadline] = None,
+        retryable: Tuple[Type[BaseException], ...] = (TransientEndpointError,),
+    ) -> Tuple[object, int]:
+        """Call *attempt* until it succeeds, a non-retryable exception
+        escapes, the attempt cap is reached, or the deadline leaves no
+        room to back off.  Returns ``(result, attempts_used)``; on
+        exhaustion the last retryable exception is re-raised.
+        """
+        clock = clock if clock is not None else SYSTEM_CLOCK
+        for attempts in range(1, self.max_attempts + 1):
+            try:
+                return attempt(), attempts
+            except retryable:
+                if attempts == self.max_attempts:
+                    raise
+                delay = self.backoff(attempts)
+                if deadline is not None and deadline.remaining() <= delay:
+                    # Sleeping through the deadline cannot help; fail
+                    # now with the genuine cause.
+                    raise
+                clock.sleep(delay)
+        raise AssertionError("unreachable")  # pragma: no cover
+
+    def __repr__(self) -> str:
+        return "RetryPolicy(attempts=%d, base=%.3fs, cap=%.3fs, seed=%d)" % (
+            self.max_attempts,
+            self.base_delay,
+            self.max_delay,
+            self.seed,
+        )

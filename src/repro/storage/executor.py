@@ -120,13 +120,31 @@ def _execute_scan(node: ScanNode, store: TripleStore) -> List[Row]:
 
 
 def _join_rows(
-    node: JoinNode, left_rows: List[Row], right_rows: List[Row]
+    node: JoinNode,
+    left_rows: List[Row],
+    right_rows: List[Row],
+    budget=None,
 ) -> List[Row]:
     left_positions = node.left.variable_positions()
     right_positions = node.right.variable_positions()
     left_key = [left_positions[v] for v in node.join_variables]
     right_key = [right_positions[v] for v in node.join_variables]
     keep = node.keep_right_indexes
+
+    # In-loop budget probe: joins are where intermediate results blow
+    # up (Example 1's 33M rows), so the guard must fire *inside* the
+    # output loop, not after materialisation.  Probing every row would
+    # dominate the join; every CHECK_INTERVAL rows is free in practice.
+    if budget is None:
+        def probe(count: int) -> None:
+            pass
+    else:
+        from ..resilience.budget import CHECK_INTERVAL
+
+        def probe(count: int) -> None:
+            if count % CHECK_INTERVAL == 0:
+                budget.probe_rows(count, operator="join (%s)" % node.algorithm)
+                budget.check_time(operator="join (%s)" % node.algorithm)
 
     if node.algorithm == "nested_loop":
         output: List[Row] = []
@@ -135,6 +153,7 @@ def _join_rows(
             for right in right_rows:
                 if tuple(right[i] for i in right_key) == lkey:
                     output.append(left + tuple(right[i] for i in keep))
+                    probe(len(output))
         return output
 
     if node.algorithm == "merge":
@@ -165,6 +184,7 @@ def _join_rows(
                 for left in left_sorted[li:lend]:
                     for right in right_sorted[ri:rend]:
                         output.append(left + tuple(right[i] for i in keep))
+                        probe(len(output))
                 li, ri = lend, rend
         return output
 
@@ -180,6 +200,7 @@ def _join_rows(
             kept = tuple(right[i] for i in keep)
             for left in table.get(key, ()):
                 output.append(left + kept)
+                probe(len(output))
         return output
     for right in right_rows:
         table.setdefault(tuple(right[i] for i in right_key), []).append(right)
@@ -188,11 +209,22 @@ def _join_rows(
         key = tuple(left[i] for i in left_key)
         for right in table.get(key, ()):
             output.append(left + tuple(right[i] for i in keep))
+            probe(len(output))
     return output
 
 
-def execute_plan(node: PlanNode, store: TripleStore) -> List[Row]:
-    """Recursively execute *node*, recording actual cardinalities."""
+def execute_plan(node: PlanNode, store: TripleStore, budget=None) -> List[Row]:
+    """Recursively execute *node*, recording actual cardinalities.
+
+    ``budget`` (an :class:`~repro.resilience.budget.ExecutionBudget`)
+    charges every operator's output against a cumulative row cap —
+    exactly the "intermediate result size" quantity of the paper's
+    Example 1 — and raises
+    :class:`~repro.resilience.errors.BudgetExceeded` instead of
+    materialising past it.  Joins additionally probe mid-loop (see
+    :func:`_join_rows`), so even one runaway operator cannot overshoot
+    the cap by more than ``CHECK_INTERVAL`` rows.
+    """
     if isinstance(node, EmptyNode):
         rows: List[Row] = []
     elif isinstance(node, ScanNode):
@@ -200,11 +232,12 @@ def execute_plan(node: PlanNode, store: TripleStore) -> List[Row]:
     elif isinstance(node, JoinNode):
         rows = _join_rows(
             node,
-            execute_plan(node.left, store),
-            execute_plan(node.right, store),
+            execute_plan(node.left, store, budget),
+            execute_plan(node.right, store, budget),
+            budget=budget,
         )
     elif isinstance(node, ProjectNode):
-        child_rows = execute_plan(node.child, store)
+        child_rows = execute_plan(node.child, store, budget)
         positions = node.child.variable_positions()
         plan_specs = [
             ("col", positions[value]) if kind == "var" else ("const", value)
@@ -218,7 +251,7 @@ def execute_plan(node: PlanNode, store: TripleStore) -> List[Row]:
             for row in child_rows
         ]
     elif isinstance(node, NonLiteralFilterNode):
-        child_rows = execute_plan(node.child, store)
+        child_rows = execute_plan(node.child, store, budget)
         positions = node.child.variable_positions()
         guarded = [positions[variable] for variable in node.variables]
         is_literal = store.dictionary.is_literal_id
@@ -230,13 +263,16 @@ def execute_plan(node: PlanNode, store: TripleStore) -> List[Row]:
     elif isinstance(node, UnionNode):
         merged = set()
         for child in node.children():
-            merged.update(execute_plan(child, store))
+            merged.update(execute_plan(child, store, budget))
         rows = list(merged)
     elif isinstance(node, DistinctNode):
-        rows = list(set(execute_plan(node.child, store)))
+        rows = list(set(execute_plan(node.child, store, budget)))
     else:
         raise TypeError("cannot execute %r" % (node,))
     node.actual_rows = len(rows)
+    if budget is not None:
+        budget.charge_rows(len(rows), operator=type(node).__name__)
+        budget.check_time(operator=type(node).__name__)
     return rows
 
 
@@ -252,13 +288,17 @@ class Executor:
         self.backend = backend
         self.planner = Planner(store, backend)
 
-    def run(self, query: PlannableQuery) -> ExecutionResult:
+    def run(self, query: PlannableQuery, budget=None) -> ExecutionResult:
         """Plan and execute *query*; raises
         :class:`~repro.storage.backends.QueryTooLargeError` when the
-        query exceeds the backend's parse limit."""
+        query exceeds the backend's parse limit, and
+        :class:`~repro.resilience.errors.BudgetExceeded` when a
+        ``budget`` is given and the evaluation outgrows it."""
         start = time.perf_counter()
         plan = self.planner.plan(query)
-        rows = execute_plan(plan, self.store)
+        if budget is not None:
+            budget.start()
+        rows = execute_plan(plan, self.store, budget)
         elapsed = time.perf_counter() - start
         return ExecutionResult(plan, rows, self.store, elapsed)
 

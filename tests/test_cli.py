@@ -105,3 +105,85 @@ class TestFileDataset:
     def test_missing_file_argument(self, capsys):
         with pytest.raises(SystemExit):
             run_cli(capsys, "stats", "--dataset", "file")
+
+
+class TestResilienceFlags:
+    """The --timeout/--max-retries/--row-budget knobs and the federate
+    subcommand (resilience layer satellites)."""
+
+    def test_budgeted_answer_fails_cleanly(self, capsys):
+        code, out = run_cli(
+            capsys, "answer", "--dataset", "books",
+            "--strategy", "ref-scq", "--row-budget", "2",
+            "--max-retries", "1",
+        )
+        assert code == 0
+        assert "FAIL" in out
+        assert "budget" in out
+
+    def test_roomy_budget_answers(self, capsys):
+        code, out = run_cli(
+            capsys, "answer", "--dataset", "books",
+            "--strategy", "ref-gcov", "--row-budget", "100000",
+            "--timeout", "60",
+        )
+        assert code == 0
+        assert "ref-gcov" in out
+        assert "FAIL" not in out
+
+    @pytest.mark.parametrize("flag,value", [
+        ("--row-budget", "0"),
+        ("--row-budget", "-5"),
+        ("--timeout", "0"),
+        ("--timeout", "-1.5"),
+        ("--max-retries", "0"),
+        ("--max-retries", "-2"),
+    ])
+    def test_non_positive_values_rejected(self, capsys, flag, value):
+        with pytest.raises(SystemExit):
+            run_cli(
+                capsys, "answer", "--dataset", "books", flag, value
+            )
+        err = capsys.readouterr().err
+        assert "must be a positive" in err
+
+    def test_federate_complete(self, capsys):
+        code, out = run_cli(
+            capsys, "federate", "--dataset", "books", "--endpoints", "3",
+        )
+        assert code == 0
+        assert "COMPLETE" in out
+        assert "shard-0" in out
+
+    def test_federate_outage_partial_exit_code(self, capsys):
+        code, out = run_cli(
+            capsys, "federate", "--dataset", "books", "--outage", "1",
+            "--breaker-threshold", "2",
+        )
+        assert code == 3  # partial answers are visible in the exit code
+        assert "PARTIAL" in out
+        assert "degraded" in out
+
+    def test_federate_transient_chaos_recovers(self, capsys):
+        code, out = run_cli(
+            capsys, "federate", "--dataset", "books",
+            "--transient-rate", "0.3", "--chaos-seed", "7",
+            "--max-retries", "3",
+        )
+        assert code == 0
+        assert "COMPLETE" in out
+
+    def test_federate_rate_validation(self, capsys):
+        with pytest.raises(SystemExit):
+            run_cli(
+                capsys, "federate", "--dataset", "books",
+                "--transient-rate", "1.5",
+            )
+        assert "probability" in capsys.readouterr().err
+
+    def test_federate_outage_index_validation(self, capsys):
+        with pytest.raises(SystemExit):
+            run_cli(
+                capsys, "federate", "--dataset", "books",
+                "--outage", "9",
+            )

@@ -1,0 +1,372 @@
+"""Integration tests: the federated client under injected faults.
+
+The acceptance scenarios of the resilience layer: a permanent outage on
+one of three endpoints leaves a correct answer over the remaining
+sources (reported, not hidden); breakers open after the configured
+threshold and skip the dead source; transient failures are retried to
+success; deadlines degrade slow endpoints; and degraded sub-answers are
+**never** written to the federation cache.  All time runs on a shared
+FakeClock — the suite performs no wall-clock sleeps.
+"""
+
+import pytest
+
+from repro.cache import QueryCache
+from repro.federation import Endpoint, FederatedAnswerer, TruncatedResult
+from repro.query import ConjunctiveQuery, TriplePattern, Variable
+from repro.rdf import Graph, Namespace, RDF_TYPE, Triple
+from repro.resilience import (
+    ChaosEndpoint,
+    FakeClock,
+    FaultPlan,
+    RetryPolicy,
+    TransientEndpointError,
+)
+from repro.resilience.breaker import OPEN
+from repro.resilience.report import (
+    DEGRADED,
+    SKIPPED_OPEN_CIRCUIT,
+    TRUNCATED,
+)
+from repro.schema import Constraint, Schema
+
+EX = Namespace("http://example.org/")
+x, y = Variable("x"), Variable("y")
+
+#: ?x a Employee . ?x worksFor ?y — two atoms, so one dead endpoint is
+#: asked (and fails) twice per answer() call.
+QUERY = ConjunctiveQuery(
+    [x, y],
+    [TriplePattern(x, RDF_TYPE, EX.Employee), TriplePattern(x, EX.worksFor, y)],
+)
+
+SCHEMA = Schema([Constraint.subclass(EX.Manager, EX.Employee)])
+
+
+def _shards():
+    """Three endpoint graphs; the join spans shards on purpose."""
+    return [
+        Graph([
+            Triple(EX.m1, RDF_TYPE, EX.Manager),
+            Triple(EX.m2, EX.worksFor, EX.d2),
+        ]),
+        Graph([
+            Triple(EX.m2, RDF_TYPE, EX.Manager),
+            Triple(EX.m3, EX.worksFor, EX.d3),
+        ]),
+        Graph([
+            Triple(EX.m3, RDF_TYPE, EX.Manager),
+            Triple(EX.m1, EX.worksFor, EX.d1),
+        ]),
+    ]
+
+
+def _endpoints():
+    return [
+        Endpoint("shard%d" % index, shard)
+        for index, shard in enumerate(_shards())
+    ]
+
+
+#: The complete fault-free answer.
+FULL = frozenset({(EX.m1, EX.d1), (EX.m2, EX.d2), (EX.m3, EX.d3)})
+
+
+class FailFirstEndpoint:
+    """Delegates to a real endpoint, failing the first *failures*
+    requests transiently — a deterministic flake for cache tests."""
+
+    def __init__(self, endpoint, failures=1):
+        self.inner = endpoint
+        self.remaining_failures = failures
+        self.requests_served = 0
+        self.rows_returned = 0
+
+    @property
+    def name(self):
+        return self.inner.name
+
+    @property
+    def triple_count(self):
+        return self.inner.triple_count
+
+    @property
+    def result_limit(self):
+        return self.inner.result_limit
+
+    def evaluate(self, query) -> TruncatedResult:
+        self.requests_served += 1
+        if self.remaining_failures > 0:
+            self.remaining_failures -= 1
+            raise TransientEndpointError("warming up", endpoint_name=self.name)
+        return self.inner.evaluate(query)
+
+    def reset_counters(self):
+        self.requests_served = 0
+        self.inner.reset_counters()
+
+
+class TestFaultFreeBaseline:
+    def test_complete_answer_and_report(self):
+        federation = FederatedAnswerer(_endpoints(), SCHEMA, clock=FakeClock())
+        answer = federation.answer(QUERY)
+        assert answer.rows == FULL
+        assert answer.complete
+        assert answer.report.complete
+        assert answer.report.total_retries() == 0
+        assert sorted(e.name for e in answer.report) == [
+            "shard0", "shard1", "shard2"
+        ]
+
+    def test_duplicate_endpoint_names_get_distinct_reports(self):
+        graphs = _shards()
+        endpoints = [Endpoint("e", g) for g in graphs]
+        federation = FederatedAnswerer(endpoints, SCHEMA, clock=FakeClock())
+        answer = federation.answer(QUERY)
+        assert answer.rows == FULL
+        assert sorted(e.name for e in answer.report) == ["e", "e#1", "e#2"]
+
+
+class TestPermanentOutage:
+    def _federation(self, clock, breaker_threshold=2):
+        endpoints = _endpoints()
+        dead = ChaosEndpoint(
+            endpoints[1], FaultPlan(seed=13, outage_after=0), clock=clock
+        )
+        federation = FederatedAnswerer(
+            [endpoints[0], dead, endpoints[2]],
+            SCHEMA,
+            breaker_threshold=breaker_threshold,
+            breaker_cooldown=60.0,
+            clock=clock,
+        )
+        return federation
+
+    def test_answer_over_remaining_sources(self):
+        clock = FakeClock()
+        federation = self._federation(clock)
+        answer = federation.answer(QUERY)
+        # The remaining sources hold m1/m3's types and m1's worksFor:
+        # exactly the fault-free answer over shards 0 and 2.
+        healthy = [e for i, e in enumerate(_endpoints()) if i != 1]
+        expected = FederatedAnswerer(healthy, SCHEMA).answer(QUERY).rows
+        assert answer.rows == expected
+        assert answer.rows < FULL  # sound, strictly partial
+        assert not answer.complete
+
+    def test_degradation_reported_and_breaker_opens(self):
+        clock = FakeClock()
+        federation = self._federation(clock, breaker_threshold=2)
+        answer = federation.answer(QUERY)
+        entry = answer.report["shard1"]
+        assert entry.status == DEGRADED
+        assert entry.requests == 2  # one failure per atom
+        assert entry.errors and "outage" in entry.errors[-1].lower()
+        # Two consecutive failures met the threshold: circuit open.
+        assert federation.breakers[1].state == OPEN
+        assert answer.report.degraded_endpoints == ["shard1"]
+
+    def test_open_breaker_skips_without_requests(self):
+        clock = FakeClock()
+        federation = self._federation(clock, breaker_threshold=2)
+        federation.answer(QUERY)  # opens the breaker
+        dead = federation.endpoints[1]
+        served_before = dead.requests_served
+        second = federation.answer(QUERY)
+        entry = second.report["shard1"]
+        assert entry.status == SKIPPED_OPEN_CIRCUIT
+        assert entry.requests == 0
+        assert dead.requests_served == served_before  # nothing sent
+        assert second.report.skipped_endpoints == ["shard1"]
+        assert not second.complete
+
+    def test_half_open_probe_after_cooldown(self):
+        clock = FakeClock()
+        federation = self._federation(clock, breaker_threshold=2)
+        federation.answer(QUERY)
+        clock.advance(61.0)  # past the cooldown: half-open, probe allowed
+        dead = federation.endpoints[1]
+        served_before = dead.requests_served
+        federation.answer(QUERY)
+        assert dead.requests_served > served_before  # the probe went out
+
+    def test_no_wall_clock_sleeps(self):
+        clock = FakeClock()
+        federation = self._federation(clock)
+        federation.answer(QUERY)
+        assert clock.sleeps == []  # outages fail fast; nothing slept
+
+
+class TestTransientRecovery:
+    def test_retry_reaches_complete_answer(self):
+        clock = FakeClock()
+        endpoints = _endpoints()
+        flaky = FailFirstEndpoint(endpoints[1], failures=1)
+        federation = FederatedAnswerer(
+            [endpoints[0], flaky, endpoints[2]],
+            SCHEMA,
+            retry_policy=RetryPolicy(max_attempts=3, seed=5),
+            clock=clock,
+        )
+        answer = federation.answer(QUERY)
+        assert answer.rows == FULL
+        assert answer.complete
+        entry = answer.report["shard1"]
+        assert entry.retries == 1
+        assert entry.requests == 3  # 2 atoms + 1 retry
+        assert len(clock.sleeps) == 1  # the backoff, on the fake clock
+
+    def test_without_retries_the_flake_degrades(self):
+        endpoints = _endpoints()
+        flaky = FailFirstEndpoint(endpoints[1], failures=1)
+        federation = FederatedAnswerer(
+            [endpoints[0], flaky, endpoints[2]], SCHEMA, clock=FakeClock()
+        )
+        answer = federation.answer(QUERY)
+        assert answer.report["shard1"].status == DEGRADED
+        assert answer.rows <= FULL
+
+    def test_exhausted_retries_degrade(self):
+        clock = FakeClock()
+        endpoints = _endpoints()
+        flaky = FailFirstEndpoint(endpoints[1], failures=10)
+        federation = FederatedAnswerer(
+            [endpoints[0], flaky, endpoints[2]],
+            SCHEMA,
+            retry_policy=RetryPolicy(max_attempts=2, seed=5),
+            clock=clock,
+        )
+        answer = federation.answer(QUERY)
+        entry = answer.report["shard1"]
+        assert entry.status == DEGRADED
+        assert entry.retries == 2  # one retry per atom fetch
+        assert not answer.complete
+
+
+class TestDeadlines:
+    def test_slow_endpoint_degrades(self):
+        clock = FakeClock()
+        endpoints = _endpoints()
+        slow = ChaosEndpoint(
+            endpoints[1],
+            FaultPlan(seed=3, latency_rate=1.0, latency_seconds=0.5),
+            clock=clock,
+        )
+        federation = FederatedAnswerer(
+            [endpoints[0], slow, endpoints[2]],
+            SCHEMA,
+            request_deadline=0.2,
+            clock=clock,
+        )
+        answer = federation.answer(QUERY)
+        entry = answer.report["shard1"]
+        assert entry.status == DEGRADED
+        assert entry.errors and "deadline" in entry.errors[-1].lower()
+        assert not answer.complete
+        assert answer.rows <= FULL
+
+    def test_fast_endpoints_meet_deadline(self):
+        clock = FakeClock()
+        federation = FederatedAnswerer(
+            _endpoints(), SCHEMA, request_deadline=5.0, clock=clock
+        )
+        answer = federation.answer(QUERY)
+        assert answer.complete
+        assert answer.rows == FULL
+
+    def test_deadline_validation(self):
+        with pytest.raises(ValueError):
+            FederatedAnswerer(_endpoints(), SCHEMA, request_deadline=0.0)
+
+
+class TestTruncationReporting:
+    def test_truncated_endpoint_reported(self):
+        graph = Graph(
+            [Triple(EX.term("m%d" % i), RDF_TYPE, EX.Manager) for i in range(8)]
+        )
+        endpoint = Endpoint("small", graph, result_limit=3)
+        federation = FederatedAnswerer([endpoint], SCHEMA, clock=FakeClock())
+        query = ConjunctiveQuery([x], [TriplePattern(x, RDF_TYPE, EX.Employee)])
+        answer = federation.answer(query)
+        assert answer.truncated
+        assert answer.report["small"].status == TRUNCATED
+        assert not answer.complete
+        assert len(answer.rows) == 3
+
+    def test_flaky_truncation_reported_like_real(self):
+        graph = Graph(
+            [Triple(EX.term("m%d" % i), RDF_TYPE, EX.Manager) for i in range(8)]
+        )
+        flaky = ChaosEndpoint(
+            Endpoint("small", graph),
+            FaultPlan(seed=1, truncation_rate=1.0, truncation_limit=3),
+        )
+        federation = FederatedAnswerer([flaky], SCHEMA, clock=FakeClock())
+        query = ConjunctiveQuery([x], [TriplePattern(x, RDF_TYPE, EX.Employee)])
+        answer = federation.answer(query)
+        assert answer.truncated
+        assert answer.report["small"].status == TRUNCATED
+        genuine = FederatedAnswerer(
+            [Endpoint("small", graph, result_limit=3)], SCHEMA
+        ).answer(query)
+        assert answer.rows == genuine.rows  # same truncation code path
+
+
+class TestDegradedNeverCached:
+    """Satellite regression: error/degraded endpoint responses must not
+    be written to the federation cache — otherwise the flake's empty
+    sub-answer would be replayed as authoritative once the endpoint
+    recovered."""
+
+    def test_degraded_sub_answer_not_cached(self):
+        cache = QueryCache()
+        endpoints = _endpoints()
+        flaky = FailFirstEndpoint(endpoints[1], failures=2)  # both atoms fail
+        federation = FederatedAnswerer(
+            [endpoints[0], flaky, endpoints[2]],
+            SCHEMA,
+            cache=cache,
+            clock=FakeClock(),
+        )
+        first = federation.answer(QUERY)
+        assert first.report["shard1"].status == DEGRADED
+        assert first.rows < FULL
+        # The endpoint recovered; a second call must reach it again and
+        # produce the complete answer.  Were the degraded (empty)
+        # sub-answers cached, the rows would still be missing.
+        second = federation.answer(QUERY)
+        assert second.rows == FULL
+        assert second.complete
+        assert second.report["shard1"].cache_hits == 0
+
+    def test_healthy_sub_answers_are_cached(self):
+        cache = QueryCache()
+        federation = FederatedAnswerer(
+            _endpoints(), SCHEMA, cache=cache, clock=FakeClock()
+        )
+        federation.answer(QUERY)
+        warm = federation.answer(QUERY)
+        assert warm.rows == FULL
+        assert all(entry.cache_hits == 2 for entry in warm.report)
+        assert all(entry.requests == 0 for entry in warm.report)
+
+    def test_skipped_endpoint_not_cached(self):
+        cache = QueryCache()
+        clock = FakeClock()
+        endpoints = _endpoints()
+        dead = ChaosEndpoint(
+            endpoints[1], FaultPlan(seed=2, outage_after=0), clock=clock
+        )
+        federation = FederatedAnswerer(
+            [endpoints[0], dead, endpoints[2]],
+            SCHEMA,
+            cache=cache,
+            breaker_threshold=1,
+            breaker_cooldown=3600.0,
+            clock=clock,
+        )
+        federation.answer(QUERY)  # degrades + opens the breaker
+        second = federation.answer(QUERY)
+        entry = second.report["shard1"]
+        assert entry.status == SKIPPED_OPEN_CIRCUIT
+        assert entry.cache_hits == 0  # nothing was ever stored for it

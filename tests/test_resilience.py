@@ -1,0 +1,379 @@
+"""Unit tests for the resilience primitives: clocks, deadlines, retry
+backoff, circuit breakers, execution budgets and the seeded chaos
+harness.  Every time-dependent test runs on a FakeClock — no wall-clock
+sleeps anywhere."""
+
+import pytest
+
+from repro.federation import Endpoint, TruncatedResult, truncate_rows
+from repro.query import ConjunctiveQuery, TriplePattern, Variable
+from repro.rdf import Graph, Namespace, Triple
+from repro.resilience import (
+    BudgetExceeded,
+    ChaosEndpoint,
+    CircuitBreaker,
+    CircuitOpen,
+    Deadline,
+    DeadlineExceeded,
+    EndpointOutage,
+    ExecutionBudget,
+    FakeClock,
+    FaultPlan,
+    RetryPolicy,
+    TransientEndpointError,
+)
+from repro.resilience.breaker import CLOSED, HALF_OPEN, OPEN
+from repro.resilience.budget import CHECK_INTERVAL
+
+EX = Namespace("http://example.org/")
+x = Variable("x")
+
+
+class TestFakeClock:
+    def test_sleep_advances_and_records(self):
+        clock = FakeClock()
+        clock.sleep(1.5)
+        clock.sleep(0.5)
+        assert clock.monotonic() == 2.0
+        assert clock.sleeps == [1.5, 0.5]
+
+    def test_advance_does_not_record(self):
+        clock = FakeClock(start=10.0)
+        clock.advance(5.0)
+        assert clock.monotonic() == 15.0
+        assert clock.sleeps == []
+
+    def test_auto_advance_simulates_work(self):
+        clock = FakeClock(auto_advance=1.0)
+        first, second = clock.monotonic(), clock.monotonic()
+        assert second - first == 1.0
+
+    def test_negative_sleep_rejected(self):
+        with pytest.raises(ValueError):
+            FakeClock().sleep(-1.0)
+
+
+class TestDeadline:
+    def test_lifecycle(self):
+        clock = FakeClock()
+        deadline = Deadline(5.0, clock)
+        assert not deadline.expired()
+        assert deadline.remaining() == 5.0
+        clock.advance(3.0)
+        assert deadline.remaining() == 2.0
+        deadline.check("work")  # still fine
+        clock.advance(3.0)
+        assert deadline.expired()
+        with pytest.raises(DeadlineExceeded) as info:
+            deadline.check("work")
+        assert info.value.elapsed_seconds == 6.0
+
+    def test_positive_horizon_required(self):
+        with pytest.raises(ValueError):
+            Deadline(0.0, FakeClock())
+
+
+class TestRetryPolicy:
+    def test_backoff_grows_and_caps(self):
+        policy = RetryPolicy(max_attempts=8, base_delay=1.0, max_delay=4.0,
+                             multiplier=2.0, seed=3)
+        for failures, ceiling in ((1, 1.0), (2, 2.0), (3, 4.0), (4, 4.0)):
+            delay = policy.backoff(failures)
+            assert 0.0 <= delay <= ceiling
+
+    def test_seeded_schedule_replays(self):
+        schedule = [RetryPolicy(seed=11).backoff(n) for n in (1, 2, 1, 3)]
+        replay = [RetryPolicy(seed=11).backoff(n) for n in (1, 2, 1, 3)]
+        assert schedule == replay
+
+    def test_retries_transient_until_success(self):
+        clock = FakeClock()
+        calls = []
+
+        def attempt():
+            calls.append(len(calls))
+            if len(calls) < 3:
+                raise TransientEndpointError("flaky")
+            return "ok"
+
+        result, attempts = RetryPolicy(max_attempts=5, seed=1).run(
+            attempt, clock=clock
+        )
+        assert (result, attempts) == ("ok", 3)
+        assert len(clock.sleeps) == 2  # one backoff per failure
+
+    def test_exhaustion_reraises(self):
+        def attempt():
+            raise TransientEndpointError("always")
+
+        with pytest.raises(TransientEndpointError):
+            RetryPolicy(max_attempts=3, seed=2).run(attempt, clock=FakeClock())
+
+    def test_non_retryable_escapes_immediately(self):
+        calls = []
+
+        def attempt():
+            calls.append(1)
+            raise EndpointOutage("dead")
+
+        with pytest.raises(EndpointOutage):
+            RetryPolicy(max_attempts=5).run(attempt, clock=FakeClock())
+        assert len(calls) == 1
+
+    def test_no_sleep_past_deadline(self):
+        clock = FakeClock()
+        deadline = Deadline(0.001, clock)
+
+        def attempt():
+            raise TransientEndpointError("flaky")
+
+        with pytest.raises(TransientEndpointError):
+            RetryPolicy(max_attempts=5, base_delay=1.0, seed=4).run(
+                attempt, clock=clock, deadline=deadline
+            )
+        # Backing off would overshoot the deadline, so no sleep happened
+        # beyond possibly zero-length jitter draws.
+        assert all(s <= 0.001 for s in clock.sleeps)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RetryPolicy(max_attempts=0)
+        with pytest.raises(ValueError):
+            RetryPolicy(multiplier=0.5)
+
+
+class TestCircuitBreaker:
+    def test_opens_at_threshold(self):
+        clock = FakeClock()
+        breaker = CircuitBreaker(failure_threshold=3, cooldown_seconds=10,
+                                 clock=clock)
+        breaker.record_failure()
+        breaker.record_failure()
+        assert breaker.state == CLOSED
+        breaker.record_failure()
+        assert breaker.state == OPEN
+        assert breaker.times_opened == 1
+
+    def test_open_refuses_and_counts(self):
+        clock = FakeClock()
+        breaker = CircuitBreaker(failure_threshold=1, cooldown_seconds=10,
+                                 clock=clock)
+        breaker.record_failure()
+        assert not breaker.allow()
+        assert not breaker.allow()
+        assert breaker.rejected_requests == 2
+        with pytest.raises(CircuitOpen):
+            breaker.check("shard-1")
+
+    def test_half_open_probe_success_closes(self):
+        clock = FakeClock()
+        breaker = CircuitBreaker(failure_threshold=1, cooldown_seconds=10,
+                                 clock=clock)
+        breaker.record_failure()
+        clock.advance(10.0)
+        assert breaker.state == HALF_OPEN
+        assert breaker.allow()  # the probe goes through
+        breaker.record_success()
+        assert breaker.state == CLOSED
+
+    def test_half_open_probe_failure_reopens(self):
+        clock = FakeClock()
+        breaker = CircuitBreaker(failure_threshold=1, cooldown_seconds=10,
+                                 clock=clock)
+        breaker.record_failure()
+        clock.advance(10.0)
+        assert breaker.state == HALF_OPEN
+        breaker.record_failure()
+        assert breaker.state == OPEN
+        assert breaker.times_opened == 2
+        clock.advance(9.0)
+        assert breaker.state == OPEN  # fresh cooldown, not the old one
+        clock.advance(1.0)
+        assert breaker.state == HALF_OPEN
+
+    def test_success_resets_failure_streak(self):
+        breaker = CircuitBreaker(failure_threshold=2, clock=FakeClock())
+        breaker.record_failure()
+        breaker.record_success()
+        breaker.record_failure()
+        assert breaker.state == CLOSED
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CircuitBreaker(failure_threshold=0)
+        with pytest.raises(ValueError):
+            CircuitBreaker(cooldown_seconds=-1.0)
+
+
+class TestExecutionBudget:
+    def test_rows_within_budget(self):
+        budget = ExecutionBudget(max_rows=10)
+        budget.charge_rows(4, operator="Scan")
+        budget.charge_rows(6, operator="Join")
+        assert budget.rows_charged == 10
+
+    def test_cumulative_overrun_raises_with_diagnostics(self):
+        budget = ExecutionBudget(max_rows=10)
+        budget.charge_rows(8, operator="Scan")
+        with pytest.raises(BudgetExceeded) as info:
+            budget.charge_rows(5, operator="Join")
+        exc = info.value
+        assert exc.kind == "rows"
+        assert exc.rows_produced == 13
+        assert exc.row_budget == 10
+        assert exc.operator == "Join"
+        assert exc.diagnostics()["kind"] == "rows"
+
+    def test_probe_counts_in_flight_rows(self):
+        budget = ExecutionBudget(max_rows=10)
+        budget.charge_rows(8)
+        budget.probe_rows(2)  # 8 committed + 2 in flight == 10: fine
+        with pytest.raises(BudgetExceeded):
+            budget.probe_rows(3)
+        assert budget.rows_charged == 8  # probes never commit
+
+    def test_time_budget_on_fake_clock(self):
+        clock = FakeClock()
+        budget = ExecutionBudget(max_seconds=5.0, clock=clock)
+        budget.start()
+        clock.advance(4.0)
+        budget.check_time("Scan")
+        clock.advance(2.0)
+        with pytest.raises(BudgetExceeded) as info:
+            budget.check_time("Join")
+        assert info.value.kind == "time"
+        assert info.value.elapsed_seconds == 6.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ExecutionBudget(max_rows=0)
+        with pytest.raises(ValueError):
+            ExecutionBudget(max_seconds=0.0)
+
+
+class TestFaultPlan:
+    def test_seed_determinism(self):
+        kwargs = dict(transient_rate=0.4, latency_rate=0.3,
+                      latency_seconds=0.1, truncation_rate=0.2,
+                      truncation_limit=5)
+        first = FaultPlan(seed=9, **kwargs)
+        replay = FaultPlan(seed=9, **kwargs)
+        for _ in range(32):
+            a, b = first.decide(), replay.decide()
+            assert (a.transient, a.latency_seconds, a.truncate_to) == (
+                b.transient, b.latency_seconds, b.truncate_to
+            )
+
+    def test_order_stable_across_unrelated_rates(self):
+        # Turning latency on must not change *which* requests fail
+        # transiently: each axis consumes its own draw every request.
+        plain = FaultPlan(seed=5, transient_rate=0.5)
+        with_latency = FaultPlan(seed=5, transient_rate=0.5,
+                                 latency_rate=1.0, latency_seconds=0.2)
+        for _ in range(32):
+            assert plain.decide().transient == with_latency.decide().transient
+
+    def test_outage_after(self):
+        plan = FaultPlan(seed=0, outage_after=2)
+        decisions = [plan.decide() for _ in range(4)]
+        assert [d.outage for d in decisions] == [False, False, True, True]
+
+    def test_outage_from_start(self):
+        plan = FaultPlan(seed=0, outage_after=0)
+        assert plan.decide().outage
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            FaultPlan(transient_rate=1.5)
+        with pytest.raises(ValueError):
+            FaultPlan(truncation_rate=0.5)  # needs a limit
+        with pytest.raises(ValueError):
+            FaultPlan(outage_after=-1)
+        with pytest.raises(ValueError):
+            FaultPlan(latency_seconds=-0.1)
+
+
+def _ten_row_endpoint(name="e", **kwargs):
+    graph = Graph(
+        [Triple(EX.term("s%d" % index), EX.p, EX.o) for index in range(10)]
+    )
+    return Endpoint(name, graph, **kwargs)
+
+
+QUERY = ConjunctiveQuery([x], [TriplePattern(x, EX.p, EX.o)])
+
+
+class TestChaosEndpoint:
+    def test_transparent_without_faults(self):
+        chaos = ChaosEndpoint(_ten_row_endpoint(), FaultPlan(seed=0))
+        result = chaos.evaluate(QUERY)
+        assert len(result) == 10
+        assert not result.truncated
+        assert chaos.name == "e"
+        assert chaos.triple_count == 10
+
+    def test_outage_raises(self):
+        chaos = ChaosEndpoint(
+            _ten_row_endpoint(), FaultPlan(seed=0, outage_after=0)
+        )
+        with pytest.raises(EndpointOutage):
+            chaos.evaluate(QUERY)
+        assert chaos.faults_injected["outage"] == 1
+        # The wrapped endpoint never saw the request.
+        assert chaos.inner.requests_served == 0
+
+    def test_transient_raises(self):
+        chaos = ChaosEndpoint(
+            _ten_row_endpoint(), FaultPlan(seed=0, transient_rate=1.0)
+        )
+        with pytest.raises(TransientEndpointError):
+            chaos.evaluate(QUERY)
+        assert chaos.faults_injected["transient"] == 1
+
+    def test_latency_charged_to_injected_clock(self):
+        clock = FakeClock()
+        chaos = ChaosEndpoint(
+            _ten_row_endpoint(),
+            FaultPlan(seed=0, latency_rate=1.0, latency_seconds=0.25),
+            clock=clock,
+        )
+        chaos.evaluate(QUERY)
+        assert clock.sleeps == [0.25]
+        assert chaos.faults_injected["latency"] == 1
+
+    def test_flaky_truncation_matches_real_truncation(self):
+        # Satellite check: injected truncation must produce the *same
+        # rows* as an endpoint whose genuine result_limit is the same —
+        # both go through truncate_rows.
+        chaos = ChaosEndpoint(
+            _ten_row_endpoint(),
+            FaultPlan(seed=0, truncation_rate=1.0, truncation_limit=3),
+        )
+        genuine = _ten_row_endpoint(result_limit=3)
+        flaky = chaos.evaluate(QUERY)
+        real = genuine.evaluate(QUERY)
+        assert flaky.truncated and real.truncated
+        assert flaky.rows == real.rows
+        assert chaos.faults_injected["truncation"] == 1
+
+    def test_reset_counters(self):
+        chaos = ChaosEndpoint(_ten_row_endpoint(), FaultPlan(seed=0))
+        chaos.evaluate(QUERY)
+        chaos.reset_counters()
+        assert chaos.requests_served == 0
+        assert chaos.inner.requests_served == 0
+        assert all(v == 0 for v in chaos.faults_injected.values())
+
+
+class TestTruncateRows:
+    def test_sorted_prefix(self):
+        rows, truncated = truncate_rows({(3,), (1,), (2,)}, 2)
+        assert (sorted(rows), truncated) == ([(1,), (2,)], True)
+
+    def test_no_limit(self):
+        rows, truncated = truncate_rows({(1,), (2,)}, None)
+        assert (len(rows), truncated) == (2, False)
+
+    def test_under_limit(self):
+        rows, truncated = truncate_rows({(1,)}, 5)
+        assert (len(rows), truncated) == (1, False)

@@ -1,0 +1,138 @@
+"""Property-based soundness of degraded federated answers.
+
+The resilience layer's core contract, checked differentially on random
+(graph, schema, query) triples: whatever faults a seeded chaos plan
+injects, the degraded :class:`FederatedAnswer` is a **subset** of the
+fault-free complete answer — faults may lose rows, never invent them —
+and whenever the completeness report certifies the answer complete, it
+*is* the complete answer.
+
+The chaos seed derives from ``REPRO_CHAOS_SEED`` (the CI matrix sets
+three fixed values), so each CI leg replays a distinct deterministic
+fault schedule.
+"""
+
+import os
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.federation import Endpoint, FederatedAnswerer
+from repro.query import Variable
+from repro.rdf import Graph
+from repro.resilience import ChaosEndpoint, FakeClock, FaultPlan, RetryPolicy
+from repro.schema import Schema
+
+from .test_property_based import graph_st, query_st, schema_st
+
+#: CI sets this per matrix leg; locally the default keeps runs stable.
+CHAOS_SEED = int(os.environ.get("REPRO_CHAOS_SEED", "0"))
+
+
+def _build_federation(graph, schema, parts, chaos=None, clock=None):
+    """A federation over *graph* sharded round-robin into *parts*,
+    optionally wrapping each endpoint with a chaos plan factory."""
+    shards = [Graph() for _ in range(parts)]
+    for index, triple in enumerate(sorted(graph.data_triples())):
+        shards[index % parts].add(triple)
+    endpoints = [
+        Endpoint("s%d" % index, shard) for index, shard in enumerate(shards)
+    ]
+    if chaos is not None:
+        endpoints = [
+            ChaosEndpoint(endpoint, chaos(index), clock=clock)
+            for index, endpoint in enumerate(endpoints)
+        ]
+    merged = Schema.from_graph(graph)
+    for constraint in schema.direct_constraints():
+        merged.add(constraint)
+    return FederatedAnswerer(
+        endpoints,
+        merged,
+        retry_policy=RetryPolicy(max_attempts=2, seed=CHAOS_SEED),
+        breaker_threshold=3,
+        clock=clock if clock is not None else FakeClock(),
+    )
+
+
+def _data_query(query):
+    """Chaos soundness only applies to data-level queries (a variable
+    in property position can match client-side schema triples the
+    endpoints don't hold — already excluded by the fault-free suite)."""
+    return not any(
+        isinstance(atom.property, Variable) for atom in query.atoms
+    )
+
+
+@settings(max_examples=60, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(
+    graph=graph_st,
+    schema=schema_st,
+    query=query_st(),
+    parts=st.integers(1, 3),
+    case_seed=st.integers(0, 2 ** 16),
+)
+def test_chaotic_answer_is_subset_of_complete(
+    graph, schema, query, parts, case_seed
+):
+    if not _data_query(query):
+        return
+    complete = _build_federation(graph, schema, parts).answer(query)
+    assert complete.complete
+
+    clock = FakeClock()
+    chaotic = _build_federation(
+        graph,
+        schema,
+        parts,
+        chaos=lambda index: FaultPlan(
+            seed=CHAOS_SEED * 7919 + case_seed * 31 + index,
+            transient_rate=0.4,
+            latency_rate=0.2,
+            latency_seconds=0.05,
+            truncation_rate=0.3,
+            truncation_limit=2,
+            outage_after=4 if index == 0 else None,
+        ),
+        clock=clock,
+    ).answer(query)
+
+    # Soundness: faults lose rows, never fabricate them.
+    assert chaotic.rows <= complete.rows
+    # Honesty: a certified-complete chaotic answer IS the answer.
+    if chaotic.complete:
+        assert chaotic.rows == complete.rows
+    # And a lossy one must have confessed.
+    if chaotic.rows != complete.rows:
+        assert not chaotic.complete
+
+
+@settings(max_examples=40, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(
+    graph=graph_st,
+    schema=schema_st,
+    query=query_st(),
+    case_seed=st.integers(0, 2 ** 16),
+)
+def test_latency_only_chaos_is_lossless(graph, schema, query, case_seed):
+    """Faults that delay but never fail (pure latency, no deadline
+    configured) must leave the answer bit-for-bit complete."""
+    if not _data_query(query):
+        return
+    complete = _build_federation(graph, schema, 2).answer(query)
+    clock = FakeClock()
+    slow = _build_federation(
+        graph,
+        schema,
+        2,
+        chaos=lambda index: FaultPlan(
+            seed=CHAOS_SEED + case_seed + index,
+            latency_rate=1.0,
+            latency_seconds=0.5,
+        ),
+        clock=clock,
+    ).answer(query)
+    assert slow.rows == complete.rows
+    assert slow.complete
