@@ -1,0 +1,269 @@
+"""E15 — the price of durability: WAL overhead and recovery time.
+
+Two measurements justify the crash-safe storage design:
+
+* **WAL overhead** — bulk-loading through :class:`DurableStore` (one
+  framed, checksummed record per triple) versus building the same
+  in-memory :class:`TripleStore` directly.  The design target is ≤2×
+  the in-memory load with ``sync="never"`` (the simulated-crash
+  durability model; ``sync="always"`` pays real fsyncs and is reported
+  but not bounded).
+* **recovery scaling** — recovery time must scale with the *WAL
+  suffix* behind the latest checkpoint, not with total data size:
+  restoring a checkpoint is a bulk decode, replaying the suffix is
+  per-record work.  Reported as a suffix-length sweep at fixed data
+  size, plus the same suffix at two data sizes.
+
+Runs two ways: under pytest alongside the other benchmarks, and as a
+script (``python benchmarks/bench_e15_durability.py --quick``) for CI
+smoke.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import shutil
+import sys
+import tempfile
+import time
+from typing import Dict, List, Optional, Sequence
+
+_SRC = os.path.abspath(
+    os.path.join(os.path.dirname(os.path.abspath(__file__)), os.pardir, "src")
+)
+if os.path.isdir(_SRC) and _SRC not in sys.path:
+    sys.path.insert(0, _SRC)
+
+from repro.bench import format_table
+from repro.datasets import generate_lubm, lubm_schema
+from repro.durability import DurableStore, list_wal_segments, recover
+from repro.durability.io import FileSystem
+from repro.rdf import Namespace, RDF_TYPE, Triple
+from repro.storage import TripleStore
+
+EX = Namespace("http://example.org/e15/")
+
+#: Suffix lengths (records behind the checkpoint) for the sweep.
+SUFFIX_LENGTHS = (0, 500, 1000, 2000)
+
+#: The WAL-overhead budget: durable load ≤ this × in-memory build.
+OVERHEAD_BUDGET = 2.0
+
+REPEATS = 3
+
+
+def _suffix_triples(count: int) -> List[Triple]:
+    """Synthetic data triples disjoint from the LUBM instance."""
+    return [
+        Triple(EX.term("s%d" % index), RDF_TYPE, EX.term("C%d" % (index % 7)))
+        for index in range(count)
+    ]
+
+
+def _wal_bytes(directory: str) -> int:
+    io = FileSystem()
+    total = sum(io.size(path) for _, path in list_wal_segments(io, directory))
+    io.close_all()
+    return total
+
+
+def run_wal_overhead(graph, schema, repeats: int = REPEATS) -> Dict:
+    """Best-of-*repeats* load times: in-memory vs durable (both sync
+    policies), plus the WAL footprint of the durable load."""
+    memory_times = []
+    for _ in range(repeats):
+        start = time.perf_counter()
+        TripleStore.from_graph(graph, schema)
+        memory_times.append(time.perf_counter() - start)
+
+    durable_times: Dict[str, List[float]] = {"never": [], "always": []}
+    records = wal_bytes = 0
+    for sync in ("never", "always"):
+        for _ in range(repeats):
+            directory = tempfile.mkdtemp(prefix="e15-load-")
+            try:
+                durable = DurableStore.open(directory, sync=sync)
+                start = time.perf_counter()
+                records = durable.load(graph, schema)
+                durable_times[sync].append(time.perf_counter() - start)
+                durable.close()
+                if sync == "never":
+                    wal_bytes = _wal_bytes(directory)
+            finally:
+                shutil.rmtree(directory, ignore_errors=True)
+
+    memory = min(memory_times)
+    never = min(durable_times["never"])
+    return {
+        "triples": len(graph),
+        "records": records,
+        "wal_bytes": wal_bytes,
+        "memory_s": memory,
+        "durable_never_s": never,
+        "durable_always_s": min(durable_times["always"]),
+        "ratio": never / memory if memory > 0 else float("inf"),
+    }
+
+
+def run_recovery_scaling(
+    graph,
+    schema,
+    suffix_lengths: Sequence[int] = SUFFIX_LENGTHS,
+    repeats: int = REPEATS,
+) -> List[Dict]:
+    """Recovery time as a function of WAL-suffix length at fixed data
+    size: load + checkpoint once, then append *n* suffix records and
+    time ``recover`` (best of *repeats*, read-only so the suffix
+    survives between repeats)."""
+    records: List[Dict] = []
+    for suffix in suffix_lengths:
+        directory = tempfile.mkdtemp(prefix="e15-recover-")
+        try:
+            durable = DurableStore.open(directory, sync="never")
+            durable.load(graph, schema)
+            durable.checkpoint()
+            for triple in _suffix_triples(suffix):
+                durable.insert(triple)
+            durable.close()
+            times = []
+            replayed = triples = 0
+            for _ in range(repeats):
+                start = time.perf_counter()
+                result = recover(directory, truncate=False)
+                times.append(time.perf_counter() - start)
+                replayed = result.records_replayed
+                triples = result.store.triple_count
+            records.append(
+                {
+                    "suffix": suffix,
+                    "replayed": replayed,
+                    "triples": triples,
+                    "recover_s": min(times),
+                }
+            )
+        finally:
+            shutil.rmtree(directory, ignore_errors=True)
+    return records
+
+
+def emit_report(graph, schema) -> str:
+    overhead = run_wal_overhead(graph, schema)
+    scaling = run_recovery_scaling(graph, schema)
+    lines = [
+        "E15: WAL overhead (%d triples, %d records, %.1f KiB log)"
+        % (
+            overhead["triples"],
+            overhead["records"],
+            overhead["wal_bytes"] / 1024.0,
+        ),
+        "  in-memory build: %7.1f ms" % (overhead["memory_s"] * 1e3),
+        "  durable load   : %7.1f ms (sync=never, %.2fx)  /  %7.1f ms (sync=always)"
+        % (
+            overhead["durable_never_s"] * 1e3,
+            overhead["ratio"],
+            overhead["durable_always_s"] * 1e3,
+        ),
+        "",
+        format_table(
+            ["WAL suffix", "records replayed", "triples recovered",
+             "recovery time"],
+            [
+                [
+                    record["suffix"],
+                    record["replayed"],
+                    record["triples"],
+                    "%.1f ms" % (record["recover_s"] * 1e3),
+                ]
+                for record in scaling
+            ],
+            title="E15: recovery time vs WAL-suffix length (fixed base data)",
+        ),
+    ]
+    return "\n".join(lines)
+
+
+# ---------------------------------------------------------------------------
+# pytest entry points (collected with the rest of benchmarks/)
+
+
+def test_wal_overhead_within_budget(lubm_graph):
+    overhead = run_wal_overhead(lubm_graph, lubm_schema())
+    assert overhead["records"] >= overhead["triples"]  # + constraints
+    assert overhead["wal_bytes"] > 0
+    assert overhead["ratio"] <= OVERHEAD_BUDGET, (
+        "durable load %.2fx over in-memory build exceeds the %.1fx budget"
+        % (overhead["ratio"], OVERHEAD_BUDGET)
+    )
+
+
+def test_recovery_scales_with_suffix_not_data(lubm_graph):
+    """The checkpoint does its job: replay work tracks the suffix
+    length exactly, and a longer suffix never recovers *faster* than
+    an empty one by more than noise."""
+    schema = lubm_schema()
+    scaling = run_recovery_scaling(
+        lubm_graph, schema, suffix_lengths=(0, 2000), repeats=2
+    )
+    empty, long = scaling
+    assert empty["replayed"] == 0
+    assert long["replayed"] == 2000
+    assert long["triples"] == empty["triples"] + 2000
+    # The timing claim, kept robust: replaying 2000 records costs
+    # something, but far less than the full load it replaces.
+    overhead = run_wal_overhead(lubm_graph, schema, repeats=1)
+    assert empty["recover_s"] < overhead["durable_never_s"] * 2
+
+
+def test_recovered_equals_loaded(lubm_graph, tmp_path):
+    schema = lubm_schema()
+    directory = str(tmp_path / "wal")
+    durable = DurableStore.open(directory, sync="never")
+    durable.load(lubm_graph, schema)
+    durable.checkpoint()
+    durable.close()
+    result = recover(directory)
+    assert set(result.store.to_graph()) == set(durable.store.to_graph())
+
+
+def test_report_emits(lubm_graph):
+    report = emit_report(lubm_graph, lubm_schema())
+    assert "WAL overhead" in report
+    assert "recovery time vs WAL-suffix length" in report
+    print("\n" + report)
+
+
+# ---------------------------------------------------------------------------
+# script entry point (CI smoke: python benchmarks/bench_e15_durability.py --quick)
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="one-university instance, assert the overhead budget, "
+        "exit non-zero on miss",
+    )
+    parser.add_argument("--universities", type=int, default=2)
+    parser.add_argument("--seed", type=int, default=1)
+    args = parser.parse_args(argv)
+    universities = 1 if args.quick else args.universities
+    graph = generate_lubm(
+        universities=universities, seed=args.seed, include_schema=False
+    )
+    schema = lubm_schema()
+    print(emit_report(graph, schema))
+    overhead = run_wal_overhead(graph, schema)
+    if overhead["ratio"] > OVERHEAD_BUDGET:
+        print(
+            "FAIL: WAL overhead %.2fx exceeds the %.1fx budget"
+            % (overhead["ratio"], OVERHEAD_BUDGET),
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

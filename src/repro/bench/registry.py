@@ -182,6 +182,46 @@ def _quick_e14() -> str:
     )
 
 
+def _quick_e15() -> str:
+    import shutil
+    import tempfile
+    import time
+
+    from ..datasets import generate_lubm, lubm_schema
+    from ..durability import DurableStore, recover
+    from ..storage import TripleStore
+
+    graph = generate_lubm(universities=1, seed=1, include_schema=False)
+    schema = lubm_schema()
+    start = time.perf_counter()
+    TripleStore.from_graph(graph, schema)
+    memory = time.perf_counter() - start
+    directory = tempfile.mkdtemp(prefix="e15-quick-")
+    try:
+        durable = DurableStore.open(directory, sync="never")
+        start = time.perf_counter()
+        records = durable.load(graph, schema)
+        loaded = time.perf_counter() - start
+        durable.checkpoint()
+        durable.close()
+        start = time.perf_counter()
+        result = recover(directory)
+        recovered = time.perf_counter() - start
+        return (
+            "%d WAL record(s): durable load %.0f ms (%.2fx in-memory), "
+            "checkpoint recovery %.0f ms, %d triple(s) back"
+            % (
+                records,
+                loaded * 1e3,
+                loaded / memory if memory > 0 else float("inf"),
+                recovered * 1e3,
+                result.store.triple_count,
+            )
+        )
+    finally:
+        shutil.rmtree(directory, ignore_errors=True)
+
+
 EXPERIMENTS: List[Experiment] = [
     Experiment("E1", "Example 1's UCQ reformulation blow-up and parse failure",
                "benchmarks/bench_e1_reformulation_size.py", _quick_e1),
@@ -211,6 +251,8 @@ EXPERIMENTS: List[Experiment] = [
                "benchmarks/bench_e13_cache.py", _quick_e13),
     Experiment("E14", "Resilience: fault-injected federation, graceful degradation",
                "benchmarks/bench_e14_resilience.py", _quick_e14),
+    Experiment("E15", "Durability: WAL overhead and checkpointed recovery time",
+               "benchmarks/bench_e15_durability.py", _quick_e15),
     Experiment("A1", "Ablation: exact statistics vs textbook uniformity",
                "benchmarks/bench_a1_statistics_ablation.py"),
     Experiment("A2", "Ablation: UCQ subsumption pruning",

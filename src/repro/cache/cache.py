@@ -107,6 +107,17 @@ class QueryCache:
         else:
             self.note_data_change()
 
+    def restore_epochs(self, data_epoch: int, schema_epoch: int) -> None:
+        """Fast-forward the epoch counters to persisted values (never
+        backwards).  A process recovering a durable store calls this so
+        epoch monotonicity survives the restart: any key minted before
+        the crash embeds an epoch ≤ the restored one, so a recovered
+        cache either revalidates warm entries correctly or leaves them
+        unreachable — it can never serve a pre-crash answer for
+        post-crash data."""
+        self.data_epoch = max(self.data_epoch, data_epoch)
+        self.schema_epoch = max(self.schema_epoch, schema_epoch)
+
     def invalidate_all(self) -> None:
         """Drop everything (both tiers), without touching the epochs."""
         self.reformulations.invalidate()

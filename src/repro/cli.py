@@ -8,11 +8,26 @@
     python -m repro covers --dataset lubm --query Ex1
     python -m repro why --dataset books --triple \
         '<http://example.org/books/doi1> rdf:type <http://example.org/books/Publication>'
+    python -m repro load --dataset lubm --wal /tmp/lubm-wal --checkpoint
+    python -m repro checkpoint --wal /tmp/lubm-wal
+    python -m repro recover --wal /tmp/lubm-wal --verify
 
 Each subcommand maps to one step of the Section 5 demonstration:
 ``stats`` is step 1, ``answer`` (with ``--strategy all``) is step 2,
 ``explain``/``covers`` are step 3; ``why`` prints the derivation of an
-entailed triple.
+entailed triple.  ``load --wal`` / ``checkpoint`` / ``recover`` drive
+the crash-safe storage layer (DESIGN.md §10).
+
+Exit codes (documented in README.md):
+
+====  =======================================================
+0     success (``recover``: clean, nothing truncated)
+1     failure (including ``recover --verify`` discrepancies)
+2     usage error (bad flags or flag combinations)
+3     partial answer (``federate``: some endpoints degraded)
+4     recovered, but a torn/corrupt WAL tail was truncated
+5     nothing to recover (no checkpoint, no WAL records)
+====  =======================================================
 """
 
 from __future__ import annotations
@@ -45,6 +60,14 @@ from .reformulation import ReformulationTooLarge
 from .resilience.errors import BudgetExceeded
 from .storage import QueryTooLargeError, explain as explain_plan
 
+#: Structured exit codes (mirrored in the README's table).
+EXIT_OK = 0
+EXIT_FAILURE = 1
+EXIT_USAGE = 2
+EXIT_PARTIAL = 3
+EXIT_RECOVERED_TRUNCATED = 4
+EXIT_NOTHING_TO_RECOVER = 5
+
 
 def _build_graph(args):
     if args.dataset == "lubm":
@@ -59,6 +82,16 @@ def _build_graph(args):
     if args.dataset == "file":
         if not args.file:
             raise SystemExit("--dataset file requires --file PATH")
+        if getattr(args, "lenient", False):
+            errors = []
+            graph = load_file(args.file, strict=False, errors=errors)
+            if errors:
+                print(
+                    "skipped %d unparsable line(s) (first: %s)"
+                    % (len(errors), errors[0]),
+                    file=sys.stderr,
+                )
+            return graph
         return load_file(args.file)
     raise SystemExit("unknown dataset %r" % args.dataset)
 
@@ -152,7 +185,7 @@ def cmd_answer(args) -> int:
     if args.strategy == Strategy.REF_JUCQ.value:
         print("ref-jucq needs an explicit cover; use the `covers` "
               "subcommand, or ref-gcov for the cost-chosen cover")
-        return 2
+        return EXIT_USAGE
     cache = _make_cache(args)
     answerer = QueryAnswerer(_build_graph(args), engine=args.engine, cache=cache)
     query = _resolve_query(args)
@@ -216,7 +249,7 @@ def cmd_cache_stats(args) -> int:
     if args.strategy == Strategy.REF_JUCQ.value:
         print("ref-jucq needs an explicit cover; use the `covers` "
               "subcommand, or ref-gcov for the cost-chosen cover")
-        return 2
+        return EXIT_USAGE
     cache = QueryCache(
         reformulation_capacity=args.cache_size, answer_capacity=args.cache_size
     )
@@ -347,7 +380,7 @@ def cmd_federate(args) -> int:
         result = answerer.answer(query, budget=budget)
     except BudgetExceeded as exc:
         print("budget exceeded: %s" % exc)
-        return 1
+        return EXIT_FAILURE
     print(
         "%d answer row(s) over %d endpoint(s), %d request(s), "
         "%d row(s) transferred"
@@ -359,7 +392,7 @@ def cmd_federate(args) -> int:
             print("   ", tuple(str(term.lexical()) for term in answer_row))
     print()
     print(result.report.summary())
-    return 0 if result.complete else 3
+    return EXIT_OK if result.complete else EXIT_PARTIAL
 
 
 def cmd_explain(args) -> int:
@@ -368,7 +401,7 @@ def cmd_explain(args) -> int:
     report = answerer.answer(query, Strategy(args.strategy))
     if report.execution is None:
         print("strategy %s has no relational plan" % args.strategy)
-        return 1
+        return EXIT_FAILURE
     print(explain_plan(report.execution.plan, answerer.store))
     return 0
 
@@ -412,9 +445,82 @@ def cmd_why(args) -> int:
     derivation = explain_triple(triple, graph, Schema.from_graph(graph))
     if derivation is None:
         print("not entailed: %r" % (triple,))
-        return 1
+        return EXIT_FAILURE
     print(format_derivation(derivation))
     return 0
+
+
+def cmd_load(args) -> int:
+    """Load a dataset into a crash-safe store: every triple and
+    constraint becomes one WAL record under ``--wal DIR``."""
+    from .durability import DurableStore
+
+    graph = _build_graph(args)
+    durable = DurableStore.open(
+        args.wal, sync=args.sync, with_saturator=args.saturate
+    )
+    records = durable.load(graph)
+    line = "loaded %d record(s) into %s (segment %d, %d triple(s) stored)" % (
+        records, args.wal, durable.segment, durable.store.triple_count)
+    if args.checkpoint:
+        path = durable.checkpoint()
+        line += "; checkpoint %s" % path
+    durable.close()
+    print(line)
+    return EXIT_OK
+
+
+def cmd_checkpoint(args) -> int:
+    """Snapshot the durable state under ``--wal DIR`` atomically and
+    rotate the WAL, so the next recovery replays only new records."""
+    from .durability import DurableStore
+
+    durable = DurableStore.open(args.wal, with_saturator=args.saturate)
+    if durable.recovery.empty:
+        print("nothing to checkpoint: %s holds no durable state" % args.wal)
+        return EXIT_NOTHING_TO_RECOVER
+    path = durable.checkpoint()
+    durable.close()
+    print(
+        "checkpoint %s (%d triple(s), WAL rotated to segment %d)"
+        % (path, durable.store.triple_count, durable.segment)
+    )
+    return EXIT_OK
+
+
+def cmd_recover(args) -> int:
+    """Recover the store under ``--wal DIR`` and report what happened.
+
+    Exit codes: 0 clean recovery, 4 recovered after truncating a
+    torn/corrupt WAL tail, 5 nothing to recover, 1 ``--verify`` found
+    discrepancies.
+    """
+    import json
+
+    from .durability import recover, verify_recovery
+
+    result = recover(
+        args.wal,
+        with_saturator=args.saturate,
+        truncate=not args.read_only,
+    )
+    summary = result.summary()
+    if args.json:
+        print(json.dumps(summary, indent=2, sort_keys=True))
+    else:
+        width = max(len(key) for key in summary)
+        for key, value in summary.items():
+            print("%-*s  %s" % (width, key, value))
+    if result.empty:
+        return EXIT_NOTHING_TO_RECOVER
+    if args.verify:
+        problems = verify_recovery(result)
+        if problems:
+            for problem in problems:
+                print("VERIFY FAILED: %s" % problem, file=sys.stderr)
+            return EXIT_FAILURE
+        print("verified: recovered state matches a fresh rebuild")
+    return EXIT_RECOVERED_TRUNCATED if result.truncated else EXIT_OK
 
 
 def cmd_experiments(args) -> int:
@@ -566,6 +672,52 @@ def build_parser() -> argparse.ArgumentParser:
     why.add_argument("--triple", required=True,
                      help="the triple, N-Triples style (rdf:/rdfs: allowed)")
     why.set_defaults(func=cmd_why)
+
+    load = subparsers.add_parser(
+        "load", help="load a dataset into a crash-safe WAL-backed store"
+    )
+    add_common(load)
+    load.add_argument("--wal", required=True,
+                      help="durability directory (WAL segments + checkpoints)")
+    load.add_argument("--sync", default="always", choices=["always", "never"],
+                      help="fsync every WAL record (always) or only on "
+                           "checkpoints (never); default always")
+    load.add_argument("--saturate", action="store_true",
+                      help="maintain incremental saturation state durably")
+    load.add_argument("--checkpoint", action="store_true",
+                      help="write a checkpoint after loading")
+    load.add_argument("--lenient", action="store_true",
+                      help="with --dataset file: skip unparsable N-Triples "
+                           "lines instead of failing")
+    load.set_defaults(func=cmd_load)
+
+    checkpoint = subparsers.add_parser(
+        "checkpoint", help="snapshot a durable store and rotate its WAL"
+    )
+    checkpoint.add_argument("--wal", required=True,
+                            help="durability directory")
+    checkpoint.add_argument("--saturate", action="store_true",
+                            help="carry incremental saturation state in the "
+                                 "checkpoint")
+    checkpoint.set_defaults(func=cmd_checkpoint)
+
+    recover_cmd = subparsers.add_parser(
+        "recover",
+        help="recover a durable store (exit 0 clean / 4 truncated tail / "
+             "5 nothing to recover)",
+    )
+    recover_cmd.add_argument("--wal", required=True,
+                             help="durability directory")
+    recover_cmd.add_argument("--verify", action="store_true",
+                             help="cross-check the recovered store against a "
+                                  "fresh rebuild (exit 1 on discrepancies)")
+    recover_cmd.add_argument("--json", action="store_true",
+                             help="print the recovery report as JSON")
+    recover_cmd.add_argument("--read-only", action="store_true",
+                             help="inspect only: leave torn WAL tails on disk")
+    recover_cmd.add_argument("--saturate", action="store_true",
+                             help="rebuild incremental saturation state too")
+    recover_cmd.set_defaults(func=cmd_recover)
 
     experiments = subparsers.add_parser(
         "experiments", help="list or quick-run the experiment suite"

@@ -1,0 +1,79 @@
+"""Crash-safe storage: write-ahead log, checkpoints, recovery.
+
+The durability subsystem (DESIGN.md §10) makes the in-memory engine of
+:mod:`repro.storage` survive process crashes: every logical mutation
+is a CRC32-framed WAL record, checkpoints snapshot the full state
+atomically, and :func:`recover` deterministically rebuilds the store
+from the latest valid checkpoint plus the intact WAL suffix —
+truncating torn or corrupt tails instead of crashing.
+"""
+
+from .checkpoint import (
+    CheckpointCorrupt,
+    build_snapshot,
+    decode_checkpoint,
+    encode_checkpoint,
+    restore_snapshot,
+)
+from .io import FileSystem
+from .manager import DurableStore
+from .ops import (
+    OP_CONSTRAINT_ADD,
+    OP_CONSTRAINT_REMOVE,
+    OP_DELETE,
+    OP_INSERT,
+    WALFormatError,
+    apply_op,
+    decode_op,
+    encode_op,
+)
+from .recovery import (
+    RecoveryResult,
+    checkpoint_path,
+    list_checkpoints,
+    list_wal_segments,
+    recover,
+    verify_recovery,
+    wal_path,
+)
+from .wal import (
+    HEADER_SIZE,
+    MAGIC,
+    MAX_PAYLOAD,
+    DecodeResult,
+    WriteAheadLog,
+    decode_records,
+    encode_record,
+)
+
+__all__ = [
+    "CheckpointCorrupt",
+    "DecodeResult",
+    "DurableStore",
+    "FileSystem",
+    "HEADER_SIZE",
+    "MAGIC",
+    "MAX_PAYLOAD",
+    "OP_CONSTRAINT_ADD",
+    "OP_CONSTRAINT_REMOVE",
+    "OP_DELETE",
+    "OP_INSERT",
+    "RecoveryResult",
+    "WALFormatError",
+    "WriteAheadLog",
+    "apply_op",
+    "build_snapshot",
+    "checkpoint_path",
+    "decode_checkpoint",
+    "decode_op",
+    "decode_records",
+    "encode_checkpoint",
+    "encode_op",
+    "encode_record",
+    "list_checkpoints",
+    "list_wal_segments",
+    "recover",
+    "restore_snapshot",
+    "verify_recovery",
+    "wal_path",
+]

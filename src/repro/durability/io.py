@@ -1,0 +1,124 @@
+"""The durability layer's filesystem seam.
+
+Every byte the WAL and checkpointer write goes through a
+:class:`FileSystem`, for two reasons:
+
+* **crash injection** — the chaos harness substitutes
+  :class:`~repro.resilience.faults.CrashingFileSystem`, which tears
+  writes at a chosen byte offset and dies around renames, so recovery
+  can be tested against every window a real crash could hit;
+* **durability levels** — :meth:`FileSystem.append` pushes bytes into
+  the OS (they survive the *process* dying, which is the crash model
+  the harness simulates), while :meth:`FileSystem.sync` additionally
+  ``fsync``\\ s (surviving power loss).  The write-ahead log chooses
+  per its sync policy.
+
+The class is intentionally dependency-free: the resilience layer can
+wrap it without importing anything from this package.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Dict, List
+
+
+class FileSystem:
+    """Real files, with cached append handles per path.
+
+    Handles stay open across :meth:`append` calls (re-opening per
+    record would dominate the WAL's hot path); every append is flushed
+    to the OS so a simulated process death loses at most the bytes of
+    a torn final write, exactly like a real one.
+    """
+
+    def __init__(self):
+        self._handles: Dict[str, object] = {}
+
+    # -- byte streams --------------------------------------------------
+
+    def append(self, path: str, data: bytes) -> None:
+        """Append *data* to *path* (creating it), flushed to the OS."""
+        handle = self._handles.get(path)
+        if handle is None or handle.closed:
+            handle = open(path, "ab")
+            self._handles[path] = handle
+        handle.write(data)
+        handle.flush()
+
+    def write(self, path: str, data: bytes) -> None:
+        """Create/overwrite *path* with *data* (checkpoint temp files)."""
+        self.close(path)
+        with open(path, "wb") as handle:
+            handle.write(data)
+            handle.flush()
+
+    def sync(self, path: str) -> None:
+        """``fsync`` *path* — full durability, not just process-crash."""
+        handle = self._handles.get(path)
+        if handle is not None and not handle.closed:
+            handle.flush()
+            os.fsync(handle.fileno())
+            return
+        with open(path, "rb") as handle:
+            os.fsync(handle.fileno())
+
+    def sync_dir(self, path: str) -> None:
+        """``fsync`` a directory so renames within it are durable.
+        Best-effort: some platforms refuse directory fsync."""
+        try:
+            fd = os.open(path, os.O_RDONLY)
+        except OSError:
+            return
+        try:
+            os.fsync(fd)
+        except OSError:
+            pass
+        finally:
+            os.close(fd)
+
+    # -- whole-file / metadata ops ------------------------------------
+
+    def replace(self, source: str, destination: str) -> None:
+        """Atomic rename (the checkpoint publication step)."""
+        self.close(source)
+        self.close(destination)
+        os.replace(source, destination)
+
+    def read(self, path: str) -> bytes:
+        with open(path, "rb") as handle:
+            return handle.read()
+
+    def exists(self, path: str) -> bool:
+        return os.path.exists(path)
+
+    def size(self, path: str) -> int:
+        return os.path.getsize(path)
+
+    def listdir(self, path: str) -> List[str]:
+        return sorted(os.listdir(path))
+
+    def makedirs(self, path: str) -> None:
+        os.makedirs(path, exist_ok=True)
+
+    def remove(self, path: str) -> None:
+        self.close(path)
+        if os.path.exists(path):
+            os.remove(path)
+
+    def truncate(self, path: str, size: int) -> None:
+        """Cut *path* to *size* bytes (recovery drops torn WAL tails)."""
+        self.close(path)
+        with open(path, "rb+") as handle:
+            handle.truncate(size)
+
+    # -- handle lifecycle ----------------------------------------------
+
+    def close(self, path: str) -> None:
+        handle = self._handles.pop(path, None)
+        if handle is not None and not handle.closed:
+            handle.close()
+
+    def close_all(self) -> None:
+        for path in list(self._handles):
+            self.close(path)

@@ -3,16 +3,20 @@
 The demo lets attendees load datasets from files; this module provides
 the minimal, dependency-free serialization used for that: one triple
 per line, terms in N-Triples syntax, ``#`` comments and blank lines
-ignored.  Parsing is strict — malformed lines raise
-:class:`ParseError` with the offending line number, because silently
-dropping data would corrupt every experiment built on top.
+ignored.  Parsing is strict by default — malformed lines raise
+:class:`ParseError` carrying the offending line number *and text*,
+because silently dropping data would corrupt every experiment built on
+top.  Bulk loads that prefer resilience over abortion pass
+``strict=False`` to :func:`read_ntriples`/:func:`load_file`: bad lines
+are skipped and collected (into a caller-supplied ``errors`` list)
+instead of aborting a multi-gigabyte load on its first typo.
 """
 
 from __future__ import annotations
 
 import io
 import re
-from typing import IO, Iterable, Iterator, List, Tuple, Union
+from typing import IO, Iterable, Iterator, List, Optional, Tuple, Union
 
 from .graph import Graph
 from .terms import BlankNode, Literal, Term, URI
@@ -20,13 +24,27 @@ from .triples import Triple
 
 
 class ParseError(ValueError):
-    """Raised when a serialized triple cannot be parsed."""
+    """Raised when a serialized triple cannot be parsed.
 
-    def __init__(self, message: str, line_number: int = 0):
+    ``line_number`` (1-based, 0 when unknown) and ``line_text`` (the
+    offending input line, None when unknown) let callers report *what*
+    failed, not just where; ``reason`` keeps the bare message.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        line_number: int = 0,
+        line_text: Optional[str] = None,
+    ):
+        self.reason = message
+        self.line_number = line_number
+        self.line_text = line_text
+        if line_text is not None:
+            message = "%s: %r" % (message, line_text)
         if line_number:
             message = "line %d: %s" % (line_number, message)
         super().__init__(message)
-        self.line_number = line_number
 
 
 _TOKEN_RE = re.compile(
@@ -40,6 +58,38 @@ _TOKEN_RE = re.compile(
     """,
     re.VERBOSE,
 )
+
+#: Literal escape sequences (the inverse of :meth:`Literal.n3`).
+_LITERAL_ESCAPES = {"n": "\n", "r": "\r", "t": "\t", '"': '"', "\\": "\\"}
+
+#: A complete literal token: quoted body (escape-aware, so a ``\"``
+#: inside the value cannot close it), optional ``^^<datatype>``.
+#: Splitting on ``^^`` textually is wrong — the *value* may contain it.
+_LITERAL_TOKEN_RE = re.compile(r'^"((?:[^"\\]|\\.)*)"(?:\^\^(<[^>]*>))?$')
+
+
+def _unescape_literal(raw: str) -> str:
+    """Decode literal escapes in one left-to-right pass.
+
+    A sequential ``str.replace`` chain is wrong here: ``\\\\n`` (an
+    escaped backslash followed by ``n``) must decode to backslash+n,
+    not to a newline, so each escape has to be consumed exactly once.
+    """
+    if "\\" not in raw:
+        return raw
+    out: List[str] = []
+    position = 0
+    length = len(raw)
+    while position < length:
+        char = raw[position]
+        if char == "\\" and position + 1 < length:
+            escaped = raw[position + 1]
+            out.append(_LITERAL_ESCAPES.get(escaped, escaped))
+            position += 2
+        else:
+            out.append(char)
+            position += 1
+    return "".join(out)
 
 
 def parse_term(token: str) -> Term:
@@ -63,21 +113,16 @@ def parse_term(token: str) -> Term:
             raise ParseError("empty blank node label")
         return BlankNode(label)
     if token.startswith('"'):
+        match = _LITERAL_TOKEN_RE.match(token)
+        if match is None:
+            raise ParseError("malformed literal token: %r" % token)
         datatype = None
-        body = token
-        if "^^" in token:
-            body, _, dt_token = token.rpartition("^^")
-            datatype_term = parse_term(dt_token)
+        if match.group(2) is not None:
+            datatype_term = parse_term(match.group(2))
             if not isinstance(datatype_term, URI):
                 raise ParseError("literal datatype must be a URI: %r" % token)
             datatype = datatype_term
-        if not (body.startswith('"') and body.endswith('"') and len(body) >= 2):
-            raise ParseError("malformed literal token: %r" % token)
-        raw = body[1:-1]
-        value = (
-            raw.replace("\\n", "\n").replace('\\"', '"').replace("\\\\", "\\")
-        )
-        return Literal(value, datatype)
+        return Literal(_unescape_literal(match.group(1)), datatype)
     raise ParseError("unrecognized term token: %r" % token)
 
 
@@ -90,7 +135,7 @@ def parse_line(line: str, line_number: int = 0) -> Triple:
         match = _TOKEN_RE.match(stripped, position)
         if match is None:
             raise ParseError(
-                "cannot tokenize %r at offset %d" % (stripped, position), line_number
+                "cannot tokenize at offset %d" % position, line_number, stripped
             )
         tokens.append(match.group(1))
         position = match.end()
@@ -98,21 +143,39 @@ def parse_line(line: str, line_number: int = 0) -> Triple:
         tokens.pop()
     if len(tokens) != 3:
         raise ParseError(
-            "expected 3 terms, found %d in %r" % (len(tokens), stripped), line_number
+            "expected 3 terms, found %d" % len(tokens), line_number, stripped
         )
-    subject, prop, obj = (parse_term(token) for token in tokens)
     try:
+        subject, prop, obj = (parse_term(token) for token in tokens)
         return Triple(subject, prop, obj)
+    except ParseError as exc:
+        raise ParseError(exc.reason, line_number, stripped) from None
     except ValueError as exc:
-        raise ParseError(str(exc), line_number)
+        raise ParseError(str(exc), line_number, stripped) from None
 
 
-def read_ntriples(source: Union[str, IO[str]]) -> Graph:
+def read_ntriples(
+    source: Union[str, IO[str]],
+    strict: bool = True,
+    errors: Optional[List[ParseError]] = None,
+) -> Graph:
     """Parse a graph from a string or text stream.
+
+    With ``strict=True`` (the default) the first malformed line raises
+    :class:`ParseError`.  With ``strict=False`` malformed lines are
+    *skipped*; each skipped line's :class:`ParseError` (with line
+    number and text) is appended to *errors* when a list is supplied,
+    so bulk loaders can report every bad line after the load finishes
+    instead of aborting on the first one.
 
     >>> g = read_ntriples('<http://e/a> <http://e/p> "v" .')
     >>> len(g)
     1
+    >>> bad = []
+    >>> g = read_ntriples('junk !\\n<http://e/a> <http://e/p> "v" .',
+    ...                   strict=False, errors=bad)
+    >>> len(g), bad[0].line_number
+    (1, 1)
     """
     if isinstance(source, str):
         source = io.StringIO(source)
@@ -121,7 +184,13 @@ def read_ntriples(source: Union[str, IO[str]]) -> Graph:
         stripped = line.strip()
         if not stripped or stripped.startswith("#"):
             continue
-        graph.add(parse_line(stripped, line_number))
+        try:
+            graph.add(parse_line(stripped, line_number))
+        except ParseError as exc:
+            if strict:
+                raise
+            if errors is not None:
+                errors.append(exc)
     return graph
 
 
@@ -142,10 +211,15 @@ def graph_to_string(graph: Iterable[Triple]) -> str:
     return buffer.getvalue()
 
 
-def load_file(path: str) -> Graph:
-    """Read a graph from the file at *path*."""
+def load_file(
+    path: str,
+    strict: bool = True,
+    errors: Optional[List[ParseError]] = None,
+) -> Graph:
+    """Read a graph from the file at *path* (see :func:`read_ntriples`
+    for the ``strict``/``errors`` skip-and-collect contract)."""
     with open(path, "r", encoding="utf-8") as handle:
-        return read_ntriples(handle)
+        return read_ntriples(handle, strict=strict, errors=errors)
 
 
 def save_file(graph: Iterable[Triple], path: str) -> int:

@@ -170,8 +170,15 @@ class Literal(Term):
         return self.value
 
     def n3(self) -> str:
+        # \r and \t must be escaped too: the serialization is
+        # line-based, and universal-newline reading would otherwise
+        # split a literal carriage return into two lines.
         escaped = (
-            self.value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+            self.value.replace("\\", "\\\\")
+            .replace('"', '\\"')
+            .replace("\n", "\\n")
+            .replace("\r", "\\r")
+            .replace("\t", "\\t")
         )
         if self.datatype is None:
             return '"%s"' % escaped

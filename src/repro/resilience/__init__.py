@@ -15,8 +15,9 @@ systems):
 * :mod:`~repro.resilience.report` — per-endpoint completeness
   accounting for graceful partial answers;
 * :mod:`~repro.resilience.faults` — the seeded chaos harness
-  (``FaultPlan`` + ``ChaosEndpoint``), loaded lazily because it wraps
-  :mod:`repro.federation` endpoints.
+  (``FaultPlan`` + ``ChaosEndpoint`` for endpoints, ``CrashPlan`` +
+  ``CrashingFileSystem`` for the durability layer), loaded lazily
+  because it wraps :mod:`repro.federation` endpoints.
 """
 
 from .breaker import CircuitBreaker
@@ -28,6 +29,7 @@ from .errors import (
     DeadlineExceeded,
     EndpointFailure,
     EndpointOutage,
+    SimulatedCrash,
     TransientEndpointError,
 )
 from .report import CompletenessReport, EndpointReport
@@ -40,6 +42,8 @@ __all__ = [
     "CircuitOpen",
     "Clock",
     "CompletenessReport",
+    "CrashPlan",
+    "CrashingFileSystem",
     "Deadline",
     "DeadlineExceeded",
     "EndpointFailure",
@@ -50,15 +54,16 @@ __all__ = [
     "FaultPlan",
     "RetryPolicy",
     "SYSTEM_CLOCK",
+    "SimulatedCrash",
     "SystemClock",
     "TransientEndpointError",
 ]
 
 
 def __getattr__(name):
-    # ChaosEndpoint/FaultPlan wrap federation endpoints; importing them
+    # The chaos harness wraps federation endpoints; importing it
     # eagerly would cycle (federation.client imports this package).
-    if name in ("ChaosEndpoint", "FaultPlan"):
+    if name in ("ChaosEndpoint", "FaultPlan", "CrashPlan", "CrashingFileSystem"):
         from . import faults
 
         return getattr(faults, name)

@@ -48,6 +48,21 @@ class DeadlineExceeded(RuntimeError):
         self.elapsed_seconds = elapsed_seconds
 
 
+class SimulatedCrash(RuntimeError):
+    """The injected process death of the durability chaos harness.
+
+    Raised by :class:`~repro.resilience.faults.CrashingFileSystem` when
+    its write budget runs out (mid-write — the torn-record case) or
+    around a checkpoint rename.  ``bytes_written`` records how many
+    bytes actually reached the wrapped filesystem, so tests can map the
+    crash back to the operation prefix that must survive recovery.
+    """
+
+    def __init__(self, message: str, bytes_written: Optional[int] = None):
+        super().__init__(message)
+        self.bytes_written = bytes_written
+
+
 class CircuitOpen(RuntimeError):
     """A request was refused locally because the endpoint's circuit
     breaker is open — the endpoint has failed enough times recently

@@ -21,7 +21,7 @@ from typing import Dict, Optional
 
 from ..federation.endpoint import TruncatedResult, truncate_rows
 from .clock import Clock, SYSTEM_CLOCK
-from .errors import EndpointOutage, TransientEndpointError
+from .errors import EndpointOutage, SimulatedCrash, TransientEndpointError
 
 
 class FaultDecision:
@@ -132,6 +132,178 @@ class FaultPlan:
                 self.truncation_rate,
                 self.truncation_limit,
             )
+        )
+
+
+class CrashPlan:
+    """A seeded schedule of crash points for the durability harness.
+
+    Like :class:`FaultPlan`, every draw comes from one
+    ``random.Random(seed)``, so a seed replays the identical crash
+    offsets in every run.  The harness crashes at every *operation
+    boundary* it traced (the states a clean crash can land on) plus
+    seeded *interior* bytes (torn records); :meth:`pick_offsets` merges
+    the two.
+
+    >>> plan = CrashPlan(seed=3)
+    >>> offsets = plan.pick_offsets(100, boundaries=[0, 40, 100])
+    >>> offsets == CrashPlan(seed=3).pick_offsets(100, boundaries=[0, 40, 100])
+    True
+    >>> set([0, 40, 100]) <= set(offsets)
+    True
+    """
+
+    def __init__(self, seed: int = 0, interior_samples: int = 4):
+        if interior_samples < 0:
+            raise ValueError("interior_samples must be >= 0")
+        self.seed = seed
+        self.interior_samples = interior_samples
+        self._rng = random.Random(seed)
+
+    def pick_offsets(self, total_bytes, boundaries=()) -> list:
+        """Byte offsets to crash at: the given boundaries (≤ total)
+        plus ``interior_samples`` seeded draws in ``[0, total]``."""
+        chosen = {offset for offset in boundaries if 0 <= offset <= total_bytes}
+        for _ in range(self.interior_samples):
+            if total_bytes > 0:
+                chosen.add(self._rng.randrange(total_bytes + 1))
+        return sorted(chosen)
+
+
+class CrashingFileSystem:
+    """A duck-typed durability filesystem that "dies" mid-operation.
+
+    Wraps any object with the :class:`~repro.durability.io.FileSystem`
+    surface.  Two crash axes:
+
+    * ``write_budget`` — total bytes of ``append``/``write`` allowed;
+      the write that would exceed it lands only its fitting *prefix*
+      (a torn write, exactly what a dying process leaves behind) and
+      raises :class:`~repro.resilience.errors.SimulatedCrash`;
+    * ``crash_on_replace`` — ``"before"`` or ``"after"`` the
+      ``replace_at``-th atomic rename (the checkpoint-publication
+      windows).
+
+    Once dead, every further call raises — the harness must build a
+    fresh filesystem to "restart the process" and recover.
+    """
+
+    def __init__(
+        self,
+        inner,
+        write_budget: Optional[int] = None,
+        crash_on_replace: Optional[str] = None,
+        replace_at: int = 0,
+    ):
+        if crash_on_replace not in (None, "before", "after"):
+            raise ValueError(
+                "crash_on_replace must be None, 'before' or 'after', got %r"
+                % (crash_on_replace,))
+        self.inner = inner
+        self.write_budget = write_budget
+        self.crash_on_replace = crash_on_replace
+        self.replace_at = replace_at
+        #: Bytes that actually reached the wrapped filesystem — the
+        #: trace run reads this after each op to learn its boundary.
+        self.bytes_written = 0
+        self.dead = False
+        self._replaces = 0
+
+    # -- crash core ----------------------------------------------------
+
+    def _check(self) -> None:
+        if self.dead:
+            raise SimulatedCrash(
+                "process already crashed", bytes_written=self.bytes_written)
+
+    def _die(self, why: str) -> None:
+        self.dead = True
+        # A dying process's descriptors are closed by the OS; anything
+        # already pushed to the OS (our appends flush) survives.
+        self.inner.close_all()
+        raise SimulatedCrash(why, bytes_written=self.bytes_written)
+
+    def _consume(self, path: str, data: bytes, writer) -> None:
+        self._check()
+        if self.write_budget is not None:
+            remaining = self.write_budget - self.bytes_written
+            if len(data) > remaining:
+                if remaining > 0:
+                    writer(path, data[:remaining])
+                    self.bytes_written += remaining
+                self._die("write budget exhausted at byte %d"
+                          % self.bytes_written)
+        writer(path, data)
+        self.bytes_written += len(data)
+
+    # -- wrapped surface -----------------------------------------------
+
+    def append(self, path: str, data: bytes) -> None:
+        self._consume(path, data, self.inner.append)
+
+    def write(self, path: str, data: bytes) -> None:
+        self._consume(path, data, self.inner.write)
+
+    def sync(self, path: str) -> None:
+        self._check()
+        self.inner.sync(path)
+
+    def sync_dir(self, path: str) -> None:
+        self._check()
+        self.inner.sync_dir(path)
+
+    def replace(self, source: str, destination: str) -> None:
+        self._check()
+        index = self._replaces
+        self._replaces += 1
+        if self.crash_on_replace == "before" and index == self.replace_at:
+            self._die("crashed before rename #%d" % index)
+        self.inner.replace(source, destination)
+        if self.crash_on_replace == "after" and index == self.replace_at:
+            self._die("crashed after rename #%d" % index)
+
+    def read(self, path: str) -> bytes:
+        self._check()
+        return self.inner.read(path)
+
+    def exists(self, path: str) -> bool:
+        self._check()
+        return self.inner.exists(path)
+
+    def size(self, path: str) -> int:
+        self._check()
+        return self.inner.size(path)
+
+    def listdir(self, path: str):
+        self._check()
+        return self.inner.listdir(path)
+
+    def makedirs(self, path: str) -> None:
+        self._check()
+        self.inner.makedirs(path)
+
+    def remove(self, path: str) -> None:
+        self._check()
+        self.inner.remove(path)
+
+    def truncate(self, path: str, size: int) -> None:
+        self._check()
+        self.inner.truncate(path, size)
+
+    def close(self, path: str) -> None:
+        self._check()
+        self.inner.close(path)
+
+    def close_all(self) -> None:
+        self._check()
+        self.inner.close_all()
+
+    def __repr__(self) -> str:
+        return "CrashingFileSystem(budget=%s, replace=%s@%d%s)" % (
+            self.write_budget,
+            self.crash_on_replace,
+            self.replace_at,
+            ", dead" if self.dead else "",
         )
 
 

@@ -23,7 +23,7 @@ Sat under schema updates.
 from __future__ import annotations
 
 from collections import Counter
-from typing import Dict, Iterable, List, Optional, Set
+from typing import Dict, Iterable, List, Optional, Set, Tuple
 
 from ..rdf.graph import Graph
 from ..rdf.triples import Triple
@@ -86,6 +86,34 @@ class IncrementalSaturator:
     def _notify(self, subject, operation: str) -> None:
         for callback in self._listeners:
             callback(subject, operation)
+
+    # ------------------------------------------------------------------
+    # Checkpoint support
+
+    def export_state(self) -> Tuple[Set[Triple], Dict[Triple, int]]:
+        """The incremental-saturation state a checkpoint must persist:
+        (explicit triples, support counts).  Together with the schema
+        these reconstruct the saturated view without re-deriving any
+        consequences — restart does not pay the re-saturation penalty
+        the paper attributes to Sat."""
+        return set(self._explicit), dict(self._support)
+
+    @classmethod
+    def from_state(
+        cls,
+        schema: Schema,
+        explicit: Iterable[Triple],
+        support: Dict[Triple, int],
+    ) -> "IncrementalSaturator":
+        """Rebuild a saturator from :meth:`export_state` output."""
+        saturator = cls(schema)
+        saturator._explicit = set(explicit)
+        saturator._support = Counter(support)
+        saturator._saturated.add_all(saturator._explicit)
+        saturator._saturated.add_all(
+            triple for triple, count in support.items() if count > 0
+        )
+        return saturator
 
     # ------------------------------------------------------------------
     # Views

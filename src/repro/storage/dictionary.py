@@ -62,6 +62,17 @@ class Dictionary:
         """
         return self._term_to_id.get(term)
 
+    def terms(self) -> List[Term]:
+        """The full id → term table in id order.
+
+        Because ids are dense and assigned in first-seen order, a
+        checkpoint that persists this list rebuilds an *identical*
+        dictionary by re-encoding the terms in sequence — the
+        durability layer relies on this to keep encoded triples valid
+        across restarts.
+        """
+        return list(self._id_to_term)
+
     def decode(self, term_id: int) -> Term:
         try:
             return self._id_to_term[term_id]

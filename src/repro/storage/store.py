@@ -92,6 +92,40 @@ class TripleStore:
         for triple in self.schema.entailed_triples():
             self.insert(triple)
 
+    @classmethod
+    def from_encoded(
+        cls,
+        terms: Iterable[Term],
+        triples: Iterable[EncodedTriple],
+        schema: Optional[Schema] = None,
+    ) -> "TripleStore":
+        """Rebuild a store from a checkpoint snapshot: the dictionary's
+        term table in id order plus the encoded triple table.
+
+        Re-encoding *terms* in order reproduces the exact id
+        assignment (ids are dense, first-seen), so the encoded triples
+        drop straight into the indexes; statistics are re-derived
+        triple by triple, which makes them equal a fresh
+        :meth:`from_graph` build by construction.
+        """
+        store = cls()
+        for term in terms:
+            store.dictionary.encode(term)
+        type_id = store.dictionary.lookup(RDF_TYPE)
+        if type_id is not None:
+            store._type_id = type_id
+        for encoded in triples:
+            store._insert_encoded(tuple(encoded))
+        if schema is not None:
+            for constraint in schema.direct_constraints():
+                store.schema.add(constraint)
+        return store
+
+    def encoded_state(self) -> Tuple[List[Term], List[EncodedTriple]]:
+        """The checkpoint payload: (terms in id order, sorted encoded
+        triples) — everything :meth:`from_encoded` needs."""
+        return self.dictionary.terms(), sorted(self._triples)
+
     def insert(self, triple: Triple) -> bool:
         """Insert one triple; return True when it was new."""
         if triple.property == RDF_TYPE and self._type_id is None:

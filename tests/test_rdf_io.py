@@ -110,3 +110,75 @@ class TestGraphIO:
         with pytest.raises(ParseError) as info:
             read_ntriples("<http://e/a> <http://e/p> <http://e/b> .\nbad line\n")
         assert info.value.line_number == 2
+
+
+class TestParseErrorDiagnostics:
+    def test_error_carries_offending_text(self):
+        with pytest.raises(ParseError) as info:
+            read_ntriples("this is not a triple !\n")
+        error = info.value
+        assert error.line_number == 1
+        assert error.line_text == "this is not a triple !"
+        assert "this is not a triple !" in str(error)
+        assert error.reason  # the bare message survives separately
+
+    def test_term_level_error_still_carries_line(self):
+        with pytest.raises(ParseError) as info:
+            read_ntriples('<http://e/a> "p" <http://e/b> .\n')
+        assert info.value.line_number == 1
+        assert info.value.line_text is not None
+
+
+class TestLenientMode:
+    TEXT = (
+        "<http://e/a> <http://e/p> <http://e/b> .\n"
+        "junk one !\n"
+        "<http://e/c> <http://e/p> <http://e/d> .\n"
+        "junk two ?\n"
+    )
+
+    def test_strict_false_skips_and_collects(self):
+        errors = []
+        graph = read_ntriples(self.TEXT, strict=False, errors=errors)
+        assert len(graph) == 2
+        assert [error.line_number for error in errors] == [2, 4]
+        assert errors[0].line_text == "junk one !"
+        assert errors[1].line_text == "junk two ?"
+
+    def test_strict_false_without_error_list(self):
+        assert len(read_ntriples(self.TEXT, strict=False)) == 2
+
+    def test_strict_default_raises_on_first_bad_line(self):
+        with pytest.raises(ParseError) as info:
+            read_ntriples(self.TEXT)
+        assert info.value.line_number == 2
+
+    def test_load_file_lenient(self, tmp_path):
+        from repro.rdf import load_file
+
+        path = tmp_path / "messy.nt"
+        path.write_text(self.TEXT, encoding="utf-8")
+        errors = []
+        graph = load_file(str(path), strict=False, errors=errors)
+        assert len(graph) == 2 and len(errors) == 2
+
+
+class TestLiteralEscaping:
+    def test_backslash_n_sequence_is_not_a_newline(self):
+        # The regression the single-pass unescaper guards: an escaped
+        # backslash followed by 'n' must NOT decode to a newline.
+        literal = Literal("back\\nslash")  # backslash + 'n', no newline
+        assert parse_term(literal.n3()) == literal
+
+    def test_carriage_return_and_tab_round_trip(self):
+        literal = Literal("a\rb\tc")
+        token = literal.n3()
+        assert "\r" not in token and "\t" not in token
+        assert parse_term(token) == literal
+
+    def test_datatype_marker_inside_value(self):
+        # Regression: '^^' inside the *value* must not be mistaken for
+        # the datatype separator (the old parser split on it textually).
+        assert parse_term('"a^^b"') == Literal("a^^b")
+        typed = Literal("x^^y", URI("http://www.w3.org/2001/XMLSchema#string"))
+        assert parse_term(typed.n3()) == typed
