@@ -16,7 +16,6 @@ import pytest
 from repro.bench import format_table
 from repro.datasets import lubm_queries
 from repro.reformulation import prune_subsumed, reformulate
-from repro.storage import Executor
 
 
 @pytest.fixture(scope="module")

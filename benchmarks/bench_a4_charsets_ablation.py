@@ -16,8 +16,7 @@ from __future__ import annotations
 import pytest
 
 from repro.bench import format_table
-from repro.cost import annotate_plan
-from repro.datasets import UB, lubm_queries
+from repro.datasets import UB
 from repro.query import ConjunctiveQuery, TriplePattern, Variable, evaluate_cq
 from repro.storage import HASH_BACKEND, Planner
 from repro.storage.charsets import CharacteristicSets

@@ -19,7 +19,7 @@ from __future__ import annotations
 import pytest
 
 from repro.bench import format_table
-from repro.datasets import GeneratorConfig, generate_lubm, lubm_queries, lubm_schema
+from repro.datasets import generate_lubm, lubm_queries, lubm_schema
 from repro.federation import Endpoint, ExportForbidden, FederatedAnswerer
 from repro.query import ConjunctiveQuery, TriplePattern, Variable, evaluate_cq
 from repro.rdf import Graph

@@ -16,7 +16,6 @@ reproduction target.
 
 from __future__ import annotations
 
-import pytest
 
 from repro.bench import format_table
 from repro.datasets import example1_query

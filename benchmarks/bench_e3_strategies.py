@@ -22,7 +22,7 @@ from __future__ import annotations
 import pytest
 
 from repro import Strategy
-from repro.bench import StrategyOutcome, compare_strategies, format_table
+from repro.bench import compare_strategies, format_table
 from repro.datasets import lubm_queries, example1_query
 
 STRATEGIES = (

@@ -21,7 +21,7 @@ import pytest
 from repro import QueryAnswerer, Strategy
 from repro.bench import format_table
 from repro.datasets import example1_query, lubm_queries
-from repro.reformulation import reformulate, ucq_size
+from repro.reformulation import ucq_size
 from repro.storage import DEFAULT_BACKENDS, QueryTooLargeError
 
 

@@ -18,8 +18,8 @@ import time
 import pytest
 
 from repro.bench import format_table
-from repro.datasets import UB, generate_lubm, lubm_schema
-from repro.rdf import Graph, Triple
+from repro.datasets import UB
+from repro.rdf import Graph
 from repro.saturation import IncrementalSaturator, saturate
 from repro.schema import Constraint, Schema
 from repro.storage import TripleStore

@@ -22,9 +22,8 @@ from repro import Strategy
 from repro.bench import format_table
 from repro.datasets import example1_query, lubm_queries
 from repro.optimizer import CoverCostEstimator, exhaustive_cover_search, gcov
-from repro.query import ConjunctiveQuery, TriplePattern, Variable
+from repro.query import ConjunctiveQuery, Variable
 from repro.reformulation import jucq_for_cover
-from repro.schema import Schema
 from repro.storage import Executor
 
 

@@ -10,7 +10,6 @@ and pruning constraints collapses it.
 
 from __future__ import annotations
 
-import pytest
 
 from repro.bench import format_table
 from repro.datasets import UB, example1_query

@@ -13,7 +13,6 @@ import pytest
 
 from repro import QueryAnswerer
 from repro.datasets import generate_lubm, lubm_schema
-from repro.schema import Schema
 from repro.storage import TripleStore
 
 

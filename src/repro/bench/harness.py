@@ -11,7 +11,7 @@ displays.
 from __future__ import annotations
 
 import time
-from typing import Callable, Dict, List, Optional, Sequence
+from typing import Callable, Dict, Optional, Sequence
 
 from ..core.answerer import AnswerReport, QueryAnswerer, Strategy
 from ..query.algebra import ConjunctiveQuery

@@ -222,6 +222,32 @@ def _quick_e15() -> str:
         shutil.rmtree(directory, ignore_errors=True)
 
 
+def _quick_e16() -> str:
+    from ..core import QueryAnswerer, Strategy
+    from ..datasets import example1_query, generate_lubm
+    from ..query import Cover
+
+    graph = generate_lubm(universities=1, seed=1)
+    query = example1_query()
+    cover = Cover.per_atom(query)
+    materialized = QueryAnswerer(graph, engine="materialized")
+    pipelined = QueryAnswerer(graph, engine="pipelined")
+    rm = materialized.answer(query, Strategy.REF_JUCQ, cover=cover)
+    rp = pipelined.answer(query, Strategy.REF_JUCQ, cover=cover)
+    return (
+        "SCQ cover, %d answer row(s) on both engines\n"
+        "materialized: %.0f ms, peak %d rows held\n"
+        "pipelined:    %.0f ms, peak %d rows buffered"
+        % (
+            rm.cardinality,
+            rm.elapsed_seconds * 1e3,
+            rm.execution.max_intermediate_rows(),
+            rp.elapsed_seconds * 1e3,
+            rp.execution.peak_buffered_rows,
+        )
+    )
+
+
 EXPERIMENTS: List[Experiment] = [
     Experiment("E1", "Example 1's UCQ reformulation blow-up and parse failure",
                "benchmarks/bench_e1_reformulation_size.py", _quick_e1),
@@ -253,6 +279,8 @@ EXPERIMENTS: List[Experiment] = [
                "benchmarks/bench_e14_resilience.py", _quick_e14),
     Experiment("E15", "Durability: WAL overhead and checkpointed recovery time",
                "benchmarks/bench_e15_durability.py", _quick_e15),
+    Experiment("E16", "Pipelined vs materialized engine: time and peak rows",
+               "benchmarks/bench_e16_engine.py", _quick_e16),
     Experiment("A1", "Ablation: exact statistics vs textbook uniformity",
                "benchmarks/bench_a1_statistics_ablation.py"),
     Experiment("A2", "Ablation: UCQ subsumption pruning",

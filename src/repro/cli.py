@@ -172,6 +172,21 @@ def _rate(value: str) -> float:
     return number
 
 
+#: Column header of the per-operator metric table (pipelined engine).
+_METRIC_HEADER = ["operator", "rows in", "rows out", "batches", "peak buffered", "ms"]
+
+
+def _print_metrics(execution) -> None:
+    """Print the pipelined engine's per-operator metrics, when any."""
+    metrics = getattr(execution, "metrics", None)
+    if metrics is None:
+        print("no per-operator metrics (run with --engine pipelined)")
+        return
+    print(format_table(_METRIC_HEADER, metrics.table_rows(),
+                       title="per-operator metrics"))
+    print("peak buffered rows: %d" % metrics.peak_buffered_rows)
+
+
 def _make_cache(args):
     """The answer cache the flags ask for, or None when disabled."""
     if not getattr(args, "cache", False):
@@ -200,6 +215,7 @@ def cmd_answer(args) -> int:
             row_budget=args.row_budget,
             time_budget=args.timeout,
             budget_fallbacks=args.max_retries,
+            allow_partial=args.allow_partial,
         )
     repeat = max(1, args.repeat)
     rows = []
@@ -217,18 +233,29 @@ def cmd_answer(args) -> int:
             row = [strategy.value, "%.1f" % (reports[0].elapsed_seconds * 1e3)]
             if repeat > 1:
                 row.append("%.1f" % (report.elapsed_seconds * 1e3))
-            row.append(report.cardinality)
+            cardinality = str(report.cardinality)
+            if report.details.get("partial"):
+                cardinality += " (partial)"
+            row.append(cardinality)
             if cache is not None:
                 row.append(report.details.get("cache", {}).get("answer", "-"))
             rows.append(row)
             if args.show_answers and len(strategies) == 1:
                 for answer_row in sorted(report.answer)[: args.limit]:
                     print("   ", tuple(str(term.lexical()) for term in answer_row))
+            if args.show_metrics and len(strategies) == 1:
+                _print_metrics(report.execution)
         except (QueryTooLargeError, ReformulationTooLarge, BudgetExceeded) as exc:
             row = [strategy.value, "FAIL"]
             if repeat > 1:
                 row.append("-")
-            row.append(str(exc)[:60])
+            message = str(exc)[:60]
+            partial_rows = getattr(exc, "partial_rows", None)
+            if partial_rows is not None:
+                message += " [%d partial row(s); --allow-partial keeps them]" % (
+                    len(partial_rows),
+                )
+            row.append(message)
             if cache is not None:
                 row.append("-")
             rows.append(row)
@@ -396,13 +423,16 @@ def cmd_federate(args) -> int:
 
 
 def cmd_explain(args) -> int:
-    answerer = QueryAnswerer(_build_graph(args))
+    answerer = QueryAnswerer(_build_graph(args), engine=args.engine)
     query = _resolve_query(args)
     report = answerer.answer(query, Strategy(args.strategy))
     if report.execution is None:
         print("strategy %s has no relational plan" % args.strategy)
         return EXIT_FAILURE
     print(explain_plan(report.execution.plan, answerer.store))
+    if report.execution.metrics is not None:
+        print()
+        _print_metrics(report.execution)
     return 0
 
 
@@ -576,7 +606,17 @@ def build_parser() -> argparse.ArgumentParser:
     answer.add_argument("--show-answers", action="store_true")
     answer.add_argument("--limit", type=int, default=20)
     answer.add_argument("--engine", default="builtin",
-                        choices=["builtin", "sqlite"])
+                        choices=["builtin", "materialized", "pipelined",
+                                 "sqlite"],
+                        help="evaluation engine: materialized (builtin is "
+                             "its alias), pipelined (streaming batches, "
+                             "per-operator metrics), or sqlite")
+    answer.add_argument("--show-metrics", action="store_true",
+                        help="print the per-operator metric table (single "
+                             "strategy, pipelined engine)")
+    answer.add_argument("--allow-partial", action="store_true",
+                        help="on budget overrun, keep the rows produced so "
+                             "far as a degraded answer (pipelined engine)")
     answer.add_argument("--cache", action="store_true",
                         help="answer through a reformulation+answer cache "
                              "(see `cache-stats` for its counters)")
@@ -590,7 +630,7 @@ def build_parser() -> argparse.ArgumentParser:
                              "fail cleanly instead of hanging")
     answer.add_argument("--row-budget", type=_positive_int, default=None,
                         help="cap on cumulative intermediate rows during "
-                             "evaluation (builtin engine)")
+                             "evaluation (in-process engines)")
     answer.add_argument("--max-retries", type=_positive_int, default=3,
                         help="budget-exceeded fallback attempts: how many "
                              "next-best covers the optimizer may try "
@@ -643,7 +683,8 @@ def build_parser() -> argparse.ArgumentParser:
     cache_stats.add_argument("--strategy", default="all",
                              choices=["all"] + [s.value for s in Strategy])
     cache_stats.add_argument("--engine", default="builtin",
-                             choices=["builtin", "sqlite"])
+                             choices=["builtin", "materialized", "pipelined",
+                                      "sqlite"])
     cache_stats.add_argument("--cache-size", type=_positive_int, default=1024,
                              help="LRU capacity per cache tier (default 1024)")
     cache_stats.add_argument("--repeat", type=int, default=3,
@@ -656,6 +697,10 @@ def build_parser() -> argparse.ArgumentParser:
     explain.add_argument("--sparql")
     explain.add_argument("--strategy", default="ref-gcov",
                          choices=[s.value for s in Strategy])
+    explain.add_argument("--engine", default="builtin",
+                         choices=["builtin", "materialized", "pipelined"],
+                         help="evaluation engine; pipelined appends the "
+                              "per-operator metric table to the plan")
     explain.set_defaults(func=cmd_explain)
 
     covers = subparsers.add_parser("covers", help="explore covers (demo step 3)")

@@ -26,7 +26,7 @@ from typing import Dict, FrozenSet, Optional, Tuple
 
 from ..cache import QueryCache, dataset_token
 from ..datalog.encoding import answer_query as datalog_answer
-from ..optimizer.gcov import GCovResult, gcov
+from ..optimizer.gcov import gcov
 from ..query.algebra import ConjunctiveQuery
 from ..query.cover import Cover
 from ..rdf.graph import Graph
@@ -41,7 +41,7 @@ from ..reformulation.policy import (
 )
 from ..resilience.budget import ExecutionBudget
 from ..resilience.errors import BudgetExceeded
-from ..saturation.engine import saturate
+from ..resilience.report import CompletenessReport, DEGRADED
 from ..schema.schema import Schema
 from ..storage.backends import BackendProfile, HASH_BACKEND, QueryTooLargeError
 from ..storage.executor import ExecutionResult, Executor
@@ -49,6 +49,11 @@ from ..storage.sql import SqliteBackend
 from ..storage.store import TripleStore
 
 Answer = FrozenSet[Tuple[Term, ...]]
+
+#: Engines the answerer accepts. ``"builtin"`` is the historical alias
+#: of the materialized interpreter; ``"pipelined"`` runs the same plans
+#: through the batch executor of :mod:`repro.engine.pipeline`.
+ANSWERER_ENGINES = ("builtin", "materialized", "pipelined", "sqlite")
 
 
 class Strategy(enum.Enum):
@@ -133,17 +138,21 @@ class QueryAnswerer:
         cache: Optional[QueryCache] = None,
     ):
         """``engine`` selects the evaluation engine for the relational
-        strategies: ``"builtin"`` (the instrumented executor; default)
-        or ``"sqlite"`` (generated SQL on a real RDBMS — answers are
-        identical, per the test-suite, but plan metrics are the
-        engine's own and not reported).
+        strategies: ``"materialized"`` (the instrumented operator-at-a-
+        time executor; ``"builtin"`` is its historical alias and the
+        default), ``"pipelined"`` (the batch-streaming executor of
+        :mod:`repro.engine.pipeline`, with per-operator metrics and
+        mid-pipeline budget enforcement), or ``"sqlite"`` (generated
+        SQL on a real RDBMS — answers are identical, per the
+        test-suite, but plan metrics are the engine's own and not
+        reported).
 
         ``cache`` (opt-in) amortizes repeated answering: reformulations
         and answers are served from a :class:`~repro.cache.QueryCache`
         and invalidated through the live-update hooks — see
         :mod:`repro.cache.cache`.  One cache may be shared by several
         answerers."""
-        if engine not in ("builtin", "sqlite"):
+        if engine not in ANSWERER_ENGINES:
             raise ValueError("unknown engine %r" % (engine,))
         self.graph = graph
         merged = Schema.from_graph(graph)
@@ -154,6 +163,9 @@ class QueryAnswerer:
         self.backend = backend
         self.policy = policy
         self.engine = engine
+        # The executor-level engine name: "builtin" is the alias kept
+        # for callers predating the pipelined engine.
+        self._exec_engine = "pipelined" if engine == "pipelined" else "materialized"
         self.store = TripleStore.from_graph(graph, merged)
         self.executor = Executor(self.store, backend)
         self._sql_backend: Optional[SqliteBackend] = None
@@ -173,8 +185,8 @@ class QueryAnswerer:
 
     def _evaluate(self, query, saturated: bool = False, budget=None):
         """Run a relational query on the selected engine; returns
-        (answer, execution-or-None).  ``budget`` (builtin engine only)
-        bounds the evaluation's intermediate results — see
+        (answer, execution-or-None).  ``budget`` (in-process engines
+        only) bounds the evaluation's intermediate results — see
         :class:`~repro.resilience.budget.ExecutionBudget`."""
         if self.engine == "sqlite":
             if budget is not None:
@@ -196,7 +208,7 @@ class QueryAnswerer:
             if saturated
             else self.executor
         )
-        execution = executor.run(query, budget=budget)
+        execution = executor.run(query, budget=budget, engine=self._exec_engine)
         return execution.answer(), execution
 
     # ------------------------------------------------------------------
@@ -286,6 +298,7 @@ class QueryAnswerer:
         row_budget: Optional[int] = None,
         time_budget: Optional[float] = None,
         budget_fallbacks: int = 3,
+        allow_partial: bool = False,
     ) -> AnswerReport:
         """Answer *query* with *strategy*.
 
@@ -297,9 +310,9 @@ class QueryAnswerer:
         strategy genuinely cannot run — the failure modes the paper
         demonstrates, surfaced rather than hidden.
 
-        ``row_budget`` / ``time_budget`` (builtin engine only) bound
-        the evaluation's cumulative intermediate rows and wall time; an
-        overrun raises
+        ``row_budget`` / ``time_budget`` (in-process engines only)
+        bound the evaluation's cumulative intermediate rows and wall
+        time; an overrun raises
         :class:`~repro.resilience.errors.BudgetExceeded` — with one
         escape hatch: for the cover strategies (``REF_SCQ``,
         ``REF_JUCQ``, ``REF_GCOV``) up to ``budget_fallbacks``
@@ -308,14 +321,23 @@ class QueryAnswerer:
         run that completes (directly or via fallback) still returns the
         complete answer — budgets never truncate, they only refuse.
         Budget-exceeded runs are never cached.
+
+        ``allow_partial`` (pipelined engine) turns a final budget
+        overrun into a *degraded* answer instead of an exception: the
+        rows the pipeline had produced before the abort are decoded and
+        returned, with ``details["partial"]`` set, the overrun
+        diagnostics attached, and a
+        :class:`~repro.resilience.report.CompletenessReport` marking
+        the local evaluation ``DEGRADED``.  Partial answers are never
+        cached.
         """
         if strategy is Strategy.REF_JUCQ and cover is None:
             raise ValueError("REF_JUCQ requires a cover")
         budget_factory = None
         if row_budget is not None or time_budget is not None:
-            if self.engine != "builtin":
+            if self.engine == "sqlite":
                 raise ValueError(
-                    "execution budgets require the builtin engine, not %r"
+                    "execution budgets require an in-process engine, not %r"
                     % (self.engine,)
                 )
             if strategy is Strategy.DATALOG:
@@ -358,15 +380,21 @@ class QueryAnswerer:
                 return AnswerReport(
                     strategy, answer, time.perf_counter() - start, details
                 )
-        report = self._answer_uncached(
-            query,
-            strategy,
-            cover,
-            max_disjuncts,
-            start,
-            budget_factory,
-            budget_fallbacks,
-        )
+        try:
+            report = self._answer_uncached(
+                query,
+                strategy,
+                cover,
+                max_disjuncts,
+                start,
+                budget_factory,
+                budget_fallbacks,
+            )
+        except BudgetExceeded as exc:
+            partial = self._partial_report(strategy, exc, start, allow_partial)
+            if partial is None:
+                raise
+            return partial  # degraded answers are never cached
         if self.cache is not None:
             reformulation_hit = report.details.pop("_reformulation_cache", None)
             self.cache.store_answer(answer_key, (report.answer, dict(report.details)))
@@ -382,6 +410,41 @@ class QueryAnswerer:
         else:
             report.details.pop("_reformulation_cache", None)
         return report
+
+    def _partial_report(
+        self,
+        strategy: Strategy,
+        exc: BudgetExceeded,
+        start: float,
+        allow_partial: bool,
+    ) -> Optional[AnswerReport]:
+        """Build the degraded :class:`AnswerReport` for a budget
+        overrun, or None when the caller did not opt in (or the engine
+        produced no partial rows — the materialized interpreter aborts
+        whole operators, so only the pipelined engine carries them)."""
+        if not allow_partial:
+            return None
+        partial_answer = getattr(exc, "partial_answer", None)
+        if partial_answer is None:
+            return None
+        completeness = CompletenessReport(["local"])
+        entry = completeness["local"]
+        entry.note_status(DEGRADED)
+        entry.note_error(exc)
+        entry.rows = len(partial_answer)
+        entry.elapsed_seconds = time.perf_counter() - start
+        completeness.elapsed_seconds = entry.elapsed_seconds
+        details = {
+            "partial": True,
+            "budget_exceeded": exc.diagnostics(),
+            "completeness": completeness.as_dict(),
+        }
+        return AnswerReport(
+            strategy,
+            frozenset(partial_answer),
+            time.perf_counter() - start,
+            details,
+        )
 
     def _fallback_evaluate(
         self,

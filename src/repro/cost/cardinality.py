@@ -23,14 +23,9 @@ from __future__ import annotations
 from typing import Dict
 
 from ..query.algebra import Variable
-from ..storage.plan import (
-    DistinctNode,
-    EmptyNode,
+from ..engine.ir import (
     JoinNode,
-    PlanNode,
-    ProjectNode,
     ScanNode,
-    UnionNode,
 )
 from ..storage.statistics import StoreStatistics
 

@@ -12,7 +12,7 @@ Constants are arbitrary hashable Python values (the RDF encoding uses
 
 from __future__ import annotations
 
-from typing import Dict, Hashable, List, Optional, Sequence, Set, Tuple, Union
+from typing import Dict, Hashable, List, Sequence, Set, Tuple, Union
 
 
 class DVar:

@@ -19,12 +19,12 @@ drives subquery costs — see DESIGN.md's substitution table):
 from __future__ import annotations
 
 import random
-from typing import Dict, List, Optional
+from typing import Dict
 
 from ..query.algebra import ConjunctiveQuery, TriplePattern, Variable
 from ..rdf.graph import Graph
 from ..rdf.namespaces import Namespace, RDF_TYPE
-from ..rdf.terms import Literal, URI
+from ..rdf.terms import Literal
 from ..rdf.triples import Triple
 from ..schema.constraints import Constraint
 from ..schema.schema import Schema

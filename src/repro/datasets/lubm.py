@@ -33,7 +33,7 @@ depend on.
 from __future__ import annotations
 
 import random
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import List, Optional, Tuple
 
 from ..rdf.graph import Graph
 from ..rdf.namespaces import Namespace, RDF_TYPE

@@ -36,7 +36,6 @@ from ..rdf.graph import Graph
 from ..rdf.triples import Triple
 from ..schema.constraints import Constraint
 from ..schema.schema import Schema
-from ..storage.store import TripleStore
 from .checkpoint import build_snapshot, encode_checkpoint
 from .io import FileSystem
 from .ops import (

@@ -21,7 +21,7 @@ from __future__ import annotations
 
 import struct
 import zlib
-from typing import Iterable, List, Optional, Tuple
+from typing import Iterable, List, Optional
 
 from .io import FileSystem
 

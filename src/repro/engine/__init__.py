@@ -1,0 +1,60 @@
+"""The execution engine: plan IR, pipelined executor, SQL lowering.
+
+One backend-neutral operator algebra (:mod:`repro.engine.ir`) shared
+by the planner, the cost model, EXPLAIN and every executor; a
+pipelined batch executor (:mod:`repro.engine.pipeline`) with
+per-operator metrics and mid-pipeline budget enforcement; and an
+IR→SQL lowering (:mod:`repro.engine.lowering`) for real RDBMSs.
+"""
+
+from .ir import (
+    ColumnLabel,
+    DistinctNode,
+    EmptyNode,
+    JoinNode,
+    NonLiteralFilterNode,
+    PlanNode,
+    PositionSpec,
+    ProjectNode,
+    ProjectionSpec,
+    RelationNode,
+    ScanNode,
+    UnionNode,
+)
+from .lowering import LoweringError, lower
+from .metrics import OperatorMetrics, PipelineMetrics
+from .pipeline import (
+    DEFAULT_BATCH_SIZE,
+    RelationContext,
+    StoreContext,
+    iter_scan_rows,
+    join_relations,
+    run_on_store,
+    run_plan,
+)
+
+__all__ = [
+    "ColumnLabel",
+    "DEFAULT_BATCH_SIZE",
+    "DistinctNode",
+    "EmptyNode",
+    "JoinNode",
+    "LoweringError",
+    "NonLiteralFilterNode",
+    "OperatorMetrics",
+    "PipelineMetrics",
+    "PlanNode",
+    "PositionSpec",
+    "ProjectNode",
+    "ProjectionSpec",
+    "RelationContext",
+    "RelationNode",
+    "ScanNode",
+    "StoreContext",
+    "UnionNode",
+    "iter_scan_rows",
+    "join_relations",
+    "lower",
+    "run_on_store",
+    "run_plan",
+]

@@ -54,8 +54,8 @@ from ..query.algebra import (
     UnionQuery,
     Variable,
 )
-from ..query.evaluation import _join_relations  # shared join kernel
-from ..rdf.terms import Literal, Term
+from ..engine.pipeline import join_relations  # the engine's shared join kernel
+from ..rdf.terms import Term
 from ..reformulation.engine import reformulate
 from ..reformulation.policy import COMPLETE, ReformulationPolicy
 from ..resilience.breaker import CircuitBreaker
@@ -408,7 +408,7 @@ class FederatedAnswerer:
             if schema_columns is None:
                 schema_columns, rows = exposed, atom_rows
             else:
-                schema_columns, rows = _join_relations(
+                schema_columns, rows = join_relations(
                     schema_columns, rows, exposed, atom_rows, budget=budget
                 )
             if not rows and not atom.is_ground():

@@ -18,7 +18,7 @@ show why Sat cannot work here while Ref can.
 
 from __future__ import annotations
 
-from typing import FrozenSet, List, Optional, Tuple
+from typing import FrozenSet, Optional, Tuple
 
 from ..query.algebra import ConjunctiveQuery, UnionQuery
 from ..rdf.graph import Graph

@@ -18,16 +18,16 @@ the optimizer).
 from __future__ import annotations
 
 import math
-from typing import Dict, FrozenSet, List, Optional, Tuple
+from typing import Dict, FrozenSet, List, Optional
 
-from ..cost.model import annotate_node, annotate_plan
+from ..cost.model import annotate_node
 from ..query.algebra import ConjunctiveQuery, Variable
-from ..query.cover import Cover, Fragment
+from ..query.cover import Cover
 from ..reformulation.engine import reformulate, ucq_size
 from ..reformulation.policy import COMPLETE, ReformulationPolicy
 from ..schema.schema import Schema
 from ..storage.backends import BackendProfile, HASH_BACKEND
-from ..storage.plan import DistinctNode, JoinNode, PlanNode, ProjectNode, UnionNode
+from ..engine.ir import DistinctNode, JoinNode, PlanNode, ProjectNode
 from ..storage.planner import Planner
 from ..storage.store import TripleStore
 

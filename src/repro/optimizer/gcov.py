@@ -28,7 +28,7 @@ from ..reformulation.policy import COMPLETE, ReformulationPolicy
 from ..schema.schema import Schema
 from ..storage.backends import BackendProfile, HASH_BACKEND
 from ..storage.store import TripleStore
-from .estimator import INFINITE_COST, CoverCostEstimator
+from .estimator import CoverCostEstimator
 
 
 class GCovResult:

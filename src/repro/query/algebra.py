@@ -22,7 +22,7 @@ their non-distinguished variables.
 from __future__ import annotations
 
 import itertools
-from typing import Dict, FrozenSet, Iterable, Iterator, List, Optional, Sequence, Set, Tuple, Union
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple, Union
 
 from ..rdf.namespaces import RDF_TYPE, shorten
 from ..rdf.terms import Literal, Term, URI

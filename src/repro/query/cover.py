@@ -15,7 +15,6 @@ The cover of Example 1 with the shortest evaluation time,
 
 from __future__ import annotations
 
-import itertools
 from typing import FrozenSet, Iterator, List, Sequence, Set, Tuple
 
 from .algebra import ConjunctiveQuery, TriplePattern, Variable

@@ -26,7 +26,6 @@ from .algebra import (
     TriplePattern,
     UnionQuery,
     Variable,
-    is_variable,
 )
 
 #: An answer is a set of rows; a row is a tuple of terms.
@@ -138,92 +137,42 @@ def evaluate_cq(graph: Graph, query: ConjunctiveQuery, budget=None) -> Answer:
     return frozenset(rows)
 
 
-def evaluate_ucq(graph: Graph, query: UnionQuery) -> Answer:
-    """Evaluate a UCQ: the union of its disjuncts' answers."""
+def evaluate_ucq(graph: Graph, query: UnionQuery, budget=None) -> Answer:
+    """Evaluate a UCQ: the union of its disjuncts' answers.
+
+    ``budget`` is threaded into each disjunct's evaluation (probed
+    mid-backtracking, charged per disjunct answer), so a UCQ respects
+    row/time budgets exactly as its component CQs do.
+    """
     rows: Set[Row] = set()
     for disjunct in query.disjuncts:
-        rows.update(evaluate_cq(graph, disjunct))
+        rows.update(evaluate_cq(graph, disjunct, budget=budget))
     return frozenset(rows)
-
-
-def _join_relations(
-    left_schema: Tuple[HeadTerm, ...],
-    left_rows: Set[Row],
-    right_schema: Tuple[HeadTerm, ...],
-    right_rows: Set[Row],
-    budget=None,
-) -> Tuple[Tuple[HeadTerm, ...], Set[Row]]:
-    """Hash-join two relations on their shared variables.
-
-    A relation's schema is its fragment head: variables name columns
-    (repeats allowed), constants are payload columns.  The join output
-    schema is the left schema followed by the right columns whose
-    variables are not already present on the left.
-
-    ``budget`` (an :class:`~repro.resilience.budget.ExecutionBudget`)
-    bounds the output: the join probes the budget mid-loop every
-    ``CHECK_INTERVAL`` produced rows — a Cartesian blowup raises
-    :class:`~repro.resilience.errors.BudgetExceeded` instead of
-    materialising — and charges the final output size on completion.
-    """
-    left_positions: Dict[Variable, int] = {}
-    for index, item in enumerate(left_schema):
-        if isinstance(item, Variable) and item not in left_positions:
-            left_positions[item] = index
-
-    join_pairs: List[Tuple[int, int]] = []  # (left index, right index)
-    keep_right: List[int] = []
-    for index, item in enumerate(right_schema):
-        if isinstance(item, Variable) and item in left_positions:
-            join_pairs.append((left_positions[item], index))
-        else:
-            keep_right.append(index)
-
-    output_schema = tuple(left_schema) + tuple(right_schema[i] for i in keep_right)
-
-    # Build on the smaller side for form; correctness is symmetric.
-    table: Dict[Tuple[Term, ...], List[Row]] = {}
-    for row in left_rows:
-        key = tuple(row[li] for li, _ in join_pairs)
-        table.setdefault(key, []).append(row)
-
-    output: Set[Row] = set()
-    if budget is not None:
-        from ..resilience.budget import CHECK_INTERVAL
-
-        probe_at = CHECK_INTERVAL
-    for row in right_rows:
-        key = tuple(row[ri] for _, ri in join_pairs)
-        for match in table.get(key, ()):
-            output.add(match + tuple(row[i] for i in keep_right))
-            if budget is not None and len(output) >= probe_at:
-                budget.probe_rows(len(output), operator="hash join")
-                budget.check_time(operator="hash join")
-                probe_at = len(output) + CHECK_INTERVAL
-    if budget is not None:
-        budget.charge_rows(len(output), operator="hash join")
-    return output_schema, output
 
 
 def evaluate_jucq(graph: Graph, query: JoinOfUnions, budget=None) -> Answer:
     """Evaluate a JUCQ: fragment UCQs joined on shared variables, then
-    projected on the query head.  ``budget`` bounds the evaluation (see
-    :func:`_join_relations`); fragment answers are charged as they
-    materialise."""
+    projected on the query head.
+
+    ``budget`` bounds the whole evaluation: it is threaded into each
+    fragment's UCQ evaluation (which charges the fragment rows as they
+    materialize) and meters the join outputs — the joins run through
+    the engine's shared kernel
+    (:func:`repro.engine.pipeline.join_relations`), whose pipelined
+    hash join charges per batch, so a Cartesian blowup raises
+    :class:`~repro.resilience.errors.BudgetExceeded` before
+    materializing.
+    """
+    from ..engine.pipeline import join_relations
+
     schema: Optional[Tuple[HeadTerm, ...]] = None
     rows: Set[Row] = set()
-    for index, (fragment_head, union) in enumerate(
-        zip(query.fragment_heads, query.fragments)
-    ):
-        fragment_rows = set(evaluate_ucq(graph, union))
-        if budget is not None:
-            budget.charge_rows(
-                len(fragment_rows), operator="fragment %d union" % index
-            )
+    for fragment_head, union in zip(query.fragment_heads, query.fragments):
+        fragment_rows = set(evaluate_ucq(graph, union, budget=budget))
         if schema is None:
             schema, rows = tuple(fragment_head), fragment_rows
         else:
-            schema, rows = _join_relations(
+            schema, rows = join_relations(
                 schema, rows, tuple(fragment_head), fragment_rows, budget=budget
             )
         if not rows:
@@ -246,12 +195,16 @@ def evaluate_jucq(graph: Graph, query: JoinOfUnions, budget=None) -> Answer:
     return frozenset(projected)
 
 
-def evaluate(graph: Graph, query) -> Answer:
-    """Evaluate any of the three query forms against *graph*."""
+def evaluate(graph: Graph, query, budget=None) -> Answer:
+    """Evaluate any of the three query forms against *graph*.
+
+    ``budget`` (an :class:`~repro.resilience.budget.ExecutionBudget`)
+    is honored uniformly across all three forms.
+    """
     if isinstance(query, ConjunctiveQuery):
-        return evaluate_cq(graph, query)
+        return evaluate_cq(graph, query, budget=budget)
     if isinstance(query, UnionQuery):
-        return evaluate_ucq(graph, query)
+        return evaluate_ucq(graph, query, budget=budget)
     if isinstance(query, JoinOfUnions):
-        return evaluate_jucq(graph, query)
+        return evaluate_jucq(graph, query, budget=budget)
     raise TypeError("cannot evaluate %r" % (query,))

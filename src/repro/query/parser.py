@@ -25,7 +25,7 @@ import re
 from typing import Dict, List, Sequence
 
 from ..rdf.namespaces import RDF_NS, RDFS_NS, XSD_NS
-from ..rdf.terms import Literal, URI
+from ..rdf.terms import URI
 from .algebra import ConjunctiveQuery, PatternTerm, TriplePattern, Variable
 
 

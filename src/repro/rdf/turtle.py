@@ -20,12 +20,12 @@ from __future__ import annotations
 import io
 import re
 from collections import defaultdict
-from typing import Dict, IO, Iterable, List, Optional, Tuple, Union
+from typing import Dict, IO, Iterable, List, Optional, Union
 
 from .graph import Graph
 from .io import ParseError, parse_term
 from .namespaces import RDF_TYPE, WELL_KNOWN_PREFIXES
-from .terms import BlankNode, Literal, Term, URI
+from .terms import Literal, Term, URI
 from .triples import Triple
 
 _TOKEN_RE = re.compile(

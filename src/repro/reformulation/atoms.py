@@ -29,11 +29,10 @@ component is kept closed at all times.
 
 from __future__ import annotations
 
-from typing import Dict, List, NamedTuple, Optional, Tuple
+from typing import List, NamedTuple, Tuple
 
 from ..rdf.namespaces import RDF_TYPE, SCHEMA_PROPERTIES
 from ..rdf.terms import Term
-from ..rdf.triples import Triple
 from ..schema.schema import Schema
 from ..query.algebra import (
     PatternTerm,

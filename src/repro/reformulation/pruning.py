@@ -26,17 +26,16 @@ variables (or non-literal constants) of the pruned one.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence, Set
+from typing import Dict, List, Optional, Set
 
 from ..query.algebra import (
     ConjunctiveQuery,
     PatternTerm,
-    Substitution,
-    TriplePattern,
+    TriplePattern,  # noqa: F401  (used by the minimize() doctest)
     UnionQuery,
     Variable,
 )
-from ..rdf.terms import Literal, Term
+from ..rdf.terms import Literal
 
 #: A homomorphism: source variables → target pattern terms.
 Homomorphism = Dict[Variable, PatternTerm]

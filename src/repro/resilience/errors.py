@@ -97,10 +97,23 @@ class BudgetExceeded(RuntimeError):
         self.time_budget = time_budget
         #: The operator being evaluated when the budget tripped.
         self.operator = operator
+        #: Partial-execution snapshot attached by the executor: the
+        #: per-node cardinalities of completed subtrees and, for
+        #: pipelined runs, the operator metrics — a budget abort
+        #: reports how far evaluation got, it does not erase it.
+        self.partial: Optional[dict] = None
+        #: Answer rows produced before the abort (pipelined runs only;
+        #: every collected row is a genuine answer row, the set is just
+        #: incomplete).  Encoded in whatever the execution context's
+        #: row currency is.
+        self.partial_rows: Optional[list] = None
+        #: ``partial_rows`` decoded to terms, when the executor had the
+        #: dictionary at hand.
+        self.partial_answer = None
 
     def diagnostics(self) -> dict:
         """The structured payload, for reports and CLI rendering."""
-        return {
+        payload = {
             "kind": self.kind,
             "rows_produced": self.rows_produced,
             "row_budget": self.row_budget,
@@ -108,3 +121,8 @@ class BudgetExceeded(RuntimeError):
             "time_budget": self.time_budget,
             "operator": self.operator,
         }
+        if self.partial is not None:
+            payload["partial"] = self.partial
+        if self.partial_rows is not None:
+            payload["partial_row_count"] = len(self.partial_rows)
+        return payload

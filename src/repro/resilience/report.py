@@ -12,7 +12,7 @@ cached as complete).
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional
+from typing import Dict, Iterable, List
 
 #: Per-endpoint terminal statuses, ordered by severity.
 OK = "ok"

@@ -15,7 +15,7 @@ derives is explainable (tested against saturation on random graphs).
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence, Set, Tuple
+from typing import Optional, Sequence, Set
 
 from ..rdf.graph import Graph
 from ..rdf.namespaces import RDF_TYPE

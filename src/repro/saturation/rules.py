@@ -54,7 +54,6 @@ from ..rdf.namespaces import (
     RDFS_RANGE,
     RDFS_SUBCLASSOF,
     RDFS_SUBPROPERTYOF,
-    SCHEMA_PROPERTIES,
 )
 from ..rdf.terms import BlankNode, URI
 from ..rdf.triples import Triple

@@ -18,12 +18,13 @@ from .plan import (
     NonLiteralFilterNode,
     PlanNode,
     ProjectNode,
+    RelationNode,
     ScanNode,
     UnionNode,
 )
 from .store import TripleStore
 from .planner import Planner, query_atom_total
-from .executor import ExecutionResult, Executor, execute_plan
+from .executor import ENGINES, ExecutionResult, Executor, execute_plan
 from .explain import explain, plan_summary
 from .sql import SQLITE_COMPOUND_SELECT_LIMIT, SqlGenerationError, SqliteBackend, jucq_to_sql, ucq_to_sql
 from .statistics import PropertyStatistics, StoreStatistics
@@ -34,6 +35,7 @@ __all__ = [
     "DEFAULT_BACKENDS",
     "Dictionary",
     "DistinctNode",
+    "ENGINES",
     "EmptyNode",
     "ExecutionResult",
     "Executor",
@@ -46,6 +48,7 @@ __all__ = [
     "Planner",
     "ProjectNode",
     "PropertyStatistics",
+    "RelationNode",
     "SQLITE_COMPOUND_SELECT_LIMIT",
     "SqlGenerationError",
     "SqliteBackend",

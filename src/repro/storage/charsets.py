@@ -24,7 +24,7 @@ from __future__ import annotations
 from collections import defaultdict
 from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Tuple
 
-from ..query.algebra import ConjunctiveQuery, TriplePattern, Variable
+from ..query.algebra import ConjunctiveQuery, Variable
 from .store import TripleStore
 
 

@@ -1,11 +1,17 @@
-"""Plan execution.
+"""Plan execution (the materialized engine, plus the engine switch).
 
-Interprets the plan trees of :mod:`repro.storage.plan` against a
+Interprets the plan trees of :mod:`repro.engine.ir` against a
 :class:`~repro.storage.store.TripleStore`, materializing each operator
 (the paper's Example 1 discussion is about *intermediate result sizes*
 — 33 million rows for the open type atoms vs 2,296 after grouping — so
 the executor records the actual cardinality of every node, letting
 experiments compare the estimates with reality).
+
+:class:`Executor` is the façade over both physical engines: the
+materialized interpreter below, and the pipelined batch executor of
+:mod:`repro.engine.pipeline` (``engine="pipelined"``), which runs the
+same plans in bounded memory with per-operator metrics.  Either way
+the result is an :class:`ExecutionResult` with the same API.
 """
 
 from __future__ import annotations
@@ -13,7 +19,8 @@ from __future__ import annotations
 import time
 from typing import Dict, FrozenSet, List, Optional, Tuple
 
-from ..query.algebra import Variable
+from ..engine.metrics import PipelineMetrics
+from ..engine.pipeline import iter_scan_rows, run_on_store
 from ..rdf.terms import Term
 from .backends import BackendProfile, HASH_BACKEND
 from .plan import (
@@ -23,6 +30,7 @@ from .plan import (
     NonLiteralFilterNode,
     PlanNode,
     ProjectNode,
+    RelationNode,
     ScanNode,
     UnionNode,
 )
@@ -30,6 +38,9 @@ from .planner import PlannableQuery, Planner
 from .store import TripleStore
 
 Row = Tuple[int, ...]
+
+#: The physical engines :class:`Executor` can run a plan on.
+ENGINES = ("materialized", "pipelined")
 
 
 class ExecutionResult:
@@ -41,11 +52,16 @@ class ExecutionResult:
         rows: List[Row],
         store: TripleStore,
         elapsed_seconds: float,
+        metrics: Optional[PipelineMetrics] = None,
+        engine: str = "materialized",
     ):
         self.plan = plan
         self._rows = rows
         self._store = store
         self.elapsed_seconds = elapsed_seconds
+        #: Per-operator pipeline metrics (pipelined runs only).
+        self.metrics = metrics
+        self.engine = engine
         self._answer: Optional[FrozenSet[Tuple[Term, ...]]] = None
 
     @property
@@ -69,6 +85,19 @@ class ExecutionResult:
             (node.actual_rows or 0) for node in self.plan.walk()
         )
 
+    @property
+    def peak_buffered_rows(self) -> int:
+        """The engine's memory high-water mark in rows.
+
+        For a pipelined run, the global peak of concurrently buffered
+        operator state (from the metrics); for a materialized run the
+        best available proxy is the largest operator output, which the
+        interpreter held in full by construction.
+        """
+        if self.metrics is not None:
+            return self.metrics.peak_buffered_rows
+        return self.max_intermediate_rows()
+
     def node_cardinalities(self) -> List[Tuple[str, float, Optional[int]]]:
         """(operator, estimated rows, actual rows) per node, preorder —
         the demo's step-3 inspection panel."""
@@ -79,44 +108,9 @@ class ExecutionResult:
 
 
 def _execute_scan(node: ScanNode, store: TripleStore) -> List[Row]:
-    subject_id, property_id, object_id = node.bound_positions()
-    matches: List[Tuple[int, int, int]] = []
-    if property_id is None:
-        for triple in store.scan_all():
-            if subject_id is not None and triple[0] != subject_id:
-                continue
-            if object_id is not None and triple[2] != object_id:
-                continue
-            matches.append(triple)
-    elif subject_id is not None and object_id is not None:
-        if store.contains((subject_id, property_id, object_id)):
-            matches.append((subject_id, property_id, object_id))
-    elif subject_id is not None:
-        for value in store.scan_property_subject(property_id, subject_id):
-            matches.append((subject_id, property_id, value))
-    elif object_id is not None:
-        for value in store.scan_property_object(property_id, object_id):
-            matches.append((value, property_id, object_id))
-    else:
-        for subject, object_ in store.scan_property(property_id):
-            matches.append((subject, property_id, object_))
-
-    rows: List[Row] = []
-    for triple in matches:
-        binding: Dict[Variable, int] = {}
-        consistent = True
-        for (kind, value), term_id in zip(node.positions, triple):
-            if kind != "var":
-                continue
-            bound = binding.get(value)
-            if bound is None:
-                binding[value] = term_id
-            elif bound != term_id:
-                consistent = False
-                break
-        if consistent:
-            rows.append(tuple(binding[label] for label in node.columns))
-    return rows
+    # One scan implementation for both engines: the pipeline pulls
+    # iter_scan_rows lazily, the materialized interpreter drains it.
+    return list(iter_scan_rows(node, store))
 
 
 def _join_rows(
@@ -227,6 +221,8 @@ def execute_plan(node: PlanNode, store: TripleStore, budget=None) -> List[Row]:
     """
     if isinstance(node, EmptyNode):
         rows: List[Row] = []
+    elif isinstance(node, RelationNode):
+        rows = list(node.rows)
     elif isinstance(node, ScanNode):
         rows = _execute_scan(node, store)
     elif isinstance(node, JoinNode):
@@ -271,8 +267,13 @@ def execute_plan(node: PlanNode, store: TripleStore, budget=None) -> List[Row]:
         raise TypeError("cannot execute %r" % (node,))
     node.actual_rows = len(rows)
     if budget is not None:
-        budget.charge_rows(len(rows), operator=type(node).__name__)
-        budget.check_time(operator=type(node).__name__)
+        if isinstance(node, RelationNode) and node.charged:
+            # The caller paid for these rows when it materialized them;
+            # a row must be charged exactly once.
+            budget.check_time(operator=type(node).__name__)
+        else:
+            budget.charge_rows(len(rows), operator=type(node).__name__)
+            budget.check_time(operator=type(node).__name__)
     return rows
 
 
@@ -283,24 +284,76 @@ class Executor:
     >>> # Executor(store).run(query).answer()
     """
 
-    def __init__(self, store: TripleStore, backend: BackendProfile = HASH_BACKEND):
+    def __init__(
+        self,
+        store: TripleStore,
+        backend: BackendProfile = HASH_BACKEND,
+        engine: str = "materialized",
+    ):
+        if engine not in ENGINES:
+            raise ValueError(
+                "unknown engine %r (choose from %s)" % (engine, ENGINES)
+            )
         self.store = store
         self.backend = backend
+        self.engine = engine
         self.planner = Planner(store, backend)
 
-    def run(self, query: PlannableQuery, budget=None) -> ExecutionResult:
-        """Plan and execute *query*; raises
-        :class:`~repro.storage.backends.QueryTooLargeError` when the
-        query exceeds the backend's parse limit, and
+    def run(
+        self,
+        query: PlannableQuery,
+        budget=None,
+        engine: Optional[str] = None,
+    ) -> ExecutionResult:
+        """Plan and execute *query* on the chosen physical engine.
+
+        Raises :class:`~repro.storage.backends.QueryTooLargeError` when
+        the query exceeds the backend's parse limit, and
         :class:`~repro.resilience.errors.BudgetExceeded` when a
-        ``budget`` is given and the evaluation outgrows it."""
+        ``budget`` is given and the evaluation outgrows it — with the
+        partial per-node cardinalities (and, pipelined, the operator
+        metrics and partial answer) attached to the raised error."""
+        engine = engine or self.engine
+        if engine not in ENGINES:
+            raise ValueError(
+                "unknown engine %r (choose from %s)" % (engine, ENGINES)
+            )
         start = time.perf_counter()
         plan = self.planner.plan(query)
-        if budget is not None:
-            budget.start()
-        rows = execute_plan(plan, self.store, budget)
+        try:
+            if engine == "pipelined":
+                rows, metrics = run_on_store(plan, self.store, budget=budget)
+            else:
+                metrics = None
+                if budget is not None:
+                    budget.start()
+                rows = execute_plan(plan, self.store, budget)
+        except Exception as exc:
+            self._attach_partial(exc, plan, engine)
+            raise
         elapsed = time.perf_counter() - start
-        return ExecutionResult(plan, rows, self.store, elapsed)
+        return ExecutionResult(
+            plan, rows, self.store, elapsed, metrics=metrics, engine=engine
+        )
+
+    def _attach_partial(self, exc, plan: PlanNode, engine: str) -> None:
+        """Satellite of a budget abort: the error carries how far the
+        plan got (completed-subtree cardinalities, pipeline metrics,
+        decoded partial answer) instead of erasing the evidence."""
+        if not hasattr(exc, "diagnostics"):
+            return
+        partial = getattr(exc, "partial", None) or {}
+        partial.setdefault("engine", engine)
+        partial["node_cardinalities"] = [
+            (repr(node), node.estimated_rows, node.actual_rows)
+            for node in plan.walk()
+        ]
+        exc.partial = partial
+        partial_rows = getattr(exc, "partial_rows", None)
+        if partial_rows is not None:
+            exc.partial_answer = frozenset(
+                self.store.decode_row(row) for row in partial_rows
+            )
 
     def estimated_cost(self, query: PlannableQuery) -> float:
         """The cost model's price for *query*, without executing it."""

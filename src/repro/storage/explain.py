@@ -14,7 +14,7 @@ from typing import List, Optional
 
 from ..rdf.namespaces import shorten
 from ..rdf.terms import URI
-from .plan import (
+from ..engine.ir import (
     DistinctNode,
     EmptyNode,
     JoinNode,

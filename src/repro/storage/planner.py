@@ -18,7 +18,7 @@ the paper's engines, without first paying plan construction.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence, Tuple, Union
+from typing import List, Optional, Sequence, Union
 
 from ..cost.model import annotate_plan
 from ..query.algebra import (
@@ -29,7 +29,6 @@ from ..query.algebra import (
     UnionQuery,
     Variable,
 )
-from ..rdf.terms import Term
 from .backends import BackendProfile, HASH_BACKEND
 from .plan import (
     ColumnLabel,
@@ -62,11 +61,23 @@ def query_atom_total(query: PlannableQuery) -> int:
 
 
 class Planner:
-    """Builds annotated physical plans for one store + backend pair."""
+    """Builds annotated physical plans for one store + backend pair.
 
-    def __init__(self, store: TripleStore, backend: BackendProfile = HASH_BACKEND):
+    With ``annotate=False`` the planner skips cost annotation and
+    produces purely syntactic plans (scans in atom order, since every
+    estimate ties at zero and the greedy order is stable) — the cheap
+    mode the SQL lowering uses, where the target RDBMS replans anyway.
+    """
+
+    def __init__(
+        self,
+        store: TripleStore,
+        backend: BackendProfile = HASH_BACKEND,
+        annotate: bool = True,
+    ):
         self.store = store
         self.backend = backend
+        self.annotate = annotate
 
     # ------------------------------------------------------------------
     # Entry point
@@ -85,6 +96,8 @@ class Planner:
         return self._annotate(node)
 
     def _annotate(self, node: PlanNode) -> PlanNode:
+        if not self.annotate:
+            return node
         return annotate_plan(
             node, self.store.statistics, self.backend, self.store.type_property_id
         )

@@ -23,17 +23,17 @@ reformulation was by the paper's engines (experiment E12).
 from __future__ import annotations
 
 import sqlite3
-from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple, Union
+from typing import FrozenSet, List, Tuple
 
+from ..engine.ir import EmptyNode
+from ..engine.lowering import fragment_column_map, fragment_leaves, lower
 from ..query.algebra import (
     ConjunctiveQuery,
-    HeadTerm,
     JoinOfUnions,
-    TriplePattern,
     UnionQuery,
-    Variable,
 )
 from ..rdf.terms import Literal, Term
+from .planner import Planner
 from .store import TripleStore
 
 #: SQLite's default SQLITE_MAX_COMPOUND_SELECT.
@@ -44,127 +44,47 @@ class SqlGenerationError(ValueError):
     """The query cannot be translated (e.g. constant not in store)."""
 
 
+def _lowering_planner(store: TripleStore) -> Planner:
+    """A syntactic planner for SQL generation: no cost annotation (the
+    target RDBMS replans anyway) and no simulated parse limit — the
+    real engine's parser is the limit here."""
+    from .backends import BackendProfile
+
+    profile = BackendProfile("sql-lowering", max_query_atoms=10**9)
+    return Planner(store, profile, annotate=False)
+
+
 def _cq_to_sql(
     query: ConjunctiveQuery, store: TripleStore
 ) -> Tuple[str, List[int]]:
     """One SELECT over self-joins of ``t``; returns (sql, parameters).
 
-    Raises :class:`SqlGenerationError` when a constant is absent from
-    the dictionary (the CQ matches nothing; callers may skip it).
+    Compiled through the plan IR and lowered
+    (:mod:`repro.engine.lowering`).  Raises
+    :class:`SqlGenerationError` when a constant is absent from the
+    dictionary (the CQ matches nothing; callers may skip it).
     """
-    column_of: Dict[Variable, str] = {}
-    conditions: List[str] = []
-    parameters: List[int] = []
-    for index, atom in enumerate(query.atoms):
-        alias = "t%d" % index
-        for column, term in zip(("s", "p", "o"), atom.as_tuple()):
-            reference = "%s.%s" % (alias, column)
-            if isinstance(term, Variable):
-                bound = column_of.get(term)
-                if bound is None:
-                    column_of[term] = reference
-                else:
-                    conditions.append("%s = %s" % (reference, bound))
-            else:
-                term_id = store.term_id(term)
-                if term_id is None:
-                    raise SqlGenerationError(
-                        "constant %r not in the store" % (term,)
-                    )
-                conditions.append("%s = ?" % reference)
-                parameters.append(term_id)
-
-    for variable in sorted(query.nonliteral_variables, key=lambda v: v.name):
-        conditions.append(
-            "%s NOT IN (SELECT id FROM dict WHERE kind = 'literal')"
-            % column_of[variable]
+    plan = _lowering_planner(store).plan(query)
+    if isinstance(plan, EmptyNode):
+        raise SqlGenerationError(
+            "a constant of %r is not in the store" % (query,)
         )
-
-    select_items: List[str] = []
-    for position, item in enumerate(query.head):
-        if isinstance(item, Variable):
-            select_items.append("%s AS c%d" % (column_of[item], position))
-        else:
-            term_id = store.dictionary.encode(item)
-            select_items.append("%d AS c%d" % (term_id, position))
-    if not select_items:
-        select_items.append("1 AS c0")  # boolean query: any witness row
-
-    from_clause = ", ".join(
-        "t AS t%d" % index for index in range(len(query.atoms))
-    )
-    sql = "SELECT DISTINCT %s FROM %s" % (", ".join(select_items), from_clause)
-    if conditions:
-        sql += " WHERE " + " AND ".join(conditions)
-    return sql, parameters
+    return lower(plan)
 
 
 def ucq_to_sql(
     union: UnionQuery, store: TripleStore
 ) -> Tuple[str, List[int]]:
     """The UNION of the disjunct SELECTs (disjuncts whose constants are
-    absent from the store are dropped — they are empty anyway)."""
-    selects: List[str] = []
-    parameters: List[int] = []
-    for disjunct in union.disjuncts:
-        try:
-            sql, params = _cq_to_sql(disjunct, store)
-        except SqlGenerationError:
-            continue
-        selects.append(sql)
-        parameters.extend(params)
-    if not selects:
-        # Uniform empty result with the right arity.
-        arity = max(union.arity, 1)
-        columns = ", ".join("NULL AS c%d" % i for i in range(arity))
-        return "SELECT %s WHERE 0" % columns, []
-    return " UNION ".join(selects), parameters
+    absent from the store lower to empty plans and are dropped)."""
+    return lower(_lowering_planner(store).plan(union))
 
 
 def jucq_to_sql(
     jucq: JoinOfUnions, store: TripleStore
 ) -> Tuple[str, List[int]]:
     """Fragment UCQs as CTEs, joined on shared variables, projected."""
-    ctes: List[str] = []
-    parameters: List[int] = []
-    column_of: Dict[Variable, str] = {}
-    join_conditions: List[str] = []
-    for index, (fragment_head, union) in enumerate(
-        zip(jucq.fragment_heads, jucq.fragments)
-    ):
-        sql, params = ucq_to_sql(union, store)
-        name = "f%d" % index
-        ctes.append("%s AS (%s)" % (name, sql))
-        parameters.extend(params)
-        for position, item in enumerate(fragment_head):
-            if not isinstance(item, Variable):
-                continue
-            reference = "%s.c%d" % (name, position)
-            bound = column_of.get(item)
-            if bound is None:
-                column_of[item] = reference
-            else:
-                join_conditions.append("%s = %s" % (reference, bound))
-
-    select_items: List[str] = []
-    for position, item in enumerate(jucq.head):
-        if isinstance(item, Variable):
-            select_items.append("%s AS c%d" % (column_of[item], position))
-        else:
-            select_items.append(
-                "%d AS c%d" % (store.dictionary.encode(item), position)
-            )
-    if not select_items:
-        select_items.append("1 AS c0")
-
-    sql = "WITH %s SELECT DISTINCT %s FROM %s" % (
-        ", ".join(ctes),
-        ", ".join(select_items),
-        ", ".join("f%d" % index for index in range(len(jucq.fragments))),
-    )
-    if join_conditions:
-        sql += " WHERE " + " AND ".join(join_conditions)
-    return sql, parameters
+    return lower(_lowering_planner(store).plan(jucq))
 
 
 class SqliteBackend:
@@ -257,55 +177,53 @@ class SqliteBackend:
     def _run_jucq_materialized(self, jucq: JoinOfUnions) -> List[Tuple[int, ...]]:
         """Fragment-by-fragment materialization with join-column
         indexes (the paper's JUCQ execution strategy), then one join.
+
+        Works on the compiled plan IR: the JUCQ plan is a distinct over
+        a projection over a join chain whose leaves are the fragment
+        union plans — each leaf is lowered to SQL and materialized into
+        an indexed temp table, then the outer projection runs as one
+        join statement.
         """
+        plan = _lowering_planner(self.store).plan(jucq)
+        project = plan.child  # DistinctNode(ProjectNode(...))
+        fragments = fragment_leaves(project.child)
         self._refresh_dictionary()
         cursor = self.connection.cursor()
-        column_of: Dict[Variable, str] = {}
-        join_conditions: List[str] = []
         table_names: List[str] = []
         try:
-            for index, (fragment_head, union) in enumerate(
-                zip(jucq.fragment_heads, jucq.fragments)
-            ):
-                sql, parameters = ucq_to_sql(union, self.store)
-                self._refresh_dictionary()
+            for index, fragment in enumerate(fragments):
+                sql, parameters = lower(fragment)
                 name = "frag%d" % index
                 table_names.append(name)
                 cursor.execute(
                     "CREATE TEMP TABLE %s AS %s" % (name, sql), parameters
                 )
-                for position, item in enumerate(fragment_head):
-                    if not isinstance(item, Variable):
-                        continue
-                    reference = "%s.c%d" % (name, position)
-                    bound = column_of.get(item)
-                    if bound is None:
-                        column_of[item] = reference
-                    else:
-                        join_conditions.append("%s = %s" % (reference, bound))
-                        cursor.execute(
-                            "CREATE INDEX idx_%s_c%d ON %s (c%d)"
-                            % (name, position, name, position)
-                        )
+            column_of, joins = fragment_column_map(
+                fragments, lambda i: "frag%d" % i
+            )
+            for name, position, _condition in joins:
+                cursor.execute(
+                    "CREATE INDEX idx_%s_c%d ON %s (c%d)"
+                    % (name, position, name, position)
+                )
 
             select_items: List[str] = []
-            for position, item in enumerate(jucq.head):
-                if isinstance(item, Variable):
+            for position, (kind, value) in enumerate(project.specs):
+                if kind == "var":
                     select_items.append(
-                        "%s AS c%d" % (column_of[item], position)
+                        "%s AS c%d" % (column_of[value], position)
                     )
                 else:
-                    term_id = self.store.dictionary.encode(item)
-                    self._refresh_dictionary()
-                    select_items.append("%d AS c%d" % (term_id, position))
+                    select_items.append("%d AS c%d" % (value, position))
             if not select_items:
                 select_items.append("1 AS c0")
             sql = "SELECT DISTINCT %s FROM %s" % (
                 ", ".join(select_items),
                 ", ".join(table_names),
             )
-            if join_conditions:
-                sql += " WHERE " + " AND ".join(join_conditions)
+            conditions = [condition for _, _, condition in joins]
+            if conditions:
+                sql += " WHERE " + " AND ".join(conditions)
             return cursor.execute(sql).fetchall()
         finally:
             for name in table_names:

@@ -8,7 +8,6 @@ from repro.datasets import (
     books_example_query,
     books_graph,
     books_schema,
-    example1_query,
     generate_lubm,
     lubm_schema,
 )

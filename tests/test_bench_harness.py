@@ -11,7 +11,7 @@ from repro.bench import (
     run_strategy,
     timed,
 )
-from repro.datasets import books_dataset, example1_query, generate_lubm
+from repro.datasets import example1_query, generate_lubm
 
 
 class TestFormatTable:

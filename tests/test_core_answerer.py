@@ -9,9 +9,9 @@ from repro.datasets import (
     example1_query,
     generate_lubm,
 )
-from repro.query import ConjunctiveQuery, Cover, TriplePattern, Variable
+from repro.query import Cover
 from repro.rdf import Literal, Namespace
-from repro.storage import BackendProfile, QueryTooLargeError
+from repro.storage import QueryTooLargeError
 
 EX = Namespace("http://example.org/")
 

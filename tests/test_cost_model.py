@@ -9,7 +9,6 @@ from repro.storage import (
     Executor,
     HASH_BACKEND,
     LOOP_BACKEND,
-    MERGE_BACKEND,
     Planner,
     ScanNode,
     TripleStore,

@@ -1,12 +1,10 @@
 """Unit tests for the dataset generators and workloads."""
 
-import pytest
 
 from repro.datasets import (
     UB,
     GeneratorConfig,
     bib_queries,
-    bib_schema,
     books_dataset,
     example1_best_cover,
     example1_query,
@@ -14,15 +12,12 @@ from repro.datasets import (
     generate_geo,
     generate_lubm,
     geo_queries,
-    geo_schema,
     lubm_queries,
     lubm_schema,
     query_list,
     university_uri,
 )
-from repro.rdf import RDF_TYPE
 from repro.saturation import saturate
-from repro.schema import Schema
 
 
 class TestBooks:

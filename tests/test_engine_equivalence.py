@@ -1,0 +1,340 @@
+"""Differential harness: pipelined vs materialized engine.
+
+Both physical engines interpret the same plan IR
+(:mod:`repro.engine.ir`), so their contract is testable head-to-head:
+
+* identical answers for every strategy on the books example and a
+  LUBM micro workload (and on the reference evaluator's answers);
+* on the Example-1-style SCQ blowup, the pipelined engine's memory
+  high-water mark (``peak_buffered_rows``) stays strictly below the
+  materialized interpreter's largest operator output;
+* a row budget aborts the pipelined run mid-stream — before the
+  blowup materializes — and the error carries the partial metrics
+  and decoded partial answer that the degraded-answer path
+  (``allow_partial``) turns into a ``CompletenessReport``.
+"""
+
+import pytest
+
+from repro import BudgetExceeded, ExecutionBudget, QueryAnswerer, Strategy
+from repro.cache import QueryCache
+from repro.datasets import lubm_queries
+from repro.query import (
+    ConjunctiveQuery,
+    Cover,
+    TriplePattern,
+    UnionQuery,
+    Variable,
+    evaluate,
+    evaluate_cq,
+)
+from repro.rdf import Graph, Namespace, RDF_TYPE, Triple
+from repro.reformulation import ReformulationTooLarge
+from repro.schema import Constraint, Schema
+from repro.storage import (
+    LOOP_BACKEND,
+    MERGE_BACKEND,
+    QueryTooLargeError,
+    TripleStore,
+)
+from repro.storage.executor import Executor
+
+EX = Namespace("http://example.org/")
+x, y, z, w = Variable("x"), Variable("y"), Variable("z"), Variable("w")
+
+STRATEGIES = [
+    Strategy.SAT,
+    Strategy.REF_UCQ,
+    Strategy.REF_SCQ,
+    Strategy.REF_JUCQ,
+    Strategy.REF_GCOV,
+]
+STRATEGY_IDS = [strategy.value for strategy in STRATEGIES]
+
+SUBCLASSES = 20
+PER_CLASS = 50
+
+
+def _cover_for(strategy, query):
+    return Cover.per_atom(query) if strategy is Strategy.REF_JUCQ else None
+
+
+@pytest.fixture(scope="module")
+def blowup():
+    """Example 1 in miniature: a wide type hierarchy (1000 typed
+    instances) joined with a single selective ``p`` edge, so the SCQ's
+    type fragment materializes a 1000-row union for a one-row answer."""
+    schema = Schema(
+        [
+            Constraint.subclass(EX.term("C%d" % i), EX.C0)
+            for i in range(1, SUBCLASSES + 1)
+        ]
+    )
+    graph = Graph()
+    for class_index in range(1, SUBCLASSES + 1):
+        for instance in range(PER_CLASS):
+            graph.add(
+                Triple(
+                    EX.term("i%d_%d" % (class_index, instance)),
+                    RDF_TYPE,
+                    EX.term("C%d" % class_index),
+                )
+            )
+    graph.add(Triple(EX.i1_0, EX.p, EX.o0))
+    query = ConjunctiveQuery(
+        [x, y], [TriplePattern(x, RDF_TYPE, EX.C0), TriplePattern(x, EX.p, y)]
+    )
+    return graph, schema, query
+
+
+@pytest.fixture(scope="module")
+def lubm_pair():
+    from repro.datasets import generate_lubm
+
+    graph = generate_lubm(universities=1, seed=3)
+    return (
+        QueryAnswerer(graph, engine="materialized"),
+        QueryAnswerer(graph, engine="pipelined"),
+    )
+
+
+class TestBooksDifferential:
+    @pytest.mark.parametrize("strategy", STRATEGIES, ids=STRATEGY_IDS)
+    def test_same_answers(self, books, books_saturated, strategy):
+        graph, schema, query = books
+        materialized = QueryAnswerer(graph, schema, engine="materialized")
+        pipelined = QueryAnswerer(graph, schema, engine="pipelined")
+        cover = _cover_for(strategy, query)
+        rm = materialized.answer(query, strategy, cover=cover)
+        rp = pipelined.answer(query, strategy, cover=cover)
+        assert rp.answer == rm.answer, strategy
+        # Both agree with the reference evaluator over the saturation.
+        assert rp.answer == evaluate_cq(books_saturated, query)
+        # Engine identity travels on the result, with metrics only on
+        # the pipelined side.
+        assert rm.execution.engine == "materialized"
+        assert rm.execution.metrics is None
+        assert rp.execution.engine == "pipelined"
+        assert rp.execution.metrics is not None
+        assert rp.execution.metrics.total_rows_out() > 0
+
+    def test_builtin_is_materialized_alias(self, books):
+        graph, schema, query = books
+        answerer = QueryAnswerer(graph, schema, engine="builtin")
+        report = answerer.answer(query, Strategy.REF_UCQ)
+        assert report.execution.engine == "materialized"
+
+
+class TestLubmDifferential:
+    @pytest.mark.parametrize("name", ["Q1", "Q5", "Q9", "Q13"])
+    @pytest.mark.parametrize("strategy", STRATEGIES, ids=STRATEGY_IDS)
+    def test_same_answers(self, lubm_pair, name, strategy):
+        materialized, pipelined = lubm_pair
+        query = lubm_queries()[name]
+        cover = _cover_for(strategy, query)
+        try:
+            rm = materialized.answer(query, strategy, cover=cover)
+        except (QueryTooLargeError, ReformulationTooLarge) as exc:
+            # Size refusals happen at reformulation/planning time, so
+            # they must be engine-independent.
+            with pytest.raises(type(exc)):
+                pipelined.answer(query, strategy, cover=cover)
+            return
+        rp = pipelined.answer(query, strategy, cover=cover)
+        assert rp.answer == rm.answer, (name, strategy)
+
+
+class TestScqBlowup:
+    ROW_BUDGET = 1500  # between the merged cover's cost and the SCQ's
+
+    def test_pipelined_peak_strictly_lower(self, blowup):
+        graph, schema, query = blowup
+        materialized = QueryAnswerer(graph, schema, engine="materialized")
+        pipelined = QueryAnswerer(graph, schema, engine="pipelined")
+        rm = materialized.answer(query, Strategy.REF_SCQ)
+        rp = pipelined.answer(query, Strategy.REF_SCQ)
+        assert rp.answer == rm.answer == frozenset({(EX.i1_0, EX.o0)})
+        # The materialized interpreter held the full type-fragment
+        # union; the pipeline streamed it through a hash probe and
+        # only ever buffered the small build side.
+        blowup_rows = rm.execution.max_intermediate_rows()
+        assert blowup_rows >= SUBCLASSES * PER_CLASS
+        assert rp.execution.peak_buffered_rows < blowup_rows
+
+    def test_row_budget_aborts_pipelined_mid_stream(self, blowup):
+        graph, schema, query = blowup
+        pipelined = QueryAnswerer(graph, schema, engine="pipelined")
+        with pytest.raises(BudgetExceeded) as info:
+            pipelined.answer(
+                query,
+                Strategy.REF_SCQ,
+                row_budget=self.ROW_BUDGET,
+                budget_fallbacks=0,
+            )
+        exc = info.value
+        assert exc.kind == "rows"
+        assert exc.partial is not None
+        assert exc.partial["engine"] == "pipelined"
+        # The abort happened while streaming: the pipeline never
+        # buffered anything near the 1000-row union the materialized
+        # interpreter would have built.
+        assert exc.partial["peak_buffered_rows"] < SUBCLASSES * PER_CLASS
+        assert exc.partial["operators"]  # per-operator metrics travel
+        assert any(
+            repr_ for repr_, _est, _act in exc.partial["node_cardinalities"]
+        )
+        # Decoded partial rows ride along for the degraded path.
+        assert exc.partial_answer is not None
+        assert exc.diagnostics()["partial_row_count"] == len(exc.partial_rows)
+
+    def test_materialized_abort_reports_cardinalities(self, blowup):
+        graph, schema, query = blowup
+        materialized = QueryAnswerer(graph, schema, engine="materialized")
+        with pytest.raises(BudgetExceeded) as info:
+            materialized.answer(
+                query,
+                Strategy.REF_SCQ,
+                row_budget=self.ROW_BUDGET,
+                budget_fallbacks=0,
+            )
+        exc = info.value
+        assert exc.partial is not None
+        assert exc.partial["engine"] == "materialized"
+        # Completed subtrees report their actual cardinality; the
+        # aborted ancestors stay None.
+        cardinalities = exc.partial["node_cardinalities"]
+        assert any(actual is not None for _r, _e, actual in cardinalities)
+        assert any(actual is None for _r, _e, actual in cardinalities)
+
+    def test_allow_partial_degrades_instead_of_raising(self, blowup):
+        graph, schema, query = blowup
+        pipelined = QueryAnswerer(graph, schema, engine="pipelined")
+        report = pipelined.answer(
+            query,
+            Strategy.REF_SCQ,
+            row_budget=self.ROW_BUDGET,
+            budget_fallbacks=0,
+            allow_partial=True,
+        )
+        assert report.details["partial"] is True
+        completeness = report.details["completeness"]
+        assert completeness["complete"] is False
+        assert completeness["endpoints"][0]["status"] == "degraded"
+        assert report.details["budget_exceeded"]["kind"] == "rows"
+        # Degraded answers are sound: a subset of the complete one.
+        complete = pipelined.answer(query, Strategy.REF_SCQ).answer
+        assert report.answer <= complete
+
+    def test_allow_partial_requires_partial_rows(self, blowup):
+        # The materialized interpreter aborts whole operators and has
+        # no partial rows to keep — allow_partial re-raises there.
+        graph, schema, query = blowup
+        materialized = QueryAnswerer(graph, schema, engine="materialized")
+        with pytest.raises(BudgetExceeded):
+            materialized.answer(
+                query,
+                Strategy.REF_SCQ,
+                row_budget=self.ROW_BUDGET,
+                budget_fallbacks=0,
+                allow_partial=True,
+            )
+
+    def test_partial_answers_never_cached(self, blowup):
+        graph, schema, query = blowup
+        cache = QueryCache()
+        pipelined = QueryAnswerer(
+            graph, schema, engine="pipelined", cache=cache
+        )
+        degraded = pipelined.answer(
+            query,
+            Strategy.REF_SCQ,
+            row_budget=self.ROW_BUDGET,
+            budget_fallbacks=0,
+            allow_partial=True,
+        )
+        assert degraded.details["partial"] is True
+        follow_up = pipelined.answer(query, Strategy.REF_SCQ)
+        assert follow_up.details["cache"]["answer"] == "miss"
+        assert follow_up.answer == frozenset({(EX.i1_0, EX.o0)})
+
+
+class TestExecutorEngines:
+    def _store(self):
+        graph = Graph(
+            [Triple(EX.term("s%d" % i), EX.p, EX.term("o%d" % i))
+             for i in range(30)]
+            + [Triple(EX.term("s%d" % i), EX.q, EX.term("t%d" % i))
+               for i in range(30)]
+        )
+        return TripleStore.from_graph(graph)
+
+    def test_engine_validation(self):
+        store = self._store()
+        with pytest.raises(ValueError):
+            Executor(store, engine="vectorized")
+        with pytest.raises(ValueError):
+            Executor(store).run(
+                ConjunctiveQuery([x, y], [TriplePattern(x, EX.p, y)]),
+                engine="vectorized",
+            )
+
+    @pytest.mark.parametrize("backend", [MERGE_BACKEND, LOOP_BACKEND],
+                             ids=["merge", "nested-loop"])
+    def test_join_algorithms_agree(self, backend):
+        # The merge and nested-loop pipeline operators buffer inputs;
+        # they still must match the materialized interpreter exactly.
+        store = self._store()
+        executor = Executor(store, backend)
+        query = ConjunctiveQuery(
+            [x, y, z],
+            [TriplePattern(x, EX.p, y), TriplePattern(x, EX.q, z)],
+        )
+        rm = executor.run(query, engine="materialized")
+        rp = executor.run(query, engine="pipelined")
+        assert rp.answer() == rm.answer()
+        assert rp.row_count == 30
+
+    def test_cross_product_agrees(self):
+        store = self._store()
+        executor = Executor(store, engine="pipelined")
+        query = ConjunctiveQuery(
+            [x, z], [TriplePattern(x, EX.p, y), TriplePattern(z, EX.q, w)]
+        )
+        assert (
+            executor.run(query).answer()
+            == executor.run(query, engine="materialized").answer()
+        )
+
+
+class TestReferenceEvaluatorBudgets:
+    """The satellite bugfix: budgets thread through evaluate_ucq (and
+    evaluate) instead of being silently dropped."""
+
+    def test_ucq_disjunct_blowup_refused(self):
+        graph = Graph(
+            [Triple(EX.term("a%d" % i), EX.p, EX.term("b%d" % i))
+             for i in range(30)]
+            + [Triple(EX.term("c%d" % i), EX.q, EX.term("d%d" % i))
+               for i in range(30)]
+        )
+        cross = ConjunctiveQuery(
+            [x, z], [TriplePattern(x, EX.p, y), TriplePattern(z, EX.q, w)]
+        )
+        union = UnionQuery([cross])
+        with pytest.raises(BudgetExceeded):
+            evaluate(graph, union, budget=ExecutionBudget(max_rows=100))
+        # With room the same evaluation completes (900 product rows).
+        answer = evaluate(graph, union, budget=ExecutionBudget(max_rows=10**6))
+        assert len(answer) == 900
+
+    def test_jucq_budget_threads_through_fragments(self, blowup):
+        from repro.reformulation.atoms import database_graph
+        from repro.reformulation.jucq import scq_reformulation
+
+        graph, schema, query = blowup
+        jucq = scq_reformulation(query, schema)
+        db = database_graph(graph, schema)
+        with pytest.raises(BudgetExceeded):
+            evaluate(db, jucq, budget=ExecutionBudget(max_rows=100))
+        roomy = evaluate(db, jucq, budget=ExecutionBudget(max_rows=10**7))
+        assert roomy == evaluate(db, jucq)

@@ -5,7 +5,7 @@ import pytest
 from hypothesis import HealthCheck, given, settings
 
 from repro import QueryAnswerer, Strategy
-from repro.datasets import books_dataset, generate_lubm, lubm_queries
+from repro.datasets import generate_lubm, lubm_queries
 from repro.query import Cover, evaluate
 from repro.reformulation import reformulate
 from repro.reformulation.atoms import database_graph

@@ -7,7 +7,7 @@ from repro.optimizer import CoverCostEstimator, beam_search, gcov
 from repro.query import ConjunctiveQuery, TriplePattern, Variable
 from repro.reformulation import reformulate
 from repro.rdf import Graph, Namespace, RDF_TYPE, Triple
-from repro.schema import Constraint, Schema
+from repro.schema import Constraint
 from repro.storage import Executor, TripleStore, explain, plan_summary
 
 EX = Namespace("http://example.org/")

@@ -30,7 +30,6 @@ from repro.durability import (
     encode_record,
 )
 from repro.durability.ops import (
-    OP_CONSTRAINT_ADD,
     OP_DELETE,
     OP_INSERT,
     decode_op,

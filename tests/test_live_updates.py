@@ -1,12 +1,11 @@
 """Tests for live updates through the whole stack: store deletion,
 saturator deltas, and the facade's insert/delete."""
 
-import pytest
 
 from repro import QueryAnswerer, Strategy
-from repro.datasets import books_dataset, generate_lubm, lubm_queries
-from repro.query import ConjunctiveQuery, TriplePattern, Variable
-from repro.rdf import Graph, Namespace, RDF_TYPE, Triple
+from repro.datasets import generate_lubm, lubm_queries
+from repro.query import Variable
+from repro.rdf import Namespace, RDF_TYPE, Triple
 from repro.saturation import IncrementalSaturator
 from repro.schema import Constraint, Schema
 from repro.storage import TripleStore

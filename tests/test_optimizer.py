@@ -1,6 +1,5 @@
 """Unit tests for the cover cost estimator, GCov and the exhaustive oracle."""
 
-import math
 
 import pytest
 

@@ -14,7 +14,6 @@ from __future__ import annotations
 
 import random as random_module
 
-import pytest
 from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 

@@ -1,10 +1,8 @@
 """Unit and property tests for derivation provenance."""
 
-import pytest
 from hypothesis import HealthCheck, given, settings
 
 from repro.rdf import (
-    BlankNode,
     Graph,
     Literal,
     Namespace,
@@ -13,7 +11,6 @@ from repro.rdf import (
 )
 from repro.saturation import saturate
 from repro.saturation.provenance import (
-    Derivation,
     explain_triple,
     format_derivation,
 )

@@ -1,11 +1,10 @@
 """Unit and property tests for CQ containment, minimization and UCQ
 subsumption pruning."""
 
-import pytest
 from hypothesis import HealthCheck, given, settings
 
 from repro.query import ConjunctiveQuery, TriplePattern, UnionQuery, Variable, evaluate
-from repro.rdf import Literal, Namespace, RDF_TYPE
+from repro.rdf import Namespace, RDF_TYPE
 from repro.reformulation import (
     find_homomorphism,
     is_contained,

@@ -12,7 +12,6 @@ from repro.rdf import (
     RDFS_SUBCLASSOF,
     RDFS_SUBPROPERTYOF,
     Triple,
-    URI,
 )
 
 EX = Namespace("http://example.org/")

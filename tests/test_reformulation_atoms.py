@@ -1,6 +1,5 @@
 """Unit tests for per-atom reformulation (the rules of [9])."""
 
-import pytest
 
 from repro.query import TriplePattern, Variable
 from repro.rdf import Namespace, RDF_TYPE, RDFS_SUBCLASSOF

@@ -2,7 +2,6 @@
 
 import os
 
-import pytest
 
 from repro.bench import EXPERIMENTS, experiment_index
 from repro.cli import main

@@ -5,7 +5,7 @@ sleeps anywhere."""
 
 import pytest
 
-from repro.federation import Endpoint, TruncatedResult, truncate_rows
+from repro.federation import Endpoint, truncate_rows
 from repro.query import ConjunctiveQuery, TriplePattern, Variable
 from repro.rdf import Graph, Namespace, Triple
 from repro.resilience import (
@@ -23,7 +23,6 @@ from repro.resilience import (
     TransientEndpointError,
 )
 from repro.resilience.breaker import CLOSED, HALF_OPEN, OPEN
-from repro.resilience.budget import CHECK_INTERVAL
 
 EX = Namespace("http://example.org/")
 x = Variable("x")

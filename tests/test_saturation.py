@@ -1,6 +1,5 @@
 """Unit tests for saturation: rules, fast/naive engines, fixpoint laws."""
 
-import pytest
 
 from repro.rdf import (
     BlankNode,

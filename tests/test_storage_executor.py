@@ -11,7 +11,6 @@ from repro.query import (
     ConjunctiveQuery,
     Cover,
     TriplePattern,
-    UnionQuery,
     Variable,
     evaluate,
 )

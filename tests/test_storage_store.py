@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.rdf import Graph, Literal, Namespace, RDF_TYPE, Triple, URI
+from repro.rdf import Graph, Literal, Namespace, RDF_TYPE, Triple
 from repro.schema import Constraint, Schema
 from repro.storage import Dictionary, TripleStore
 

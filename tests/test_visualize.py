@@ -1,6 +1,5 @@
 """Unit tests for query/cover visualization and the new CLI commands."""
 
-import pytest
 
 from repro.cli import main
 from repro.datasets import example1_best_cover, example1_query
