@@ -29,8 +29,10 @@ _SRC = os.path.abspath(
 if os.path.isdir(_SRC) and _SRC not in sys.path:
     sys.path.insert(0, _SRC)
 
+_REPO_ROOT = os.path.dirname(_SRC)
+
 from repro import QueryAnswerer, Strategy
-from repro.bench import format_table
+from repro.bench import format_table, write_json_report
 from repro.datasets import example1_best_cover, example1_query, generate_lubm
 from repro.optimizer import gcov
 from repro.query import Cover
@@ -174,12 +176,36 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     )
     parser.add_argument("--universities", type=int, default=2)
     parser.add_argument("--seed", type=int, default=1)
+    parser.add_argument(
+        "--output",
+        default=os.path.join(_REPO_ROOT, "BENCH_E16.json"),
+        help="where to write the JSON artifact",
+    )
     args = parser.parse_args(argv)
     universities = 1 if args.quick else args.universities
     graph = generate_lubm(universities=universities, seed=args.seed)
     print(emit_report(graph))
     query = example1_query()
     results = run_engine_comparison(graph, query, rounds=1)
+    payload = {
+        "experiment": "E16",
+        "claim": "the pipelined engine's buffered-rows high-water mark "
+                 "stays below the materialized interpreter's peak",
+        "universities": universities,
+        "seed": args.seed,
+        "covers": {
+            label: {
+                "materialized_seconds": rm.elapsed_seconds,
+                "pipelined_seconds": rp.elapsed_seconds,
+                "materialized_peak_rows": rm.execution.max_intermediate_rows(),
+                "pipelined_peak_rows": rp.execution.peak_buffered_rows,
+                "rows": rm.cardinality,
+            }
+            for label, rm, rp in results
+        },
+    }
+    written = write_json_report(args.output, payload)
+    print("\nwrote %s" % written)
     label, rm, rp = results[0]  # the per-atom (SCQ) cover
     materialized_peak = rm.execution.max_intermediate_rows()
     pipelined_peak = rp.execution.peak_buffered_rows

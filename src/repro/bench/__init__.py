@@ -2,7 +2,7 @@
 
 from .harness import StrategyOutcome, compare_strategies, run_strategy, timed
 from .registry import EXPERIMENTS, Experiment, experiment_index
-from .reporting import format_speedup, format_table
+from .reporting import format_speedup, format_table, write_json_report
 
 __all__ = [
     "EXPERIMENTS",
@@ -14,4 +14,5 @@ __all__ = [
     "format_table",
     "run_strategy",
     "timed",
+    "write_json_report",
 ]

@@ -248,6 +248,53 @@ def _quick_e16() -> str:
     )
 
 
+def _quick_e17() -> str:
+    import time
+
+    from ..datasets import generate_lubm, lubm_queries, lubm_schema
+    from ..federation import Endpoint, FederatedAnswerer
+    from ..rdf import Graph
+    from ..resilience import ChaosEndpoint, FaultPlan
+
+    graph = generate_lubm(universities=1, seed=1, include_schema=False)
+    query = lubm_queries()["Q2"]
+
+    def timed(parallelism: int):
+        shards = [Graph() for _ in range(4)]
+        for index, triple in enumerate(sorted(graph.data_triples())):
+            shards[index % 4].add(triple)
+        answerer = FederatedAnswerer(
+            [
+                ChaosEndpoint(
+                    Endpoint("shard%d" % index, shard),
+                    FaultPlan(
+                        seed=index, latency_rate=1.0, latency_seconds=0.02
+                    ),
+                )
+                for index, shard in enumerate(shards)
+            ],
+            lubm_schema(),
+            parallelism=parallelism,
+        )
+        start = time.perf_counter()
+        result = answerer.answer(query)
+        return time.perf_counter() - start, result
+
+    serial_seconds, serial = timed(1)
+    parallel_seconds, parallel = timed(4)
+    assert serial.rows == parallel.rows
+    return (
+        "Q2 over 4 endpoints at 20 ms injected latency: "
+        "serial %.0f ms, 4 workers %.0f ms (%.1fx), %d row(s) either way"
+        % (
+            serial_seconds * 1e3,
+            parallel_seconds * 1e3,
+            serial_seconds / parallel_seconds,
+            parallel.cardinality,
+        )
+    )
+
+
 EXPERIMENTS: List[Experiment] = [
     Experiment("E1", "Example 1's UCQ reformulation blow-up and parse failure",
                "benchmarks/bench_e1_reformulation_size.py", _quick_e1),
@@ -281,6 +328,8 @@ EXPERIMENTS: List[Experiment] = [
                "benchmarks/bench_e15_durability.py", _quick_e15),
     Experiment("E16", "Pipelined vs materialized engine: time and peak rows",
                "benchmarks/bench_e16_engine.py", _quick_e16),
+    Experiment("E17", "Intra-query parallelism: fragment/federation fan-out",
+               "benchmarks/bench_e17_parallel.py", _quick_e17),
     Experiment("A1", "Ablation: exact statistics vs textbook uniformity",
                "benchmarks/bench_a1_statistics_ablation.py"),
     Experiment("A2", "Ablation: UCQ subsumption pruning",

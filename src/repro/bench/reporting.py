@@ -1,12 +1,15 @@
-"""Plain-text tables for experiment output.
+"""Plain-text tables and JSON artifacts for experiment output.
 
 The benchmarks print the rows/series the paper's evaluation reports;
-this module renders them readably without any plotting dependency.
+this module renders them readably without any plotting dependency, and
+writes the machine-readable ``BENCH_*.json`` artifacts CI archives.
 """
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence
+import json
+import os
+from typing import Any, Dict, List, Optional, Sequence
 
 
 def format_table(
@@ -47,3 +50,20 @@ def format_speedup(slow_seconds: float, fast_seconds: float) -> str:
     if fast_seconds <= 0:
         return "inf"
     return "%.1fx" % (slow_seconds / fast_seconds)
+
+
+def write_json_report(path: str, payload: Dict[str, Any]) -> str:
+    """Write one experiment's machine-readable result artifact.
+
+    Stable formatting (sorted keys, indent 2, trailing newline) so two
+    runs producing equal payloads produce byte-identical files; returns
+    the absolute path written.
+    """
+    path = os.path.abspath(path)
+    parent = os.path.dirname(path)
+    if parent:
+        os.makedirs(parent, exist_ok=True)
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return path

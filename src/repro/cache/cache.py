@@ -36,7 +36,8 @@ whole reformulation tier at once.
 from __future__ import annotations
 
 import itertools
-from typing import Any, Dict, Hashable, Optional, Tuple
+import threading
+from typing import Any, Callable, Dict, Hashable, Optional, Tuple
 
 from ..rdf.triples import Triple
 from ..schema.schema import Schema
@@ -76,6 +77,10 @@ class QueryCache:
     ):
         self.reformulations = LRUCache(reformulation_capacity)
         self.answers = LRUCache(answer_capacity)
+        # Single-flight bookkeeping: key -> Event of the in-progress
+        # computation (see :meth:`get_or_compute`).
+        self._flights: Dict[Tuple[str, Tuple], threading.Event] = {}
+        self._flights_lock = threading.Lock()
         #: Bumped on every data mutation; embedded in answer keys.
         self.data_epoch = 0
         #: Bumped on every schema mutation; embedded in every key.
@@ -228,6 +233,53 @@ class QueryCache:
 
     def store_answer(self, key: Tuple, value: Any) -> None:
         self.answers.put(key, value)
+
+    # ------------------------------------------------------------------
+    # Single-flight computation
+
+    def get_or_compute(
+        self, tier: str, key: Tuple, compute: Callable[[], Any]
+    ) -> Tuple[Any, bool]:
+        """The cached value for *key*, computing (and storing) it at
+        most once across concurrent callers; returns ``(value, hit)``.
+
+        Without this, N pool workers missing on the same key would all
+        run *compute* — for a reformulation that can be the entire UCQ
+        blow-up, N times.  The first caller to miss becomes the
+        *leader*: it computes, stores, and wakes the others, who then
+        re-read the tier.  A leader that raises releases the flight
+        (nothing is cached), and each waiter falls back to its own
+        compute — correctness never depends on another thread's
+        success.
+
+        ``tier`` is ``"reformulation"`` or ``"answer"``.
+        """
+        store = {"reformulation": self.reformulations, "answer": self.answers}[tier]
+        flight_key = (tier, key)
+        while True:
+            value = store.get(key)
+            if value is not None:
+                return value, True
+            with self._flights_lock:
+                event = self._flights.get(flight_key)
+                if event is None:
+                    event = threading.Event()
+                    self._flights[flight_key] = event
+                    leader = True
+                else:
+                    leader = False
+            if leader:
+                try:
+                    value = compute()
+                    store.put(key, value)
+                    return value, False
+                finally:
+                    with self._flights_lock:
+                        self._flights.pop(flight_key, None)
+                    event.set()
+            event.wait()
+            # Re-read; on a leader failure (or an eviction racing the
+            # wake-up) loop around — one waiter becomes the new leader.
 
     # ------------------------------------------------------------------
     # Introspection

@@ -9,6 +9,7 @@ are cheap enough to attach to every answer report.
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 from typing import Any, Dict, Hashable, Optional
 
@@ -66,6 +67,10 @@ class LRUCache:
     False
     >>> cache.stats.evictions
     1
+
+    Thread-safe: a ``get`` *mutates* (``move_to_end`` refreshes
+    recency), so concurrent readers — pool workers sharing one cache —
+    would corrupt the order without the lock.
     """
 
     def __init__(self, capacity: int = 256):
@@ -74,13 +79,15 @@ class LRUCache:
         self.capacity = capacity
         self._entries: "OrderedDict[Hashable, Any]" = OrderedDict()
         self.stats = TierStats()
+        self._lock = threading.RLock()
 
     def __len__(self) -> int:
         return len(self._entries)
 
     def __contains__(self, key: Hashable) -> bool:
         """Membership probe; does not affect recency or counters."""
-        return key in self._entries
+        with self._lock:
+            return key in self._entries
 
     def get(self, key: Hashable) -> Optional[Any]:
         """The cached value, refreshed as most recent; None on a miss.
@@ -88,33 +95,37 @@ class LRUCache:
         (Values are never None by construction: every tier stores
         tuples or objects.)
         """
-        try:
-            value = self._entries[key]
-        except KeyError:
-            self.stats.misses += 1
-            return None
-        self._entries.move_to_end(key)
-        self.stats.hits += 1
-        return value
+        with self._lock:
+            try:
+                value = self._entries[key]
+            except KeyError:
+                self.stats.misses += 1
+                return None
+            self._entries.move_to_end(key)
+            self.stats.hits += 1
+            return value
 
     def put(self, key: Hashable, value: Any) -> None:
         """Insert or refresh ``key``; evict the LRU entry when full."""
-        if key in self._entries:
-            self._entries.move_to_end(key)
-        self._entries[key] = value
-        while len(self._entries) > self.capacity:
-            self._entries.popitem(last=False)
-            self.stats.evictions += 1
+        with self._lock:
+            if key in self._entries:
+                self._entries.move_to_end(key)
+            self._entries[key] = value
+            while len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
+                self.stats.evictions += 1
 
     def invalidate(self) -> int:
         """Drop every entry; returns how many were dropped."""
-        dropped = len(self._entries)
-        self._entries.clear()
-        self.stats.invalidations += dropped
-        return dropped
+        with self._lock:
+            dropped = len(self._entries)
+            self._entries.clear()
+            self.stats.invalidations += dropped
+            return dropped
 
     def keys(self):
-        return list(self._entries.keys())
+        with self._lock:
+            return list(self._entries.keys())
 
     def __repr__(self) -> str:
         return "LRUCache(<%d/%d entries>)" % (len(self._entries), self.capacity)

@@ -201,6 +201,10 @@ def cmd_answer(args) -> int:
         print("ref-jucq needs an explicit cover; use the `covers` "
               "subcommand, or ref-gcov for the cost-chosen cover")
         return EXIT_USAGE
+    if args.parallelism > 1 and args.engine == "sqlite":
+        print("--parallelism needs an in-process engine "
+              "(builtin/materialized/pipelined), not sqlite")
+        return EXIT_USAGE
     cache = _make_cache(args)
     answerer = QueryAnswerer(_build_graph(args), engine=args.engine, cache=cache)
     query = _resolve_query(args)
@@ -224,9 +228,16 @@ def cmd_answer(args) -> int:
             continue  # needs an explicit cover; use `covers`
         if budget_kwargs and strategy is Strategy.DATALOG:
             continue  # no relational evaluation, nothing to budget
+        # Datalog evaluates bottom-up, not relationally: nothing fans
+        # out, so it keeps the (valid) serial default.
+        parallelism = (
+            None if strategy is Strategy.DATALOG else args.parallelism
+        )
         try:
             reports = [
-                answerer.answer(query, strategy, **budget_kwargs)
+                answerer.answer(
+                    query, strategy, parallelism=parallelism, **budget_kwargs
+                )
                 for _ in range(repeat)
             ]
             report = reports[-1]
@@ -397,6 +408,7 @@ def cmd_federate(args) -> int:
         ),
         request_deadline=args.timeout,
         breaker_threshold=args.breaker_threshold,
+        parallelism=args.parallelism,
     )
     budget = (
         ExecutionBudget(max_rows=args.row_budget)
@@ -631,6 +643,10 @@ def build_parser() -> argparse.ArgumentParser:
     answer.add_argument("--row-budget", type=_positive_int, default=None,
                         help="cap on cumulative intermediate rows during "
                              "evaluation (in-process engines)")
+    answer.add_argument("--parallelism", type=_positive_int, default=1,
+                        help="worker threads for fragment/disjunct "
+                             "evaluation (1 = serial; in-process "
+                             "engines only)")
     answer.add_argument("--max-retries", type=_positive_int, default=3,
                         help="budget-exceeded fallback attempts: how many "
                              "next-best covers the optimizer may try "
@@ -655,6 +671,9 @@ def build_parser() -> argparse.ArgumentParser:
     federate.add_argument("--max-retries", type=_positive_int, default=2,
                           help="retry attempts after a transient endpoint "
                                "failure (default 2)")
+    federate.add_argument("--parallelism", type=_positive_int, default=1,
+                          help="worker threads for per-endpoint "
+                               "fan-out (1 = serial)")
     federate.add_argument("--row-budget", type=_positive_int, default=None,
                           help="cap on rows materialized by the client-side "
                                "joins")

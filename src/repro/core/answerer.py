@@ -27,6 +27,7 @@ from typing import Dict, FrozenSet, Optional, Tuple
 from ..cache import QueryCache, dataset_token
 from ..datalog.encoding import answer_query as datalog_answer
 from ..optimizer.gcov import gcov
+from ..parallel.pool import ExecutorPool, pool_for
 from ..query.algebra import ConjunctiveQuery
 from ..query.cover import Cover
 from ..rdf.graph import Graph
@@ -183,11 +184,13 @@ class QueryAnswerer:
             # data triples retire answers only.
             cache.watch_graph(self.graph)
 
-    def _evaluate(self, query, saturated: bool = False, budget=None):
+    def _evaluate(self, query, saturated: bool = False, budget=None, pool=None):
         """Run a relational query on the selected engine; returns
         (answer, execution-or-None).  ``budget`` (in-process engines
         only) bounds the evaluation's intermediate results — see
-        :class:`~repro.resilience.budget.ExecutionBudget`."""
+        :class:`~repro.resilience.budget.ExecutionBudget`.  ``pool``
+        fans fragment/disjunct subplans out to the shared worker pool
+        (in-process engines only; validated by :meth:`answer`)."""
         if self.engine == "sqlite":
             if budget is not None:
                 raise ValueError(
@@ -208,7 +211,9 @@ class QueryAnswerer:
             if saturated
             else self.executor
         )
-        execution = executor.run(query, budget=budget, engine=self._exec_engine)
+        execution = executor.run(
+            query, budget=budget, engine=self._exec_engine, pool=pool
+        )
         return execution.answer(), execution
 
     # ------------------------------------------------------------------
@@ -276,16 +281,13 @@ class QueryAnswerer:
     def _cached_reformulation(self, kind, query, policy, compute, extra=None):
         """Serve *compute*'s result from the cache's reformulation tier
         when possible; returns (value, hit) with hit None when no cache
-        is configured."""
+        is configured.  Goes through the cache's single-flight gate, so
+        concurrent misses on one key (answerers sharing a cache across
+        threads) run *compute* once, not once per thread."""
         if self.cache is None:
             return compute(), None
         key = self.cache.reformulation_key(kind, query, self.schema, policy, extra)
-        value = self.cache.lookup_reformulation(key)
-        if value is not None:
-            return value, True
-        value = compute()
-        self.cache.store_reformulation(key, value)
-        return value, False
+        return self.cache.get_or_compute("reformulation", key, compute)
 
     # ------------------------------------------------------------------
 
@@ -299,6 +301,7 @@ class QueryAnswerer:
         time_budget: Optional[float] = None,
         budget_fallbacks: int = 3,
         allow_partial: bool = False,
+        parallelism: Optional[int] = None,
     ) -> AnswerReport:
         """Answer *query* with *strategy*.
 
@@ -330,9 +333,34 @@ class QueryAnswerer:
         :class:`~repro.resilience.report.CompletenessReport` marking
         the local evaluation ``DEGRADED``.  Partial answers are never
         cached.
+
+        ``parallelism`` (in-process engines only) evaluates a JUCQ's
+        fragments — and a UCQ's disjunct unions — concurrently on the
+        process-wide worker pool; the answer is identical to the serial
+        run (``None``/``1`` keeps the exact serial code path).  Budgets
+        compose: all workers charge the same budget, so the row/time
+        allowance is global, and an overrun cancels the sibling tasks.
         """
         if strategy is Strategy.REF_JUCQ and cover is None:
             raise ValueError("REF_JUCQ requires a cover")
+        pool: Optional[ExecutorPool] = None
+        if parallelism is not None:
+            if parallelism < 1:
+                raise ValueError(
+                    "parallelism must be >= 1, got %r" % (parallelism,)
+                )
+            if parallelism > 1:
+                if self.engine == "sqlite":
+                    raise ValueError(
+                        "parallel evaluation requires an in-process engine, "
+                        "not %r" % (self.engine,)
+                    )
+                if strategy is Strategy.DATALOG:
+                    raise ValueError(
+                        "the DATALOG strategy does not support parallel "
+                        "evaluation"
+                    )
+            pool = pool_for(parallelism)
         budget_factory = None
         if row_budget is not None or time_budget is not None:
             if self.engine == "sqlite":
@@ -377,6 +405,7 @@ class QueryAnswerer:
                     "reformulation": None,
                     "stats": self.cache.stats(),
                 }
+                details["parallelism"] = parallelism if parallelism else 1
                 return AnswerReport(
                     strategy, answer, time.perf_counter() - start, details
                 )
@@ -389,6 +418,7 @@ class QueryAnswerer:
                 start,
                 budget_factory,
                 budget_fallbacks,
+                pool,
             )
         except BudgetExceeded as exc:
             partial = self._partial_report(strategy, exc, start, allow_partial)
@@ -409,6 +439,9 @@ class QueryAnswerer:
             }
         else:
             report.details.pop("_reformulation_cache", None)
+        # Recorded after the cache store: the answer is parallelism-
+        # independent, so the cached entry must not be either.
+        report.details["parallelism"] = parallelism if parallelism else 1
         return report
 
     def _partial_report(
@@ -454,6 +487,7 @@ class QueryAnswerer:
         fallbacks: int,
         details: Dict,
         exclude_repr: Optional[str],
+        pool: Optional[ExecutorPool] = None,
     ):
         """Evaluate *jucq* under a fresh budget; on
         :class:`~repro.resilience.errors.BudgetExceeded`, retry up to
@@ -463,7 +497,7 @@ class QueryAnswerer:
         overrun — with every attempt's cover recorded in *details* so
         the caller can see what was tried."""
         try:
-            return self._evaluate(jucq, budget=budget_factory())
+            return self._evaluate(jucq, budget=budget_factory(), pool=pool)
         except BudgetExceeded as primary:
             if fallbacks <= 0:
                 raise
@@ -484,7 +518,7 @@ class QueryAnswerer:
                 )
                 try:
                     answer, execution = self._evaluate(
-                        candidate_jucq, budget=budget_factory()
+                        candidate_jucq, budget=budget_factory(), pool=pool
                     )
                 except BudgetExceeded:
                     failed.append(shown)
@@ -508,13 +542,14 @@ class QueryAnswerer:
         start: float,
         budget_factory=None,
         budget_fallbacks: int = 0,
+        pool: Optional[ExecutorPool] = None,
     ) -> AnswerReport:
         def budget():
             return None if budget_factory is None else budget_factory()
 
         if strategy == Strategy.SAT:
             answer, execution = self._evaluate(
-                query, saturated=True, budget=budget()
+                query, saturated=True, budget=budget(), pool=pool
             )
             elapsed = time.perf_counter() - start
             return AnswerReport(
@@ -559,7 +594,7 @@ class QueryAnswerer:
                 ),
                 extra=max_disjuncts,
             )
-            answer, execution = self._evaluate(union, budget=budget())
+            answer, execution = self._evaluate(union, budget=budget(), pool=pool)
             return AnswerReport(
                 strategy,
                 answer,
@@ -585,7 +620,7 @@ class QueryAnswerer:
                 "_reformulation_cache": reformulation_hit,
             }
             if budget_factory is None:
-                answer, execution = self._evaluate(jucq)
+                answer, execution = self._evaluate(jucq, pool=pool)
             else:
                 # The SCQ *is* the per-atom cover's JUCQ: exclude it
                 # from the fallback ranking, it just failed.
@@ -596,6 +631,7 @@ class QueryAnswerer:
                     budget_fallbacks,
                     details,
                     repr(Cover.per_atom(query)),
+                    pool,
                 )
             return AnswerReport(
                 strategy,
@@ -623,7 +659,7 @@ class QueryAnswerer:
                 "_reformulation_cache": reformulation_hit,
             }
             if budget_factory is None:
-                answer, execution = self._evaluate(jucq)
+                answer, execution = self._evaluate(jucq, pool=pool)
             else:
                 answer, execution = self._fallback_evaluate(
                     jucq,
@@ -632,6 +668,7 @@ class QueryAnswerer:
                     budget_fallbacks,
                     details,
                     repr(cover),
+                    pool,
                 )
             return AnswerReport(
                 strategy,
@@ -669,7 +706,7 @@ class QueryAnswerer:
             details = dict(gcov_details)
             details["_reformulation_cache"] = reformulation_hit
             if budget_factory is None:
-                answer, execution = self._evaluate(jucq)
+                answer, execution = self._evaluate(jucq, pool=pool)
             else:
                 answer, execution = self._fallback_evaluate(
                     jucq,
@@ -678,6 +715,7 @@ class QueryAnswerer:
                     budget_fallbacks,
                     details,
                     details.get("cover"),
+                    pool,
                 )
             return AnswerReport(
                 strategy,

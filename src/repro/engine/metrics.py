@@ -23,6 +23,7 @@ In-flight batches are not counted as buffered: they are bounded by
 
 from __future__ import annotations
 
+import threading
 import time
 from typing import Dict, List, Optional
 
@@ -66,6 +67,12 @@ class PipelineMetrics:
     concurrently live operator buffers (plus the collected result),
     the number the differential harness compares against the
     materialized engine's largest operator output.
+
+    Thread-safe: a parallel union drives each child subtree from its
+    own pool worker, so entry creation and the shared buffered-row
+    totals are updated under a lock.  (A single entry's ``rows_in`` /
+    ``rows_out`` counters stay lock-free — each operator is driven by
+    exactly one thread.)
     """
 
     def __init__(self):
@@ -75,32 +82,36 @@ class PipelineMetrics:
         self.peak_buffered_rows = 0
         self.started_at: Optional[float] = None
         self.elapsed_seconds = 0.0
+        self._lock = threading.Lock()
 
     # ------------------------------------------------------------------
 
     def operator(self, node: PlanNode) -> OperatorMetrics:
         """The (lazily created) metrics entry for *node*."""
         key = id(node)
-        entry = self._per_node.get(key)
-        if entry is None:
-            entry = OperatorMetrics(repr(node))
-            self._per_node[key] = entry
-            self._order.append(entry)
-        return entry
+        with self._lock:
+            entry = self._per_node.get(key)
+            if entry is None:
+                entry = OperatorMetrics(repr(node))
+                self._per_node[key] = entry
+                self._order.append(entry)
+            return entry
 
     def buffer(self, entry: OperatorMetrics, rows: int) -> None:
         """Record *rows* newly held in *entry*'s operator state."""
-        entry.buffered_rows += rows
-        if entry.buffered_rows > entry.peak_buffered_rows:
-            entry.peak_buffered_rows = entry.buffered_rows
-        self._buffered_total += rows
-        if self._buffered_total > self.peak_buffered_rows:
-            self.peak_buffered_rows = self._buffered_total
+        with self._lock:
+            entry.buffered_rows += rows
+            if entry.buffered_rows > entry.peak_buffered_rows:
+                entry.peak_buffered_rows = entry.buffered_rows
+            self._buffered_total += rows
+            if self._buffered_total > self.peak_buffered_rows:
+                self.peak_buffered_rows = self._buffered_total
 
     def release(self, entry: OperatorMetrics) -> None:
         """An operator's state was dropped (stream closed/exhausted)."""
-        self._buffered_total -= entry.buffered_rows
-        entry.buffered_rows = 0
+        with self._lock:
+            self._buffered_total -= entry.buffered_rows
+            entry.buffered_rows = 0
 
     # ------------------------------------------------------------------
 

@@ -39,9 +39,12 @@ terms — the federation client's local joins).
 
 from __future__ import annotations
 
+import queue as queue_module
+import threading
 import time
 from typing import Iterable, Iterator, List, Optional, Sequence, Tuple
 
+from ..parallel.pool import ExecutorPool, primary_error
 from ..rdf.terms import Literal
 from .ir import (
     ColumnLabel,
@@ -150,14 +153,24 @@ class RelationContext:
 
 
 class _Pipeline:
-    """One pipelined execution: operators wired to shared accounting."""
+    """One pipelined execution: operators wired to shared accounting.
+
+    ``pool`` (optional) turns every multi-child union into a *parallel
+    union*: each child subtree is drained by its own pool worker (a
+    *parallel scan*) into a bounded queue the consumer merges batches
+    from.  Everything else — budget charging, metrics, answer
+    collection — is unchanged; the budget and metrics objects are
+    thread-safe, and answers are sets, so the merged order does not
+    affect the result.
+    """
 
     def __init__(self, ctx, metrics: PipelineMetrics, budget,
-                 batch_size: int):
+                 batch_size: int, pool: Optional[ExecutorPool] = None):
         self.ctx = ctx
         self.metrics = metrics
         self.budget = budget
         self.batch_size = batch_size
+        self.pool = pool
 
     # -- plumbing ------------------------------------------------------
 
@@ -242,8 +255,90 @@ class _Pipeline:
         # what keeps a union over thousands of UCQ disjuncts from
         # buffering its whole extent the way the materialized engine
         # must.
-        for child in node.children():
-            yield from self._pull(child, entry)
+        children = node.children()
+        if (
+            self.pool is not None
+            and len(children) > 1
+            and self.pool.usable()
+        ):
+            return self._parallel_union(children, entry)
+        def serial() -> Iterator[Batch]:
+            for child in children:
+                yield from self._pull(child, entry)
+        return serial()
+
+    # -- parallel union / parallel scan --------------------------------
+
+    def _parallel_scan(
+        self,
+        child: PlanNode,
+        out: "queue_module.Queue",
+        stop: threading.Event,
+    ) -> None:
+        """The producer half of a parallel union: drain one child
+        subtree on a pool worker, pushing its batches into the bounded
+        queue (backpressure: a fast child blocks rather than buffering
+        unboundedly).  Errors — including a shared-budget trip, whose
+        sibling producers abort on their own next charge — are relayed
+        to the consumer; the ``done`` marker is unconditional so the
+        consumer always knows when every producer has retired."""
+        try:
+            for batch in self.stream(child):
+                relayed = False
+                while not stop.is_set():
+                    try:
+                        out.put(("batch", batch), timeout=0.05)
+                        relayed = True
+                        break
+                    except queue_module.Full:
+                        continue
+                if not relayed:
+                    return
+        except BaseException as exc:  # relayed; the consumer re-raises
+            while not stop.is_set():
+                try:
+                    out.put(("error", exc), timeout=0.05)
+                    break
+                except queue_module.Full:
+                    continue
+        finally:
+            out.put(("done", None))
+
+    def _parallel_union(
+        self, children: Sequence[PlanNode], entry: OperatorMetrics
+    ) -> Iterator[Batch]:
+        """The consumer half: fan the union's children out as parallel
+        scans and merge their fixed-size batches as they arrive.  On
+        any child's error the stop flag cancels the siblings (their
+        pending puts abandon) and the primary error is re-raised once
+        every producer has retired."""
+        capacity = max(4, 2 * self.pool.workers)
+        out: "queue_module.Queue" = queue_module.Queue(maxsize=capacity)
+        stop = threading.Event()
+        for child in children:
+            self.pool.submit(self._parallel_scan, child, out, stop)
+        retired = 0
+        errors: List[BaseException] = []
+        try:
+            while retired < len(children):
+                kind, payload = out.get()
+                if kind == "done":
+                    retired += 1
+                elif kind == "error":
+                    errors.append(payload)
+                    stop.set()
+                elif not errors:
+                    entry.rows_in += len(payload)
+                    yield payload
+            if errors:
+                raise primary_error(errors)
+        finally:
+            stop.set()
+            # A closed consumer (downstream stopped pulling) must still
+            # unblock producers waiting on a full queue.
+            while retired < len(children):
+                if out.get()[0] == "done":
+                    retired += 1
 
     def _project(self, node: ProjectNode, entry: OperatorMetrics) -> Iterator[Batch]:
         positions = node.child.variable_positions()
@@ -436,6 +531,7 @@ def run_plan(
     budget=None,
     batch_size: int = DEFAULT_BATCH_SIZE,
     metrics: Optional[PipelineMetrics] = None,
+    pool: Optional[ExecutorPool] = None,
 ) -> Tuple[List[Row], PipelineMetrics]:
     """Execute *plan* through the pipeline; returns (rows, metrics).
 
@@ -446,10 +542,15 @@ def run_plan(
     snapshot and the rows collected so far are attached to the raised
     error (``partial`` / ``partial_rows``) — a budget abort reports
     how far the pipeline got, it does not erase it.
+
+    ``pool`` (optional) evaluates multi-child unions as parallel
+    scans merged through a bounded queue — the answer set is identical
+    (collection dedups; sets are order-free), only the wall time and
+    the interleaving change.
     """
     if metrics is None:
         metrics = PipelineMetrics()
-    pipeline = _Pipeline(ctx, metrics, budget, batch_size)
+    pipeline = _Pipeline(ctx, metrics, budget, batch_size, pool=pool)
     collect = OperatorMetrics("Collect")
     started = time.perf_counter()
     if budget is not None:
@@ -474,10 +575,11 @@ def run_plan(
 
 
 def run_on_store(plan, store, budget=None,
-                 batch_size: int = DEFAULT_BATCH_SIZE):
+                 batch_size: int = DEFAULT_BATCH_SIZE,
+                 pool: Optional[ExecutorPool] = None):
     """:func:`run_plan` against a triple store (int-encoded rows)."""
     return run_plan(plan, StoreContext(store), budget=budget,
-                    batch_size=batch_size)
+                    batch_size=batch_size, pool=pool)
 
 
 def join_relations(

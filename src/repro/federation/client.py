@@ -47,6 +47,7 @@ from __future__ import annotations
 from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
 
 from ..cache import QueryCache, dataset_token
+from ..parallel.pool import ExecutorPool, pool_for
 from ..query.algebra import (
     ConjunctiveQuery,
     HeadTerm,
@@ -136,6 +137,7 @@ class FederatedAnswerer:
         breaker_threshold: Optional[int] = None,
         breaker_cooldown: float = 30.0,
         clock: Optional[Clock] = None,
+        parallelism: int = 1,
     ):
         """``cache`` (opt-in) stores each endpoint's per-atom sub-answer
         in the cache's answer tier (and the atomic UCQs in its
@@ -156,6 +158,12 @@ class FederatedAnswerer:
         * ``clock`` — the time source backoffs, deadlines and cooldowns
           run on; inject a :class:`~repro.resilience.clock.FakeClock`
           for instant, deterministic tests.
+
+        ``parallelism`` fans each atom's per-endpoint fetches out to the
+        shared worker pool (endpoint latency overlaps instead of
+        summing); ``1`` keeps the serial loop.  Accounting, cache writes
+        and row merging stay serial in endpoint order, so the answer,
+        its report and the cache contents are identical either way.
         """
         if not endpoints:
             raise ValueError("a federation needs at least one endpoint")
@@ -171,6 +179,7 @@ class FederatedAnswerer:
         self.clock = clock if clock is not None else SYSTEM_CLOCK
         self.retry_policy = retry_policy
         self.request_deadline = request_deadline
+        self.pool: Optional[ExecutorPool] = pool_for(parallelism)
         #: One breaker per endpoint position, or None when disabled.
         self.breakers: Optional[List[CircuitBreaker]] = None
         if breaker_threshold is not None:
@@ -209,10 +218,11 @@ class FederatedAnswerer:
         key = self.cache.reformulation_key(
             "atom-ucq", single, self.schema, self.policy
         )
-        union = self.cache.lookup_reformulation(key)
-        if union is None:
-            union = reformulate(single, self.schema, self.policy)
-            self.cache.store_reformulation(key, union)
+        union, _ = self.cache.get_or_compute(
+            "reformulation",
+            key,
+            lambda: reformulate(single, self.schema, self.policy),
+        )
         return union
 
     def _schema_atom_rows(
@@ -303,7 +313,15 @@ class FederatedAnswerer:
         entries: Sequence[EndpointReport],
     ) -> Tuple[Set[Row], bool, int, int]:
         """Evaluate one atom's UCQ on every endpoint; union the rows.
-        Constraint atoms short-circuit to the client's schema."""
+        Constraint atoms short-circuit to the client's schema.
+
+        Three phases so the per-endpoint requests may overlap: a serial
+        cache-lookup pass (cache access stays single-threaded) collects
+        the endpoints that actually need a request; the guarded calls
+        then run on the worker pool (each call touches only its own
+        report entry and breaker); finally rows, truncation flags and
+        cache stores are merged serially in endpoint order — identical
+        accounting to the serial loop."""
         from ..rdf.namespaces import SCHEMA_PROPERTIES
 
         if atom.property in SCHEMA_PROPERTIES:
@@ -314,6 +332,8 @@ class FederatedAnswerer:
         truncated = False
         requests = 0
         transferred = 0
+        # -- phase 1: serial cache lookups; collect the misses ---------
+        pending: List[Tuple[int, Endpoint, EndpointReport, Optional[object], int]] = []
         for index, endpoint in enumerate(self.endpoints):
             entry = entries[index]
             key = None
@@ -337,8 +357,22 @@ class FederatedAnswerer:
                     continue  # no request made: the hit is the point
             if union is None:
                 union = self._atom_union(atom, head)
-            requests_before = entry.requests
-            result = self._call_endpoint(index, endpoint, union, entry)
+            pending.append((index, endpoint, entry, key, entry.requests))
+        # -- phase 2: the guarded endpoint calls, fanned out -----------
+        if self.pool is not None and self.pool.usable() and len(pending) > 1:
+            results = self.pool.map(
+                lambda item: self._call_endpoint(item[0], item[1], union, item[2]),
+                pending,
+            )
+        else:
+            results = [
+                self._call_endpoint(index, endpoint, union, entry)
+                for index, endpoint, entry, _key, _before in pending
+            ]
+        # -- phase 3: serial merge in endpoint order -------------------
+        for (index, endpoint, entry, key, requests_before), result in zip(
+            pending, results
+        ):
             requests += entry.requests - requests_before
             if result is None:
                 # Degraded or skipped: answer from the other sources;

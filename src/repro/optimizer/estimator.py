@@ -18,6 +18,7 @@ the optimizer).
 from __future__ import annotations
 
 import math
+import threading
 from typing import Dict, FrozenSet, List, Optional
 
 from ..cost.model import annotate_node
@@ -36,7 +37,13 @@ INFINITE_COST = math.inf
 
 
 class CoverCostEstimator:
-    """Prices covers of one query against one store + backend."""
+    """Prices covers of one query against one store + backend.
+
+    Safe to share between pool workers scoring different covers
+    concurrently: the fragment-plan cache is guarded by a lock (one
+    fragment is reformulated and planned exactly once either way), and
+    the head constants are dictionary-encoded up front so no worker
+    ever mutates the store's dictionary mid-search."""
 
     def __init__(
         self,
@@ -55,6 +62,17 @@ class CoverCostEstimator:
         self.fragment_limit = fragment_limit
         self._planner = Planner(store, backend)
         self._fragment_plans: Dict[FrozenSet[int], Optional[PlanNode]] = {}
+        self._lock = threading.RLock()
+        # Encoding assigns ids (a dictionary mutation): do it once,
+        # serially, so parallel cover scoring never touches it.
+        self._head_specs = []
+        for item in query.head:
+            if isinstance(item, Variable):
+                self._head_specs.append(("var", item))
+            else:
+                self._head_specs.append(
+                    ("const", store.dictionary.encode(item))
+                )
 
     # ------------------------------------------------------------------
 
@@ -71,17 +89,18 @@ class CoverCostEstimator:
         """The annotated full-head plan for a fragment, or None when
         its reformulation exceeds the limit.  Cached."""
         fragment = frozenset(fragment)
-        if fragment in self._fragment_plans:
-            return self._fragment_plans[fragment]
-        fragment_query = self._fragment_query(fragment)
-        size = ucq_size(fragment_query, self.schema, self.policy)
-        if size > self.fragment_limit:
-            self._fragment_plans[fragment] = None
-            return None
-        union = reformulate(fragment_query, self.schema, self.policy)
-        plan = self._planner.plan(union)
-        self._fragment_plans[fragment] = plan
-        return plan
+        with self._lock:
+            if fragment in self._fragment_plans:
+                return self._fragment_plans[fragment]
+            fragment_query = self._fragment_query(fragment)
+            size = ucq_size(fragment_query, self.schema, self.policy)
+            if size > self.fragment_limit:
+                self._fragment_plans[fragment] = None
+                return None
+            union = reformulate(fragment_query, self.schema, self.policy)
+            plan = self._planner.plan(union)
+            self._fragment_plans[fragment] = plan
+            return plan
 
     # ------------------------------------------------------------------
 
@@ -108,14 +127,7 @@ class CoverCostEstimator:
             pending.remove(best)
             current = self._annotate(JoinNode(current, best, self.backend.join_algorithm))
 
-        specs = []
-        positions = current.variable_positions()
-        for item in self.query.head:
-            if isinstance(item, Variable):
-                specs.append(("var", item))
-            else:
-                specs.append(("const", self.store.dictionary.encode(item)))
-        project = self._annotate(ProjectNode(current, specs))
+        project = self._annotate(ProjectNode(current, list(self._head_specs)))
         return self._annotate(DistinctNode(project))
 
     def _annotate(self, node: PlanNode) -> PlanNode:

@@ -1,0 +1,16 @@
+"""Intra-query parallelism: the shared worker pool and scheduler.
+
+See :mod:`repro.parallel.pool` for the concurrency contract every
+parallel code path in the repository follows.
+"""
+
+from .pool import ExecutorPool, pool_for, primary_error, shared_pool
+from .scheduler import TaskGraph
+
+__all__ = [
+    "ExecutorPool",
+    "TaskGraph",
+    "pool_for",
+    "primary_error",
+    "shared_pool",
+]

@@ -1,0 +1,89 @@
+"""A small deterministic task-graph scheduler over :class:`ExecutorPool`.
+
+Plan fan-out is rarely a flat list: the materialized engine evaluates
+a JUCQ's fragment subtrees concurrently *and then* runs a combine step
+that consumes all of them; saturation rounds chunk, merge, and chunk
+again.  :class:`TaskGraph` expresses that shape: named tasks with
+explicit dependencies, executed wave by wave — every task whose
+dependencies are complete runs concurrently on the pool, and each task
+receives the results of everything finished so far.
+
+Waves keep the scheduler deterministic: tasks are started in insertion
+order within a wave, results are keyed by name, and a serial pool
+degenerates to plain ordered execution.  A failure inside a wave
+cancels that wave's pending siblings (the pool's scatter semantics)
+and abandons all later waves.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List, Sequence, Set, Tuple
+
+from .pool import ExecutorPool
+
+#: A task body: receives the results of all completed tasks, keyed by
+#: task name (only the declared dependencies are guaranteed present).
+TaskFn = Callable[[Dict[str, Any]], Any]
+
+
+class TaskGraph:
+    """Named tasks with dependencies, run in topological waves.
+
+    >>> graph = TaskGraph()
+    >>> graph.add("a", lambda done: 2)
+    >>> graph.add("b", lambda done: 3)
+    >>> graph.add("sum", lambda done: done["a"] + done["b"], after=("a", "b"))
+    >>> graph.run(ExecutorPool(1))["sum"]
+    5
+    """
+
+    def __init__(self) -> None:
+        self._tasks: List[Tuple[str, TaskFn, Tuple[str, ...]]] = []
+        self._names: Set[str] = set()
+
+    def add(self, name: str, fn: TaskFn, after: Sequence[str] = ()) -> None:
+        """Register *fn* under *name*, runnable once every task in
+        *after* has completed."""
+        if name in self._names:
+            raise ValueError("duplicate task name %r" % (name,))
+        for dependency in after:
+            if dependency not in self._names:
+                raise ValueError(
+                    "task %r depends on unknown task %r" % (name, dependency)
+                )
+        self._names.add(name)
+        self._tasks.append((name, fn, tuple(after)))
+
+    def __len__(self) -> int:
+        return len(self._tasks)
+
+    def run(self, pool: ExecutorPool) -> Dict[str, Any]:
+        """Execute the graph on *pool*; returns ``{name: result}``.
+
+        The first failing task's error propagates (its wave's pending
+        siblings cancelled by the pool); later waves never start.
+        """
+        results: Dict[str, Any] = {}
+        remaining = list(self._tasks)
+        while remaining:
+            wave = [
+                (name, fn)
+                for name, fn, after in remaining
+                if all(dependency in results for dependency in after)
+            ]
+            if not wave:
+                raise ValueError(
+                    "dependency cycle among tasks %r"
+                    % sorted(name for name, _fn, _after in remaining)
+                )
+            snapshot = dict(results)
+            outputs = pool.scatter(
+                [lambda fn=fn: fn(snapshot) for _name, fn in wave]
+            )
+            for (name, _fn), output in zip(wave, outputs):
+                results[name] = output
+            started = {name for name, _fn in wave}
+            remaining = [
+                task for task in remaining if task[0] not in started
+            ]
+        return results

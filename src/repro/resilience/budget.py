@@ -12,10 +12,22 @@ A budget is single-use: it accumulates charges across one evaluation.
 Callers that retry (e.g. the cover-fallback path of
 :class:`~repro.core.answerer.QueryAnswerer`) construct a fresh budget
 per attempt.
+
+**Thread safety.**  One evaluation may fan fragments/disjuncts out to
+the worker pool (:mod:`repro.parallel`), every worker charging this
+same budget — the counters are therefore guarded by a lock, and the
+budget remembers the first overrun as its *trip*: once any worker
+raises :class:`~repro.resilience.errors.BudgetExceeded`, every sibling
+worker's next charge/probe/check raises immediately (a copy marked
+``sibling_abort=True``), which is what cancels in-flight sibling tasks
+mid-stream.  The shared total is exactly the serial semantics: N
+workers charging one budget can never jointly exceed what one thread
+could.
 """
 
 from __future__ import annotations
 
+import threading
 from typing import Optional
 
 from .clock import Clock, SYSTEM_CLOCK
@@ -35,6 +47,8 @@ class ExecutionBudget:
     ... except BudgetExceeded as exc:
     ...     (exc.kind, exc.rows_produced, exc.operator)
     ('rows', 16, 'Join')
+    >>> budget.tripped
+    True
     """
 
     def __init__(
@@ -52,13 +66,38 @@ class ExecutionBudget:
         self.clock = clock if clock is not None else SYSTEM_CLOCK
         self.rows_charged = 0
         self._started_at: Optional[float] = None
+        self._lock = threading.RLock()
+        self._trip: Optional[BudgetExceeded] = None
 
     # ------------------------------------------------------------------
 
+    @property
+    def tripped(self) -> bool:
+        """True once any charge has raised: the budget is spent, and
+        every subsequent charge (from any thread) raises immediately."""
+        return self._trip is not None
+
+    def _sibling_abort(self) -> BudgetExceeded:
+        """A fresh copy of the original overrun for a sibling worker —
+        marked so fan-out error selection can prefer the primary."""
+        trip = self._trip
+        exc = BudgetExceeded(
+            "aborted: %s" % (trip,),
+            kind=trip.kind,
+            rows_produced=trip.rows_produced,
+            row_budget=trip.row_budget,
+            elapsed_seconds=trip.elapsed_seconds,
+            time_budget=trip.time_budget,
+            operator=trip.operator,
+        )
+        exc.sibling_abort = True
+        return exc
+
     def start(self) -> None:
         """Anchor the time budget; implicit on the first charge/check."""
-        if self._started_at is None:
-            self._started_at = self.clock.monotonic()
+        with self._lock:
+            if self._started_at is None:
+                self._started_at = self.clock.monotonic()
 
     def elapsed(self) -> float:
         if self._started_at is None:
@@ -69,51 +108,72 @@ class ExecutionBudget:
 
     def charge_rows(self, count: int, operator: Optional[str] = None) -> None:
         """Commit *count* materialized rows and enforce both limits."""
-        self.start()
-        self.rows_charged += count
-        if self.max_rows is not None and self.rows_charged > self.max_rows:
-            raise BudgetExceeded(
-                "row budget exceeded at %s: %d rows produced (budget %d)"
-                % (operator or "?", self.rows_charged, self.max_rows),
-                kind="rows",
-                rows_produced=self.rows_charged,
-                row_budget=self.max_rows,
-                elapsed_seconds=self.elapsed(),
-                time_budget=self.max_seconds,
-                operator=operator,
-            )
-        self.check_time(operator)
+        with self._lock:
+            if self._trip is not None:
+                raise self._sibling_abort()
+            self.start()
+            self.rows_charged += count
+            if self.max_rows is not None and self.rows_charged > self.max_rows:
+                exc = BudgetExceeded(
+                    "row budget exceeded at %s: %d rows produced (budget %d)"
+                    % (operator or "?", self.rows_charged, self.max_rows),
+                    kind="rows",
+                    rows_produced=self.rows_charged,
+                    row_budget=self.max_rows,
+                    elapsed_seconds=self.elapsed(),
+                    time_budget=self.max_seconds,
+                    operator=operator,
+                )
+                self._trip = exc
+                raise exc
+            self._check_time_locked(operator)
 
     def probe_rows(self, in_flight: int, operator: Optional[str] = None) -> None:
         """An *uncommitted* check from inside an operator loop: raise if
         the rows committed so far plus *in_flight* already bust the
         budget.  Keeps one runaway join from materializing far past the
         limit before its node-level charge."""
-        self.start()
-        if (
-            self.max_rows is not None
-            and self.rows_charged + in_flight > self.max_rows
-        ):
-            raise BudgetExceeded(
-                "row budget exceeded inside %s: %d rows in flight over %d "
-                "already produced (budget %d)"
-                % (operator or "?", in_flight, self.rows_charged, self.max_rows),
-                kind="rows",
-                rows_produced=self.rows_charged + in_flight,
-                row_budget=self.max_rows,
-                elapsed_seconds=self.elapsed(),
-                time_budget=self.max_seconds,
-                operator=operator,
-            )
-        self.check_time(operator)
+        with self._lock:
+            if self._trip is not None:
+                raise self._sibling_abort()
+            self.start()
+            if (
+                self.max_rows is not None
+                and self.rows_charged + in_flight > self.max_rows
+            ):
+                exc = BudgetExceeded(
+                    "row budget exceeded inside %s: %d rows in flight over %d "
+                    "already produced (budget %d)"
+                    % (
+                        operator or "?",
+                        in_flight,
+                        self.rows_charged,
+                        self.max_rows,
+                    ),
+                    kind="rows",
+                    rows_produced=self.rows_charged + in_flight,
+                    row_budget=self.max_rows,
+                    elapsed_seconds=self.elapsed(),
+                    time_budget=self.max_seconds,
+                    operator=operator,
+                )
+                self._trip = exc
+                raise exc
+            self._check_time_locked(operator)
 
     def check_time(self, operator: Optional[str] = None) -> None:
-        self.start()
+        with self._lock:
+            if self._trip is not None:
+                raise self._sibling_abort()
+            self.start()
+            self._check_time_locked(operator)
+
+    def _check_time_locked(self, operator: Optional[str]) -> None:
         if self.max_seconds is None:
             return
         elapsed = self.elapsed()
         if elapsed > self.max_seconds:
-            raise BudgetExceeded(
+            exc = BudgetExceeded(
                 "time budget exceeded at %s: %.3fs elapsed (budget %.3fs)"
                 % (operator or "?", elapsed, self.max_seconds),
                 kind="time",
@@ -123,10 +183,13 @@ class ExecutionBudget:
                 time_budget=self.max_seconds,
                 operator=operator,
             )
+            self._trip = exc
+            raise exc
 
     def __repr__(self) -> str:
-        return "ExecutionBudget(rows=%d/%s, time=%s)" % (
+        return "ExecutionBudget(rows=%d/%s, time=%s%s)" % (
             self.rows_charged,
             self.max_rows if self.max_rows is not None else "∞",
             "%.3fs" % self.max_seconds if self.max_seconds is not None else "∞",
+            ", TRIPPED" if self._trip is not None else "",
         )

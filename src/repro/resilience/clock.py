@@ -9,6 +9,7 @@ in the test-suite, per the acceptance criteria.
 
 from __future__ import annotations
 
+import threading
 import time
 from typing import List, Optional
 
@@ -50,26 +51,34 @@ class FakeClock(Clock):
     2.5
     >>> clock.sleeps
     [2.5]
+
+    Thread-safe: parallel evaluation shares one clock between workers
+    (e.g. chaos-endpoint latency under a fanned-out federation fetch),
+    so the simulated-time mutations run under a lock.
     """
 
     def __init__(self, start: float = 0.0, auto_advance: float = 0.0):
         self._now = start
         self.auto_advance = auto_advance
         self.sleeps: List[float] = []
+        self._lock = threading.Lock()
 
     def monotonic(self) -> float:
-        self._now += self.auto_advance
-        return self._now
+        with self._lock:
+            self._now += self.auto_advance
+            return self._now
 
     def sleep(self, seconds: float) -> None:
         if seconds < 0:
             raise ValueError("cannot sleep %r seconds" % (seconds,))
-        self._now += seconds
-        self.sleeps.append(seconds)
+        with self._lock:
+            self._now += seconds
+            self.sleeps.append(seconds)
 
     def advance(self, seconds: float) -> None:
         """Move time forward without recording a sleep."""
-        self._now += seconds
+        with self._lock:
+            self._now += seconds
 
 
 #: The process-wide default clock, used when none is injected.
