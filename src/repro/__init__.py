@@ -23,15 +23,25 @@ Quickstart::
 from .cache import QueryCache
 from .core import AnswerReport, QueryAnswerer, Strategy
 from .resilience import BudgetExceeded, ExecutionBudget
+from .service import (
+    AdmissionRejected,
+    QueryRequest,
+    QueryService,
+    TenantConfig,
+)
 
 __version__ = "1.0.0"
 
 __all__ = [
+    "AdmissionRejected",
     "AnswerReport",
     "BudgetExceeded",
     "ExecutionBudget",
     "QueryAnswerer",
     "QueryCache",
+    "QueryRequest",
+    "QueryService",
     "Strategy",
+    "TenantConfig",
     "__version__",
 ]

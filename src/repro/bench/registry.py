@@ -295,6 +295,49 @@ def _quick_e17() -> str:
     )
 
 
+def _quick_e18() -> str:
+    from ..datasets import generate_lubm, lubm_queries
+    from ..resilience.clock import FakeClock
+    from ..service import (
+        AdmissionRejected,
+        QueryRequest,
+        QueryService,
+        TenantConfig,
+    )
+
+    graph = generate_lubm(universities=1, seed=1)
+    query = lubm_queries()["Q1"]
+    service = QueryService(
+        graph,
+        tenants=[
+            TenantConfig("gold", weight=3, queue_depth=2),
+            TenantConfig("bronze", weight=1, queue_depth=2),
+        ],
+        capacity=1,
+        clock=FakeClock(auto_advance=0.001),
+    )
+    for _ in range(5):  # oversubscribe both queues, then drain
+        for tenant in ("gold", "bronze"):
+            for _burst in range(2):
+                try:
+                    service.submit(QueryRequest(tenant, query))
+                except AdmissionRejected:
+                    pass
+        service.step()
+    service.drain()
+    summary = service.describe()
+    return (
+        "closed loop over 2 tenants (weights 3:1, depth 2): %d submitted, "
+        "%d completed, shed rate %.2f, p95 latency %.0f ms (simulated)"
+        % (
+            summary["submitted"],
+            summary["completed"],
+            summary["shed_rate"],
+            summary["latency"]["p95"] * 1e3,
+        )
+    )
+
+
 EXPERIMENTS: List[Experiment] = [
     Experiment("E1", "Example 1's UCQ reformulation blow-up and parse failure",
                "benchmarks/bench_e1_reformulation_size.py", _quick_e1),
@@ -330,6 +373,8 @@ EXPERIMENTS: List[Experiment] = [
                "benchmarks/bench_e16_engine.py", _quick_e16),
     Experiment("E17", "Intra-query parallelism: fragment/federation fan-out",
                "benchmarks/bench_e17_parallel.py", _quick_e17),
+    Experiment("E18", "Multi-tenant serving: shed rate and latency under load",
+               "benchmarks/bench_e18_service.py", _quick_e18),
     Experiment("A1", "Ablation: exact statistics vs textbook uniformity",
                "benchmarks/bench_a1_statistics_ablation.py"),
     Experiment("A2", "Ablation: UCQ subsumption pruning",

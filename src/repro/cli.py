@@ -11,20 +11,26 @@
     python -m repro load --dataset lubm --wal /tmp/lubm-wal --checkpoint
     python -m repro checkpoint --wal /tmp/lubm-wal
     python -m repro recover --wal /tmp/lubm-wal --verify
+    python -m repro serve --dataset lubm --tenants alpha:3 beta:1 --requests 12
 
 Each subcommand maps to one step of the Section 5 demonstration:
 ``stats`` is step 1, ``answer`` (with ``--strategy all``) is step 2,
 ``explain``/``covers`` are step 3; ``why`` prints the derivation of an
 entailed triple.  ``load --wal`` / ``checkpoint`` / ``recover`` drive
-the crash-safe storage layer (DESIGN.md §10).
+the crash-safe storage layer (DESIGN.md §10); ``serve`` runs a
+scripted multi-tenant serving session through the admission-controlled
+query service (DESIGN.md §13).
 
 Exit codes (documented in README.md):
 
 ====  =======================================================
-0     success (``recover``: clean, nothing truncated)
-1     failure (including ``recover --verify`` discrepancies)
+0     success (``recover``: clean, nothing truncated;
+      ``serve``: every submitted request completed)
+1     failure (including ``recover --verify`` discrepancies
+      and ``serve`` runs where no request completed)
 2     usage error (bad flags or flag combinations)
-3     partial answer (``federate``: some endpoints degraded)
+3     partial answer (``federate``: some endpoints degraded;
+      ``serve``: some requests shed, failed, or expired)
 4     recovered, but a torn/corrupt WAL tail was truncated
 5     nothing to recover (no checkpoint, no WAL records)
 ====  =======================================================
@@ -565,6 +571,238 @@ def cmd_recover(args) -> int:
     return EXIT_RECOVERED_TRUNCATED if result.truncated else EXIT_OK
 
 
+def _catalog_query(args, name: str):
+    """Resolve a catalog query *name* for the selected dataset."""
+    if args.dataset == "books" or name == "default":
+        _, _, query = books_dataset()
+        return query
+    if name == "Ex1":
+        return example1_query()
+    catalog = {
+        "lubm": lubm_queries,
+        "geo": geo_queries,
+        "bib": bib_queries,
+    }.get(args.dataset)
+    if catalog and name in catalog():
+        return catalog()[name]
+    raise SystemExit("unknown query %r for dataset %r" % (name, args.dataset))
+
+
+def _parse_serve_script(lines):
+    """Parse a ``serve --script`` file into (verb, payload) commands.
+
+    Grammar (``#`` comments and blank lines ignored)::
+
+        submit TENANT QUERY [priority=P] [deadline=S] [strategy=NAME]
+               [snapshot=PIN]
+        step [N]
+        drain
+        pin NAME
+        release NAME
+        insert SUBJECT PREDICATE OBJECT   (N-Triples terms; rdf:/rdfs: ok)
+        advance SECONDS
+    """
+    commands = []
+    for lineno, raw in enumerate(lines, start=1):
+        line = raw.split("#", 1)[0].strip()
+        if not line:
+            continue
+        parts = line.split()
+        verb = parts[0]
+        try:
+            if verb == "submit":
+                tenant, name = parts[1], parts[2]
+                options = dict(part.split("=", 1) for part in parts[3:])
+                commands.append(("submit", (tenant, name, options)))
+            elif verb == "step":
+                commands.append(("step", int(parts[1]) if len(parts) > 1 else 1))
+            elif verb == "drain":
+                commands.append(("drain", None))
+            elif verb in ("pin", "release"):
+                commands.append((verb, parts[1]))
+            elif verb == "insert":
+                commands.append(("insert", " ".join(parts[1:])))
+            elif verb == "advance":
+                commands.append(("advance", float(parts[1])))
+            else:
+                raise ValueError("unknown verb %r" % verb)
+        except (IndexError, ValueError) as exc:
+            raise SystemExit("serve script line %d: %s" % (lineno, exc))
+    return commands
+
+
+def _expand_rdf_prefixes(text: str) -> str:
+    """The same rdf:/rdfs: convenience expansion ``why`` accepts."""
+    return (
+        text.replace(
+            "rdf:type", "<http://www.w3.org/1999/02/22-rdf-syntax-ns#type>"
+        )
+        .replace(
+            "rdfs:subClassOf",
+            "<http://www.w3.org/2000/01/rdf-schema#subClassOf>",
+        )
+        .replace(
+            "rdfs:subPropertyOf",
+            "<http://www.w3.org/2000/01/rdf-schema#subPropertyOf>",
+        )
+    )
+
+
+def cmd_serve(args) -> int:
+    """Run a scripted multi-tenant serving session and report per-tenant
+    outcomes.  Deterministic by construction: requests execute on a
+    stepped fake clock (one tick per event), so the same script, seed,
+    and flags always produce the same admission decisions, schedule,
+    and exit code.
+
+    Exit codes: 0 every submitted request completed, 3 some requests
+    were shed / failed / expired, 1 no request completed at all.
+    """
+    import json as json_module
+
+    from .rdf.io import parse_line
+    from .resilience.clock import FakeClock
+    from .service import (
+        AdmissionRejected,
+        QueryRequest,
+        QueryService,
+        TenantConfig,
+    )
+
+    try:
+        tenants = [TenantConfig.parse(spec) for spec in args.tenants]
+    except ValueError as exc:
+        print("bad --tenants spec: %s" % exc, file=sys.stderr)
+        return EXIT_USAGE
+    for tenant in tenants:
+        if args.queue_depth is not None:
+            tenant.queue_depth = args.queue_depth
+        tenant.request_rows = args.row_budget
+        tenant.request_seconds = args.timeout
+    clock = FakeClock(auto_advance=args.tick)
+    service = QueryService(
+        _build_graph(args),
+        tenants=tenants,
+        engine=args.engine,
+        capacity=args.capacity,
+        clock=clock,
+    )
+    if args.script:
+        with open(args.script) as handle:
+            commands = _parse_serve_script(handle)
+    else:
+        # Synthetic closed workload: --requests submissions round-robin
+        # over tenants × catalog queries, then drain.
+        names = args.queries.split(",") if args.queries else ["default"]
+        commands = [
+            (
+                "submit",
+                (
+                    tenants[index % len(tenants)].name,
+                    names[index % len(names)],
+                    {},
+                ),
+            )
+            for index in range(args.requests)
+        ]
+        commands.append(("drain", None))
+    pins = {}
+    tickets = []
+    for verb, payload in commands:
+        if verb == "submit":
+            tenant, name, options = payload
+            strategy = Strategy(options.get("strategy", Strategy.REF_GCOV.value))
+            snapshot = None
+            if "snapshot" in options:
+                snapshot = pins.get(options["snapshot"])
+                if snapshot is None:
+                    print("serve script: unknown pin %r" % options["snapshot"],
+                          file=sys.stderr)
+                    return EXIT_USAGE
+            request = QueryRequest(
+                tenant,
+                _catalog_query(args, name),
+                strategy=strategy,
+                priority=int(options.get("priority", 0)),
+                deadline=(
+                    float(options["deadline"]) if "deadline" in options else None
+                ),
+                snapshot=snapshot,
+            )
+            try:
+                tickets.append(service.submit(request))
+            except AdmissionRejected as exc:
+                hint = (
+                    ""
+                    if exc.retry_after is None
+                    else " (retry after %.3fs)" % exc.retry_after
+                )
+                print("shed %s/%s: %s%s" % (tenant, name, exc.reason, hint))
+        elif verb == "step":
+            for _ in range(payload):
+                service.step()
+        elif verb == "drain":
+            service.drain()
+        elif verb == "pin":
+            pins[payload] = service.pin()
+        elif verb == "release":
+            snapshot = pins.pop(payload, None)
+            if snapshot is not None:
+                service.release(snapshot)
+        elif verb == "insert":
+            service.insert(parse_line(_expand_rdf_prefixes(payload) + " ."))
+        elif verb == "advance":
+            clock.advance(payload)
+    service.drain()
+    summary = service.describe()
+    if args.json:
+        print(json_module.dumps(summary, indent=2, sort_keys=True))
+    else:
+        rows = [
+            [
+                name,
+                bucket["submitted"],
+                bucket["completed"],
+                bucket["failed"],
+                bucket["expired"],
+                bucket["shed_total"],
+                "%d/%d" % (bucket["cache_hits"], bucket["cache_misses"]),
+                "%.1f" % (bucket["latency"]["p50"] * 1e3),
+                "%.1f" % (bucket["latency"]["p95"] * 1e3),
+            ]
+            for name, bucket in summary["tenants"].items()
+        ]
+        print(
+            format_table(
+                ["tenant", "sub", "done", "fail", "exp", "shed",
+                 "hit/miss", "p50 ms", "p95 ms"],
+                rows,
+                title="serving session (%s, capacity %d)"
+                % (args.engine, args.capacity),
+            )
+        )
+        print(
+            "\n%d submitted, %d completed, %d shed (rate %.2f), "
+            "%d failed, %d expired; snapshots: %d pin(s), %d frozen cop%s"
+            % (
+                summary["submitted"],
+                summary["completed"],
+                summary["shed"],
+                summary["shed_rate"],
+                summary["failed"],
+                summary["expired"],
+                summary["snapshots"]["active_pins"],
+                summary["snapshots"]["frozen_copies"],
+                "y" if summary["snapshots"]["frozen_copies"] == 1 else "ies",
+            )
+        )
+    if summary["completed"] == 0:
+        return EXIT_FAILURE
+    if summary["shed"] or summary["failed"] or summary["expired"]:
+        return EXIT_PARTIAL
+    return EXIT_OK
+
+
 def cmd_experiments(args) -> int:
     from .bench import EXPERIMENTS, format_table
 
@@ -782,6 +1020,48 @@ def build_parser() -> argparse.ArgumentParser:
     recover_cmd.add_argument("--saturate", action="store_true",
                              help="rebuild incremental saturation state too")
     recover_cmd.set_defaults(func=cmd_recover)
+
+    serve = subparsers.add_parser(
+        "serve",
+        help="run a scripted multi-tenant serving session (exit 0 all "
+             "completed / 3 some shed, failed or expired / 1 none "
+             "completed)",
+    )
+    add_common(serve)
+    serve.add_argument("--tenants", nargs="+", default=["alpha:2", "beta:1"],
+                       metavar="NAME[:WEIGHT[:DEPTH]]",
+                       help="tenant specs: scheduling weight and queue "
+                            "depth (default alpha:2 beta:1)")
+    serve.add_argument("--script",
+                       help="serving script (submit/step/drain/pin/release/"
+                            "insert/advance lines); omit for a synthetic "
+                            "round-robin workload")
+    serve.add_argument("--requests", type=_positive_int, default=8,
+                       help="synthetic workload size without --script "
+                            "(default 8)")
+    serve.add_argument("--queries", default=None,
+                       help="comma-separated catalog query names for the "
+                            "synthetic workload (default: the dataset's "
+                            "default query)")
+    serve.add_argument("--capacity", type=_positive_int, default=2,
+                       help="requests executed per scheduling round "
+                            "(default 2)")
+    serve.add_argument("--queue-depth", type=_positive_int, default=None,
+                       help="override every tenant's queue depth")
+    serve.add_argument("--engine", default="builtin",
+                       choices=["builtin", "materialized", "pipelined",
+                                "sqlite"])
+    serve.add_argument("--row-budget", type=_positive_int, default=None,
+                       help="per-request row budget charged to the "
+                            "submitting tenant")
+    serve.add_argument("--timeout", type=_positive_float, default=None,
+                       help="per-request time budget in seconds")
+    serve.add_argument("--tick", type=_positive_float, default=0.001,
+                       help="fake-clock advance per event (default 1 ms; "
+                            "the session clock is deterministic)")
+    serve.add_argument("--json", action="store_true",
+                       help="print the full service metrics as JSON")
+    serve.set_defaults(func=cmd_serve)
 
     experiments = subparsers.add_parser(
         "experiments", help="list or quick-run the experiment suite"

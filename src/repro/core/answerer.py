@@ -302,6 +302,7 @@ class QueryAnswerer:
         budget_fallbacks: int = 3,
         allow_partial: bool = False,
         parallelism: Optional[int] = None,
+        budget_owner: Optional[str] = None,
     ) -> AnswerReport:
         """Answer *query* with *strategy*.
 
@@ -340,6 +341,12 @@ class QueryAnswerer:
         run (``None``/``1`` keeps the exact serial code path).  Budgets
         compose: all workers charge the same budget, so the row/time
         allowance is global, and an overrun cancels the sibling tasks.
+
+        ``budget_owner`` (only meaningful with a budget) stamps the
+        minted budgets, so every overrun — the primary and any
+        sibling-abort copies raised by a parallel fan-out — carries the
+        originating caller identity (the query service passes its
+        ``tenant/request-id`` here).
         """
         if strategy is Strategy.REF_JUCQ and cover is None:
             raise ValueError("REF_JUCQ requires a cover")
@@ -377,11 +384,16 @@ class QueryAnswerer:
             # Validate eagerly (and once): the factory then mints a
             # fresh budget per evaluation attempt, so a fallback cover
             # gets the full allowance, not the failed attempt's dregs.
+            # ``budget_owner`` stamps every minted budget, so overruns
+            # (and their sibling-abort copies) stay attributable to the
+            # caller — e.g. the query service's ``tenant/request-id``.
             ExecutionBudget(max_rows=row_budget, max_seconds=time_budget)
 
             def budget_factory():
                 return ExecutionBudget(
-                    max_rows=row_budget, max_seconds=time_budget
+                    max_rows=row_budget,
+                    max_seconds=time_budget,
+                    owner=budget_owner,
                 )
 
         start = time.perf_counter()

@@ -115,6 +115,8 @@ class DurableStore:
         if recovery.checkpoint_sequence is not None:
             self._known_checkpoints.append(
                 (recovery.checkpoint_sequence, recovery.wal_segment))
+        #: Lazily created snapshot bookkeeping (see :meth:`pin_snapshot`).
+        self._snapshots = None
         self.store.add_listener(self._on_store_event)
 
     # ------------------------------------------------------------------
@@ -184,6 +186,7 @@ class DurableStore:
     def add_constraint(self, constraint: Constraint) -> bool:
         """Add a schema constraint durably (single ``C+`` record; the
         derived schema triples are re-derived on replay)."""
+        self._prepare_snapshot_write()
         self._quiet = True
         try:
             added = apply_constraint_add(self.store, self.saturator, constraint)
@@ -197,6 +200,7 @@ class DurableStore:
 
     def remove_constraint(self, constraint: Constraint) -> bool:
         """Remove a schema constraint durably (single ``C-`` record)."""
+        self._prepare_snapshot_write()
         self._quiet = True
         try:
             removed = apply_constraint_remove(
@@ -240,6 +244,7 @@ class DurableStore:
         coalesced WAL write.
         """
         before = self.records_logged
+        self._prepare_snapshot_write()
         combined = Schema.from_graph(graph)
         if schema is not None:
             for constraint in schema.direct_constraints():
@@ -318,6 +323,35 @@ class DurableStore:
             if segment < min_segment:
                 self.io.remove(path)
         self._known_checkpoints = kept
+
+    # ------------------------------------------------------------------
+    # Snapshot reads (epoch-pinned, copy-on-write)
+
+    def pin_snapshot(self):
+        """Pin the current state for readers: returns a
+        :class:`~repro.storage.snapshot.StoreSnapshot` labelled with
+        the durable ``(data_epoch, schema_epoch)`` pair at pin time.
+
+        Pinning is O(1); the first write after a pin freezes the
+        pre-write state through the checkpoint codec, so in-flight
+        readers never observe a concurrent bulk load or saturation
+        round.  Release the handle (or use it as a context manager) to
+        free the frozen copy."""
+        if self._snapshots is None:
+            from ..storage.snapshot import SnapshotManager
+
+            self._snapshots = SnapshotManager(
+                self.store,
+                label_fn=lambda: (self.data_epoch, self.schema_epoch),
+            )
+        return self._snapshots.pin()
+
+    def _prepare_snapshot_write(self) -> None:
+        """Freeze pinned readers before a mutation the per-triple hooks
+        would see too late (constraint changes mutate the schema before
+        any triple lands)."""
+        if self._snapshots is not None:
+            self._snapshots.prepare_write()
 
     # ------------------------------------------------------------------
     # Cache wiring

@@ -56,6 +56,7 @@ class ExecutionBudget:
         max_rows: Optional[int] = None,
         max_seconds: Optional[float] = None,
         clock: Optional[Clock] = None,
+        owner: Optional[str] = None,
     ):
         if max_rows is not None and max_rows < 1:
             raise ValueError("max_rows must be >= 1, got %r" % (max_rows,))
@@ -64,6 +65,11 @@ class ExecutionBudget:
         self.max_rows = max_rows
         self.max_seconds = max_seconds
         self.clock = clock if clock is not None else SYSTEM_CLOCK
+        #: Who this budget is charged to (e.g. ``"tenant-a/req-3"``).
+        #: Every overrun — the primary *and* its sibling-abort copies —
+        #: carries it, so fan-out aborts are attributed to the request
+        #: that genuinely overran, never to an innocent sibling.
+        self.owner = owner
         self.rows_charged = 0
         self._started_at: Optional[float] = None
         self._lock = threading.RLock()
@@ -89,6 +95,7 @@ class ExecutionBudget:
             elapsed_seconds=trip.elapsed_seconds,
             time_budget=trip.time_budget,
             operator=trip.operator,
+            owner=trip.owner,
         )
         exc.sibling_abort = True
         return exc
@@ -123,6 +130,7 @@ class ExecutionBudget:
                     elapsed_seconds=self.elapsed(),
                     time_budget=self.max_seconds,
                     operator=operator,
+                    owner=self.owner,
                 )
                 self._trip = exc
                 raise exc
@@ -156,6 +164,7 @@ class ExecutionBudget:
                     elapsed_seconds=self.elapsed(),
                     time_budget=self.max_seconds,
                     operator=operator,
+                    owner=self.owner,
                 )
                 self._trip = exc
                 raise exc
@@ -182,6 +191,7 @@ class ExecutionBudget:
                 elapsed_seconds=elapsed,
                 time_budget=self.max_seconds,
                 operator=operator,
+                owner=self.owner,
             )
             self._trip = exc
             raise exc

@@ -87,6 +87,7 @@ class BudgetExceeded(RuntimeError):
         elapsed_seconds: Optional[float] = None,
         time_budget: Optional[float] = None,
         operator: Optional[str] = None,
+        owner: Optional[str] = None,
     ):
         super().__init__(message)
         #: ``"rows"`` or ``"time"`` — which limit tripped.
@@ -97,6 +98,11 @@ class BudgetExceeded(RuntimeError):
         self.time_budget = time_budget
         #: The operator being evaluated when the budget tripped.
         self.operator = operator
+        #: Who the tripped budget belonged to (e.g. the service layer's
+        #: ``tenant/request-id``).  Sibling-abort copies carry the
+        #: *originating* owner, so accounting layers attribute every
+        #: abort of a fan-out to the request that genuinely overran.
+        self.owner = owner
         #: Partial-execution snapshot attached by the executor: the
         #: per-node cardinalities of completed subtrees and, for
         #: pipelined runs, the operator metrics — a budget abort
@@ -121,8 +127,18 @@ class BudgetExceeded(RuntimeError):
             "time_budget": self.time_budget,
             "operator": self.operator,
         }
+        if self.owner is not None:
+            payload["owner"] = self.owner
+        if getattr(self, "sibling_abort", False):
+            payload["sibling_abort"] = True
         if self.partial is not None:
             payload["partial"] = self.partial
         if self.partial_rows is not None:
             payload["partial_row_count"] = len(self.partial_rows)
         return payload
+
+    @property
+    def details(self) -> dict:
+        """Alias of :meth:`diagnostics` — the name accounting layers
+        (e.g. the query service's shed/abort attribution) read."""
+        return self.diagnostics()

@@ -1,0 +1,41 @@
+"""Multi-tenant query serving: admission control, fair scheduling,
+per-tenant cache partitions, and snapshot reads (S13).
+
+The paper's engine answers one query at a time; this package makes it
+a *service*: several tenants share one dataset and one executor, each
+behind a bounded queue with a scheduling weight and optional standing
+quotas, while epoch-pinned snapshots keep in-flight readers isolated
+from concurrent bulk loads and saturation rounds.
+"""
+
+from .admission import (
+    AdmissionController,
+    AdmissionRejected,
+    REASON_QUEUE_FULL,
+    REASON_QUOTA_EXHAUSTED,
+    REASON_UNKNOWN_TENANT,
+    TenantConfig,
+)
+from .metrics import ServiceMetrics, TenantMetrics, percentile
+from .request import DONE, EXPIRED, FAILED, QUEUED, RUNNING, QueryRequest, Ticket
+from .service import QueryService
+
+__all__ = [
+    "AdmissionController",
+    "AdmissionRejected",
+    "DONE",
+    "EXPIRED",
+    "FAILED",
+    "QUEUED",
+    "QueryRequest",
+    "QueryService",
+    "REASON_QUEUE_FULL",
+    "REASON_QUOTA_EXHAUSTED",
+    "REASON_UNKNOWN_TENANT",
+    "RUNNING",
+    "ServiceMetrics",
+    "TenantConfig",
+    "TenantMetrics",
+    "Ticket",
+    "percentile",
+]

@@ -1,0 +1,204 @@
+"""Service observability: per-tenant counters and latency percentiles.
+
+The same nearest-rank percentile convention as the benchmark suite
+(:mod:`repro.bench`): ``p50`` of N sorted samples is element
+``ceil(0.50 * N) - 1``.  All counters are plain integers updated under
+one lock; :meth:`ServiceMetrics.as_dict` is the JSON-ready view the
+CLI and benchmark E18 emit.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+from typing import Dict, List, Optional, Sequence
+
+
+def percentile(values: Sequence[float], fraction: float) -> float:
+    """Nearest-rank percentile of *values* (fraction in (0, 1])."""
+    if not values:
+        return 0.0
+    if not 0.0 < fraction <= 1.0:
+        raise ValueError("fraction must be in (0, 1], got %r" % (fraction,))
+    ordered = sorted(values)
+    rank = max(1, math.ceil(fraction * len(ordered)))
+    return ordered[rank - 1]
+
+
+class TenantMetrics:
+    """One tenant's counters (mutated only via :class:`ServiceMetrics`)."""
+
+    def __init__(self, name: str):
+        self.name = name
+        self.submitted = 0
+        self.admitted = 0
+        self.completed = 0
+        self.failed = 0
+        self.expired = 0
+        self.shed: Dict[str, int] = {}
+        self.rows_returned = 0
+        self.cache_hits = 0
+        self.cache_misses = 0
+        #: Fan-out aborts attributed *to this tenant as originator* —
+        #: sibling-abort copies land here via ``BudgetExceeded.owner``,
+        #: never on the tenant that merely shared the worker pool.
+        self.budget_trips = 0
+        self.latencies: List[float] = []
+        self.queue_waits: List[float] = []
+        self.service_times: List[float] = []
+
+    def shed_total(self) -> int:
+        return sum(self.shed.values())
+
+    def as_dict(self) -> dict:
+        return {
+            "submitted": self.submitted,
+            "admitted": self.admitted,
+            "completed": self.completed,
+            "failed": self.failed,
+            "expired": self.expired,
+            "shed": dict(sorted(self.shed.items())),
+            "shed_total": self.shed_total(),
+            "rows_returned": self.rows_returned,
+            "cache_hits": self.cache_hits,
+            "cache_misses": self.cache_misses,
+            "budget_trips": self.budget_trips,
+            "latency": {
+                "p50": percentile(self.latencies, 0.50),
+                "p95": percentile(self.latencies, 0.95),
+                "p99": percentile(self.latencies, 0.99),
+            },
+        }
+
+
+class ServiceMetrics:
+    """Aggregated counters for one :class:`~repro.service.QueryService`.
+
+    Conservation invariant (checked by the property-based admission
+    test): ``submitted == admitted + shed_total`` for every tenant, and
+    ``admitted == completed + failed + expired + still-queued``.
+    """
+
+    def __init__(self, tenants: Sequence[str] = ()):  # pre-seed buckets
+        self._lock = threading.RLock()
+        self.tenants: Dict[str, TenantMetrics] = {
+            name: TenantMetrics(name) for name in tenants
+        }
+
+    def _bucket(self, tenant: str) -> TenantMetrics:
+        bucket = self.tenants.get(tenant)
+        if bucket is None:
+            bucket = self.tenants[tenant] = TenantMetrics(tenant)
+        return bucket
+
+    # ------------------------------------------------------------------
+
+    def note_submitted(self, tenant: str) -> None:
+        with self._lock:
+            self._bucket(tenant).submitted += 1
+
+    def note_admitted(self, tenant: str) -> None:
+        with self._lock:
+            self._bucket(tenant).admitted += 1
+
+    def note_shed(self, tenant: str, reason: str) -> None:
+        with self._lock:
+            bucket = self._bucket(tenant)
+            bucket.shed[reason] = bucket.shed.get(reason, 0) + 1
+
+    def note_expired(self, tenant: str) -> None:
+        with self._lock:
+            self._bucket(tenant).expired += 1
+
+    def note_completed(
+        self,
+        tenant: str,
+        queue_seconds: float,
+        service_seconds: float,
+        latency_seconds: float,
+        rows: int,
+        cache: Optional[str] = None,
+    ) -> None:
+        with self._lock:
+            bucket = self._bucket(tenant)
+            bucket.completed += 1
+            bucket.rows_returned += rows
+            bucket.queue_waits.append(queue_seconds)
+            bucket.service_times.append(service_seconds)
+            bucket.latencies.append(latency_seconds)
+            if cache == "hit":
+                bucket.cache_hits += 1
+            elif cache == "miss":
+                bucket.cache_misses += 1
+
+    def note_failed(self, tenant: str) -> None:
+        with self._lock:
+            self._bucket(tenant).failed += 1
+
+    def note_budget_trip(self, owner_tenant: str) -> None:
+        """Attribute one budget overrun to its *originating* tenant —
+        callers pass the tenant parsed from ``BudgetExceeded.owner``,
+        not the tenant whose worker happened to observe the abort."""
+        with self._lock:
+            self._bucket(owner_tenant).budget_trips += 1
+
+    # ------------------------------------------------------------------
+    # Aggregate views
+
+    def totals(self) -> dict:
+        with self._lock:
+            buckets = list(self.tenants.values())
+        return {
+            "submitted": sum(b.submitted for b in buckets),
+            "admitted": sum(b.admitted for b in buckets),
+            "completed": sum(b.completed for b in buckets),
+            "failed": sum(b.failed for b in buckets),
+            "expired": sum(b.expired for b in buckets),
+            "shed": sum(b.shed_total() for b in buckets),
+            "rows_returned": sum(b.rows_returned for b in buckets),
+            "cache_hits": sum(b.cache_hits for b in buckets),
+            "cache_misses": sum(b.cache_misses for b in buckets),
+            "budget_trips": sum(b.budget_trips for b in buckets),
+        }
+
+    def shed_rate(self) -> float:
+        totals = self.totals()
+        if totals["submitted"] == 0:
+            return 0.0
+        return totals["shed"] / totals["submitted"]
+
+    def latency_percentiles(self, tenant: Optional[str] = None) -> dict:
+        with self._lock:
+            if tenant is not None:
+                samples = list(self._bucket(tenant).latencies)
+            else:
+                samples = [
+                    value
+                    for bucket in self.tenants.values()
+                    for value in bucket.latencies
+                ]
+        return {
+            "p50": percentile(samples, 0.50),
+            "p95": percentile(samples, 0.95),
+            "p99": percentile(samples, 0.99),
+        }
+
+    def completions_by_tenant(self) -> Dict[str, int]:
+        """The fairness witness: completed counts per tenant."""
+        with self._lock:
+            return {name: b.completed for name, b in sorted(self.tenants.items())}
+
+    def as_dict(self) -> dict:
+        with self._lock:
+            per_tenant = {
+                name: bucket.as_dict()
+                for name, bucket in sorted(self.tenants.items())
+            }
+        payload = self.totals()
+        payload["shed_rate"] = self.shed_rate()
+        payload["latency"] = self.latency_percentiles()
+        payload["tenants"] = per_tenant
+        return payload
+
+
+__all__ = ["ServiceMetrics", "TenantMetrics", "percentile"]

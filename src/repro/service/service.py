@@ -1,0 +1,316 @@
+"""The multi-tenant query service front door.
+
+:class:`QueryService` glues the serving stack together on top of one
+writer :class:`~repro.core.answerer.QueryAnswerer`:
+
+* **admission** — :meth:`submit` charges each
+  :class:`~repro.service.request.QueryRequest` against the tenant's
+  bounded queue and standing quota
+  (:class:`~repro.service.admission.AdmissionController`), shedding
+  past saturation with a typed
+  :class:`~repro.service.admission.AdmissionRejected`;
+* **execution** — :meth:`step` dequeues up to ``capacity`` tickets in
+  weighted-fair order and answers them; :meth:`drain` steps until the
+  queues are empty.  Execution is *step-driven* rather than
+  thread-driven: the scheduling decisions are taken serially under the
+  injected clock, which makes every interleaving a deterministic,
+  replayable script (the concurrency test harness drives exactly this
+  entry point), while the per-query evaluation itself may still fan
+  out on a worker pool;
+* **caching** — each tenant owns a private
+  :class:`~repro.cache.QueryCache` partition keyed by its own dataset
+  token; all partitions watch the one shared store, so a write
+  invalidates every tenant's answers at the same epoch (shared-epoch
+  invalidation: no tenant can read another tenant's entries, and no
+  tenant can read stale data either);
+* **snapshot reads** — :meth:`pin` hands out an epoch-pinned
+  :class:`~repro.storage.snapshot.StoreSnapshot`; a request carrying
+  one is answered by a reader answerer materialized from the pinned
+  state, byte-identical no matter what the writer does concurrently.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from ..cache import QueryCache, dataset_token
+from ..core.answerer import AnswerReport, QueryAnswerer, Strategy
+from ..parallel import ExecutorPool
+from ..reformulation.engine import ReformulationTooLarge
+from ..resilience.clock import Clock, SYSTEM_CLOCK
+from ..resilience.errors import BudgetExceeded
+from ..storage.backends import QueryTooLargeError
+from ..storage.snapshot import SnapshotManager, StoreSnapshot
+from .admission import AdmissionController, AdmissionRejected, TenantConfig
+from .metrics import ServiceMetrics
+from .request import DONE, FAILED, RUNNING, QueryRequest, Ticket
+
+
+class QueryService:
+    """A multi-tenant serving layer over one dataset.
+
+    ``tenants`` are :class:`~repro.service.admission.TenantConfig`
+    entries (bare names get default weight/depth).  ``capacity`` is how
+    many requests one :meth:`step` round executes.  ``pool`` optionally
+    fans the round's requests out over an
+    :class:`~repro.parallel.ExecutorPool`; accounting is applied in
+    deterministic ticket order regardless.  ``clock`` drives every
+    timestamp, deadline, and retry-after hint — tests inject a
+    :class:`~repro.resilience.clock.FakeClock` and replay identical
+    schedules.
+    """
+
+    def __init__(
+        self,
+        graph,
+        schema=None,
+        *,
+        tenants: Sequence[Union[str, TenantConfig]],
+        engine: str = "builtin",
+        capacity: int = 2,
+        clock: Optional[Clock] = None,
+        pool: Optional[ExecutorPool] = None,
+        cache_answers: int = 512,
+        cache_reformulations: int = 128,
+    ):
+        self.clock = clock if clock is not None else SYSTEM_CLOCK
+        self.engine = engine
+        self.pool = pool
+        self.answerer = QueryAnswerer(graph, schema, engine=engine)
+        self.snapshots = SnapshotManager(self.answerer.store)
+        configs = [
+            t if isinstance(t, TenantConfig) else TenantConfig(t) for t in tenants
+        ]
+        self.admission = AdmissionController(
+            configs, capacity=capacity, clock=self.clock
+        )
+        self.capacity = capacity
+        self.metrics = ServiceMetrics([c.name for c in configs])
+        # Per-tenant cache partitions: private entries (one dataset
+        # token per tenant keeps keys disjoint even if partitions were
+        # ever merged), shared invalidation epochs via the one store.
+        self._caches: Dict[str, QueryCache] = {}
+        self._tokens: Dict[str, int] = {}
+        for config in configs:
+            cache = QueryCache(cache_reformulations, cache_answers)
+            cache.watch_store(self.answerer.store)
+            self._caches[config.name] = cache
+            self._tokens[config.name] = dataset_token()
+        #: Reader answerers materialized per pinned snapshot epoch,
+        #: shared by every request pinned at that epoch.
+        self._readers: Dict[int, QueryAnswerer] = {}
+
+    # ------------------------------------------------------------------
+    # Front door
+
+    def submit(self, request: QueryRequest) -> Ticket:
+        """Admit *request*, or shed it with
+        :class:`~repro.service.admission.AdmissionRejected`."""
+        self.metrics.note_submitted(request.tenant)
+        try:
+            ticket = self.admission.submit(request)
+        except AdmissionRejected as exc:
+            self.metrics.note_shed(request.tenant, exc.reason)
+            raise
+        self.metrics.note_admitted(request.tenant)
+        return ticket
+
+    def pin(self) -> StoreSnapshot:
+        """An O(1) epoch-pinned snapshot for later snapshot reads."""
+        return self.snapshots.pin()
+
+    def release(self, snapshot: StoreSnapshot) -> None:
+        """Release *snapshot* and drop its reader once unpinned."""
+        epoch = snapshot.epoch
+        snapshot.release()
+        if epoch in self._readers and not self.snapshots.pinned_at(epoch):
+            del self._readers[epoch]
+
+    # ------------------------------------------------------------------
+    # Writes (all go through the writer answerer, so the snapshot COW
+    # hooks and every tenant's cache invalidation fire on the way)
+
+    def insert(self, triple) -> bool:
+        return self.answerer.insert(triple)
+
+    def delete(self, triple) -> bool:
+        return self.answerer.delete(triple)
+
+    def load(self, graph) -> int:
+        """Bulk-load *graph*'s data triples; returns how many were new."""
+        count = 0
+        for triple in graph.data_triples():
+            if self.answerer.insert(triple):
+                count += 1
+        return count
+
+    # ------------------------------------------------------------------
+    # Scheduler
+
+    def step(self) -> List[Ticket]:
+        """Run one scheduling round: dequeue up to ``capacity`` tickets
+        in weighted-fair order, execute them, account them.  Returns
+        the tickets that left the queue this round (done, failed, or
+        expired), in scheduling order."""
+        runnable, expired = self.admission.next_batch(self.capacity)
+        for ticket in expired:
+            self.metrics.note_expired(ticket.request.tenant)
+        if self.pool is not None and self.pool.usable() and len(runnable) > 1:
+            # The pool call only parallelizes evaluation; results land
+            # on the tickets, and accounting below runs in scheduling
+            # order, so the metrics stream is identical to a serial
+            # round.
+            self.pool.map(self._execute, runnable)
+        else:
+            for ticket in runnable:
+                self._execute(ticket)
+        for ticket in runnable:
+            self._account(ticket)
+        return runnable + expired
+
+    def drain(self, max_steps: int = 10_000) -> List[Ticket]:
+        """Step until every queue is empty; returns all finished
+        tickets in completion order."""
+        finished: List[Ticket] = []
+        steps = 0
+        while self.admission.backlog() > 0:
+            steps += 1
+            if steps > max_steps:
+                raise RuntimeError(
+                    "drain did not converge after %d steps (backlog %d)"
+                    % (max_steps, self.admission.backlog())
+                )
+            finished.extend(self.step())
+        return finished
+
+    # ------------------------------------------------------------------
+    # Execution internals
+
+    def _answerer_for(self, request: QueryRequest) -> Tuple[QueryAnswerer, bool]:
+        """The answerer evaluating *request*: the live writer, or a
+        reader materialized from the request's pinned snapshot (one
+        reader per epoch, shared across requests)."""
+        snapshot = request.snapshot
+        if snapshot is None:
+            return self.answerer, False
+        reader = self._readers.get(snapshot.epoch)
+        if reader is None:
+            store = snapshot.store()
+            reader = QueryAnswerer(
+                store.to_graph(), store.schema, engine=self.engine
+            )
+            self._readers[snapshot.epoch] = reader
+        return reader, True
+
+    def _execute(self, ticket: Ticket) -> None:
+        request = ticket.request
+        ticket.status = RUNNING
+        ticket.started_at = self.clock.monotonic()
+        config = self.admission.tenants[request.tenant]
+        answerer, pinned = self._answerer_for(request)
+        cache = None if pinned else self._caches.get(request.tenant)
+        key = None
+        if cache is not None:
+            key = cache.answer_key(
+                self._tokens[request.tenant],
+                request.query,
+                answerer.schema,
+                answerer.policy,
+                request.strategy.value,
+                cover=request.cover
+                if request.strategy is Strategy.REF_JUCQ
+                else None,
+                extra=("service", self.engine),
+            )
+            hit = cache.lookup_answer(key)
+            if hit is not None:
+                answer, details = hit
+                ticket.cache = "hit"
+                ticket.status = DONE
+                ticket.finished_at = self.clock.monotonic()
+                details = dict(details)
+                details["cache"] = {"answer": "hit", "tenant": request.tenant}
+                ticket.report = AnswerReport(
+                    request.strategy,
+                    answer,
+                    ticket.finished_at - ticket.started_at,
+                    details,
+                )
+                return
+        kwargs = {}
+        if config.request_rows is not None or config.request_seconds is not None:
+            kwargs = {
+                "row_budget": config.request_rows,
+                "time_budget": config.request_seconds,
+                "budget_owner": ticket.owner,
+            }
+        try:
+            report = answerer.answer(
+                request.query,
+                request.strategy,
+                cover=request.cover,
+                **kwargs,
+            )
+        except (
+            BudgetExceeded,
+            ReformulationTooLarge,
+            QueryTooLargeError,
+        ) as exc:
+            ticket.error = exc
+            ticket.status = FAILED
+        else:
+            ticket.report = report
+            ticket.status = DONE
+            if key is not None:
+                ticket.cache = "miss"
+                cache.store_answer(key, (report.answer, dict(report.details)))
+        ticket.finished_at = self.clock.monotonic()
+
+    def _account(self, ticket: Ticket) -> None:
+        tenant = ticket.request.tenant
+        if ticket.status == DONE:
+            self.admission.note_service_time(ticket.service_seconds())
+            self.metrics.note_completed(
+                tenant,
+                ticket.queue_seconds(),
+                ticket.service_seconds(),
+                ticket.latency_seconds(),
+                ticket.report.cardinality,
+                ticket.cache,
+            )
+            try:
+                # Standing quota is charged on *answer rows* — an
+                # engine-independent, deterministic measure (the same
+                # query yields the same charge on every engine).
+                self.admission.charge_quota(tenant, ticket.report.cardinality)
+            except BudgetExceeded:
+                # The answer stands; the tenant's later submits shed.
+                pass
+        elif ticket.status == FAILED:
+            self.metrics.note_failed(tenant)
+            if isinstance(ticket.error, BudgetExceeded):
+                # Attribute the overrun to the owner stamped on the
+                # budget — under fan-out the observing worker may be a
+                # sibling, but the owner names the true originator.
+                owner = getattr(ticket.error, "owner", None) or ticket.owner
+                self.metrics.note_budget_trip(owner.split("/")[0])
+
+    # ------------------------------------------------------------------
+    # Observability
+
+    def cache_stats(self) -> Dict[str, dict]:
+        return {name: cache.stats() for name, cache in sorted(self._caches.items())}
+
+    def describe(self) -> dict:
+        payload = self.metrics.as_dict()
+        payload["backlog"] = self.admission.backlog()
+        payload["engine"] = self.engine
+        payload["snapshots"] = {
+            "active_pins": self.snapshots.active_pins,
+            "frozen_copies": self.snapshots.frozen_copies,
+            "epoch": self.snapshots.epoch,
+        }
+        return payload
+
+
+__all__ = ["QueryService"]

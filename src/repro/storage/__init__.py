@@ -23,6 +23,7 @@ from .plan import (
     UnionNode,
 )
 from .store import TripleStore
+from .snapshot import SnapshotManager, StoreSnapshot
 from .planner import Planner, query_atom_total
 from .executor import ENGINES, ExecutionResult, Executor, execute_plan
 from .explain import explain, plan_summary
@@ -54,6 +55,8 @@ __all__ = [
     "SqliteBackend",
     "QueryTooLargeError",
     "ScanNode",
+    "SnapshotManager",
+    "StoreSnapshot",
     "StoreStatistics",
     "TripleStore",
     "UnionNode",

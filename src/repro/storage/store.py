@@ -55,6 +55,7 @@ class TripleStore:
         self.statistics = StoreStatistics(lambda: self._type_id)
         self.schema = Schema()
         self._listeners = []
+        self._pre_listeners = []
 
     def add_listener(self, callback) -> None:
         """Register ``callback(triple, operation)`` invoked after every
@@ -62,8 +63,20 @@ class TripleStore:
         or ``"delete"``) — the cache subsystem's invalidation hook."""
         self._listeners.append(callback)
 
+    def add_pre_listener(self, callback) -> None:
+        """Register ``callback(triple, operation)`` invoked *before* a
+        mutation is applied (it may turn out to be a no-op) — the
+        snapshot subsystem's copy-on-write hook: a pinned reader
+        materializes the pre-write state here, so it never observes the
+        write itself."""
+        self._pre_listeners.append(callback)
+
     def _notify(self, triple: Triple, operation: str) -> None:
         for callback in self._listeners:
+            callback(triple, operation)
+
+    def _notify_pre(self, triple: Triple, operation: str) -> None:
+        for callback in self._pre_listeners:
             callback(triple, operation)
 
     # ------------------------------------------------------------------
@@ -128,6 +141,8 @@ class TripleStore:
 
     def insert(self, triple: Triple) -> bool:
         """Insert one triple; return True when it was new."""
+        if self._pre_listeners:
+            self._notify_pre(triple, "insert")
         if triple.property == RDF_TYPE and self._type_id is None:
             self._type_id = self.dictionary.encode(RDF_TYPE)
         encoded = (
@@ -154,6 +169,8 @@ class TripleStore:
         """Remove one triple (if present); keeps indexes and statistics
         consistent.  Dictionary entries are never reclaimed (ids are
         stable by design)."""
+        if self._pre_listeners:
+            self._notify_pre(triple, "delete")
         encoded = tuple(
             self.dictionary.lookup(term) for term in triple.as_tuple()
         )

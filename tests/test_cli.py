@@ -301,3 +301,150 @@ class TestDurabilityCommands:
         )
         assert code == 0
         assert "loaded" in out
+
+
+class TestServe:
+    def test_serve_completes_synthetic_workload(self, capsys):
+        code, out = run_cli(
+            capsys, "serve", "--dataset", "books",
+            "--tenants", "alpha:3", "beta:1", "--requests", "6",
+            "--queue-depth", "4",
+        )
+        assert code == 0
+        assert "6 submitted, 6 completed" in out
+        assert "alpha" in out and "beta" in out
+
+    def test_serve_sheds_past_saturation(self, capsys):
+        code, out = run_cli(
+            capsys, "serve", "--dataset", "books", "--requests", "9",
+            "--queue-depth", "1", "--capacity", "1",
+        )
+        assert code == 3
+        assert "queue-full" in out
+        assert "retry after" in out
+
+    def test_serve_script_with_snapshot_pin(self, capsys, tmp_path):
+        script = tmp_path / "session.txt"
+        script.write_text(
+            "pin s1\n"
+            "submit alpha default\n"
+            "drain\n"
+            "insert <http://example.org/x> rdf:type <http://example.org/T>\n"
+            "submit beta default snapshot=s1  # pinned read\n"
+            "drain\n"
+            "release s1\n"
+        )
+        code, out = run_cli(
+            capsys, "serve", "--dataset", "books",
+            "--script", str(script), "--json",
+        )
+        assert code == 0
+        import json
+
+        summary = json.loads(out)
+        assert summary["completed"] == 2
+        assert summary["snapshots"]["active_pins"] == 0
+
+    def test_serve_is_deterministic(self, capsys):
+        argv = [
+            "serve", "--dataset", "books", "--requests", "7",
+            "--queue-depth", "2", "--capacity", "1", "--json",
+        ]
+        first = run_cli(capsys, *argv)
+        second = run_cli(capsys, *argv)
+        assert first == second
+
+    def test_serve_bad_tenant_spec_is_usage_error(self, capsys):
+        code, _ = run_cli(
+            capsys, "serve", "--dataset", "books",
+            "--tenants", "a:1:2:3",
+        )
+        assert code == 2
+
+    def test_serve_script_deadline_expiry_all_expired(self, capsys, tmp_path):
+        script = tmp_path / "expire.txt"
+        script.write_text(
+            "submit alpha default deadline=0.01\n"
+            "advance 5\n"
+            "drain\n"
+        )
+        code, out = run_cli(
+            capsys, "serve", "--dataset", "books", "--script", str(script),
+        )
+        assert code == 1  # nothing completed at all
+        assert "0 completed" in out
+
+
+class TestExitCodeTable:
+    """The README's exit-code contract, one row per code per command
+    family — the single place that pins all six codes at once."""
+
+    @staticmethod
+    def _stage_wal(capsys, tmp_path, torn=False):
+        from repro.durability import FileSystem, recover, wal_path
+
+        directory = str(tmp_path / "wal")
+        code, _ = run_cli(
+            capsys, "load", "--dataset", "books", "--wal", directory,
+            "--sync", "never",
+        )
+        assert code == 0
+        if torn:
+            probe = recover(directory, truncate=False)
+            io = FileSystem()
+            io.append(wal_path(directory, probe.wal_segment), b"\xff\xfebad")
+            io.close_all()
+        return directory
+
+    @staticmethod
+    def _write_expiring_script(tmp_path):
+        script = tmp_path / "all-expire.txt"
+        script.write_text("submit alpha default deadline=0.01\nadvance 9\n")
+        return str(script)
+
+    @pytest.mark.parametrize(
+        "expected,command,argv_builder",
+        [
+            # -- 0: success ------------------------------------------------
+            (0, "answer", lambda c, t: [
+                "answer", "--dataset", "books", "--strategy", "ref-gcov"]),
+            (0, "federate", lambda c, t: [
+                "federate", "--dataset", "books", "--endpoints", "2"]),
+            (0, "recover", lambda c, t: [
+                "recover", "--wal", TestExitCodeTable._stage_wal(c, t)]),
+            (0, "serve", lambda c, t: [
+                "serve", "--dataset", "books", "--requests", "4",
+                "--queue-depth", "4"]),
+            # -- 1: failure ------------------------------------------------
+            (1, "why", lambda c, t: [
+                "why", "--dataset", "books", "--triple",
+                "<http://nowhere/x> rdf:type <http://nowhere/Y>"]),
+            (1, "serve", lambda c, t: [
+                "serve", "--dataset", "books", "--script",
+                TestExitCodeTable._write_expiring_script(t)]),
+            # -- 2: usage --------------------------------------------------
+            (2, "answer", lambda c, t: [
+                "answer", "--dataset", "books", "--strategy", "ref-jucq"]),
+            (2, "serve", lambda c, t: [
+                "serve", "--dataset", "books", "--tenants", "a:b:c:d"]),
+            # -- 3: partial ------------------------------------------------
+            (3, "federate", lambda c, t: [
+                "federate", "--dataset", "books", "--endpoints", "2",
+                "--outage", "0", "--max-retries", "1"]),
+            (3, "serve", lambda c, t: [
+                "serve", "--dataset", "books", "--requests", "9",
+                "--queue-depth", "1", "--capacity", "1"]),
+            # -- 4: recovered after truncation ------------------------------
+            (4, "recover", lambda c, t: [
+                "recover", "--wal",
+                TestExitCodeTable._stage_wal(c, t, torn=True)]),
+            # -- 5: nothing to recover --------------------------------------
+            (5, "recover", lambda c, t: [
+                "recover", "--wal", str(t / "empty")]),
+            (5, "checkpoint", lambda c, t: [
+                "checkpoint", "--wal", str(t / "empty")]),
+        ],
+    )
+    def test_exit_code(self, capsys, tmp_path, expected, command, argv_builder):
+        code, _ = run_cli(capsys, *argv_builder(capsys, tmp_path))
+        assert code == expected

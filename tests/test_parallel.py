@@ -327,6 +327,64 @@ class TestSingleFlight:
         )
         assert (value, hit) == ("recovered", True)
 
+    def test_leader_failure_reelection_scripted(self, monkeypatch):
+        """The re-election path, deterministically: events script the
+        exact interleaving (leader claims → waiter provably parks on
+        the flight → leader fails → waiter is re-elected), with zero
+        timing-dependent sleeps."""
+        import repro.cache.cache as cache_module
+
+        parked = threading.Event()
+
+        class SignalingEvent(threading.Event):
+            # A flight waiter entering wait() is *observable*, so the
+            # test can order "waiter parked" before "leader fails".
+            def wait(self, timeout=None):
+                parked.set()
+                return super().wait(timeout)
+
+        monkeypatch.setattr(cache_module.threading, "Event", SignalingEvent)
+        cache = QueryCache()
+        key = self._key(cache, "scripted")
+        claimed = threading.Event()
+        release = threading.Event()
+
+        def explode():
+            claimed.set()
+            assert release.wait(timeout=5)
+            raise RuntimeError("reformulation failed")
+
+        failures = []
+
+        def leader():
+            try:
+                cache.get_or_compute("reformulation", key, explode)
+            except RuntimeError as exc:
+                failures.append(exc)
+
+        results = []
+        waiter_thread = threading.Thread(
+            target=lambda: results.append(
+                cache.get_or_compute("reformulation", key, lambda: "recovered")
+            )
+        )
+        leader_thread = threading.Thread(target=leader)
+        leader_thread.start()
+        assert claimed.wait(timeout=5)  # 1. leader owns the flight
+        waiter_thread.start()
+        assert parked.wait(timeout=5)  # 2. waiter is parked on it
+        release.set()  # 3. leader now fails
+        leader_thread.join(timeout=5)
+        waiter_thread.join(timeout=5)
+        # 4. the parked waiter was re-elected: it computed (hit=False),
+        # the failure stayed with the leader, the value is cached.
+        assert len(failures) == 1
+        assert results == [("recovered", False)]
+        assert cache.get_or_compute("reformulation", key, lambda: "x") == (
+            "recovered",
+            True,
+        )
+
     def test_distinct_keys_do_not_serialize(self):
         cache = QueryCache()
         started = threading.Barrier(2, timeout=5)
