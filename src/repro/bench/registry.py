@@ -338,6 +338,66 @@ def _quick_e18() -> str:
     )
 
 
+def _quick_e19() -> str:
+    from ..datasets import generate_lubm, lubm_queries
+    from ..rdf import Namespace, RDF_TYPE, Triple
+    from ..resilience.clock import FakeClock
+    from ..resilience.faults import FaultPlan
+    from ..service import (
+        LEVEL_NAMES,
+        QueryRequest,
+        QueryService,
+        ServiceChaos,
+        TenantConfig,
+    )
+
+    graph = generate_lubm(universities=1, seed=1)
+    query = lubm_queries()["Q1"]
+    clock = FakeClock(auto_advance=0.001)
+    chaos = ServiceChaos(
+        FaultPlan(seed=7, transient_rate=1.0), clock=clock, armed=False
+    )
+    service = QueryService(
+        graph,
+        tenants=[TenantConfig("gold", queue_depth=4)],
+        clock=clock,
+        brownout=True,
+        chaos=chaos,
+        breaker_threshold=0,
+    )
+
+    def round_trip() -> None:
+        service.submit(QueryRequest("gold", query))
+        service.step()
+
+    round_trip()  # warm the cache partition
+    noise = Namespace("http://example.org/e19-noise/")
+    service.insert(Triple(noise["visitor"], RDF_TYPE, noise.Visitor))
+    chaos.arm()  # every compute (and refresh) now fails...
+    for _ in range(4):
+        round_trip()  # ...so the ladder climbs to stale-serving
+    chaos.disarm()
+    for _ in range(10):
+        round_trip()  # refreshes succeed; the ladder walks back down
+    service.drain()
+    summary = service.describe()
+    return (
+        "1 tenant under a total transient fault: %d/%d completed "
+        "(%d stale serve(s), %d failed), ladder peaked at %s, "
+        "final level %s"
+        % (
+            summary["completed"],
+            summary["submitted"],
+            summary["stale_serves"],
+            summary["failed"],
+            LEVEL_NAMES[
+                max(t["to"] for t in summary["health"]["brownout"]["transitions"])
+            ],
+            summary["health"]["brownout"]["level_name"],
+        )
+    )
+
+
 EXPERIMENTS: List[Experiment] = [
     Experiment("E1", "Example 1's UCQ reformulation blow-up and parse failure",
                "benchmarks/bench_e1_reformulation_size.py", _quick_e1),
@@ -375,6 +435,8 @@ EXPERIMENTS: List[Experiment] = [
                "benchmarks/bench_e17_parallel.py", _quick_e17),
     Experiment("E18", "Multi-tenant serving: shed rate and latency under load",
                "benchmarks/bench_e18_service.py", _quick_e18),
+    Experiment("E19", "Degraded-mode serving: availability through a fault window",
+               "benchmarks/bench_e19_degraded.py", _quick_e19),
     Experiment("A1", "Ablation: exact statistics vs textbook uniformity",
                "benchmarks/bench_a1_statistics_ablation.py"),
     Experiment("A2", "Ablation: UCQ subsumption pruning",

@@ -190,9 +190,14 @@ class QueryCache:
         strategy: str,
         cover=None,
         extra: Hashable = None,
+        data_epoch: Optional[int] = None,
     ) -> Tuple:
         """The answer-tier key: reformulation identity plus dataset
-        token and the current epochs."""
+        token and the current epochs.  ``data_epoch`` overrides the
+        cache's current data epoch — epoch invalidation is *lazy*
+        (superseded entries linger in the LRU until aged out), so a
+        caller may deliberately probe an older epoch's key to find a
+        stale-but-servable answer (the stale-while-revalidate path)."""
         return (
             "answer",
             token,
@@ -201,7 +206,7 @@ class QueryCache:
             None if cover is None else cover_key(cover),
             schema.fingerprint(),
             policy_key(policy),
-            self.data_epoch,
+            self.data_epoch if data_epoch is None else data_epoch,
             self.schema_epoch,
             extra,
         )

@@ -33,12 +33,15 @@ Exit codes (documented in README.md):
       ``serve``: some requests shed, failed, or expired)
 4     recovered, but a torn/corrupt WAL tail was truncated
 5     nothing to recover (no checkpoint, no WAL records)
+6     degraded but served (``serve``: every request got an
+      answer, but some answers were stale or flagged partial)
 ====  =======================================================
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from typing import Optional
 
@@ -73,6 +76,7 @@ EXIT_USAGE = 2
 EXIT_PARTIAL = 3
 EXIT_RECOVERED_TRUNCATED = 4
 EXIT_NOTHING_TO_RECOVER = 5
+EXIT_DEGRADED = 6
 
 
 def _build_graph(args):
@@ -601,6 +605,9 @@ def _parse_serve_script(lines):
         release NAME
         insert SUBJECT PREDICATE OBJECT   (N-Triples terms; rdf:/rdfs: ok)
         advance SECONDS
+        chaos arm|disarm                  (toggle --chaos-* fault injection)
+        degrade LEVEL                     (force the brownout ladder, e.g.
+                                           ``degrade stale-serving``)
     """
     commands = []
     for lineno, raw in enumerate(lines, start=1):
@@ -624,6 +631,12 @@ def _parse_serve_script(lines):
                 commands.append(("insert", " ".join(parts[1:])))
             elif verb == "advance":
                 commands.append(("advance", float(parts[1])))
+            elif verb == "chaos":
+                if parts[1] not in ("arm", "disarm"):
+                    raise ValueError("chaos takes arm|disarm, got %r" % parts[1])
+                commands.append(("chaos", parts[1]))
+            elif verb == "degrade":
+                commands.append(("degrade", parts[1]))
             else:
                 raise ValueError("unknown verb %r" % verb)
         except (IndexError, ValueError) as exc:
@@ -655,17 +668,22 @@ def cmd_serve(args) -> int:
     and flags always produce the same admission decisions, schedule,
     and exit code.
 
-    Exit codes: 0 every submitted request completed, 3 some requests
-    were shed / failed / expired, 1 no request completed at all.
+    Exit codes: 0 every submitted request completed fresh, 6 every
+    request was answered but some answers were stale or flagged
+    partial (degraded-but-served), 3 some requests were shed / failed
+    / expired, 1 no request completed at all.
     """
     import json as json_module
 
     from .rdf.io import parse_line
     from .resilience.clock import FakeClock
+    from .resilience.faults import FaultPlan
     from .service import (
         AdmissionRejected,
+        LEVEL_NAMES,
         QueryRequest,
         QueryService,
+        ServiceChaos,
         TenantConfig,
     )
 
@@ -680,12 +698,30 @@ def cmd_serve(args) -> int:
         tenant.request_rows = args.row_budget
         tenant.request_seconds = args.timeout
     clock = FakeClock(auto_advance=args.tick)
+    chaos = None
+    if args.chaos_transient or args.chaos_latency_rate:
+        # A script drives its own fault window via ``chaos arm`` /
+        # ``chaos disarm``; synthetic workloads inject from the start.
+        chaos = ServiceChaos(
+            FaultPlan(
+                seed=args.chaos_seed,
+                transient_rate=args.chaos_transient,
+                latency_rate=args.chaos_latency_rate,
+                latency_seconds=args.chaos_latency_seconds,
+            ),
+            clock=clock,
+            armed=not args.script,
+        )
     service = QueryService(
         _build_graph(args),
         tenants=tenants,
         engine=args.engine,
         capacity=args.capacity,
         clock=clock,
+        brownout=True if args.brownout else None,
+        chaos=chaos,
+        watchdog_seconds=args.watchdog,
+        breaker_threshold=args.breaker_threshold,
     )
     if args.script:
         with open(args.script) as handle:
@@ -708,6 +744,7 @@ def cmd_serve(args) -> int:
         commands.append(("drain", None))
     pins = {}
     tickets = []
+    rejections = []
     for verb, payload in commands:
         if verb == "submit":
             tenant, name, options = payload
@@ -732,12 +769,17 @@ def cmd_serve(args) -> int:
             try:
                 tickets.append(service.submit(request))
             except AdmissionRejected as exc:
-                hint = (
-                    ""
-                    if exc.retry_after is None
-                    else " (retry after %.3fs)" % exc.retry_after
-                )
-                print("shed %s/%s: %s%s" % (tenant, name, exc.reason, hint))
+                rejections.append(dict(exc.diagnostics(), query=name))
+                if not args.json:  # JSON mode carries them in "rejections"
+                    hint = (
+                        ""
+                        if exc.retry_after is None
+                        else " (retry after %.3fs)" % exc.retry_after
+                    )
+                    print(
+                        "shed %s/%s: %s%s — %s"
+                        % (tenant, name, exc.reason, hint, exc)
+                    )
         elif verb == "step":
             for _ in range(payload):
                 service.step()
@@ -753,8 +795,25 @@ def cmd_serve(args) -> int:
             service.insert(parse_line(_expand_rdf_prefixes(payload) + " ."))
         elif verb == "advance":
             clock.advance(payload)
+        elif verb == "chaos":
+            if chaos is None:
+                print("serve script: 'chaos %s' without --chaos-* flags"
+                      % payload, file=sys.stderr)
+                return EXIT_USAGE
+            chaos.arm() if payload == "arm" else chaos.disarm()
+        elif verb == "degrade":
+            if service.brownout is None:
+                print("serve script: 'degrade' requires --brownout",
+                      file=sys.stderr)
+                return EXIT_USAGE
+            if payload not in LEVEL_NAMES:
+                print("serve script: unknown level %r (one of %s)"
+                      % (payload, ", ".join(LEVEL_NAMES)), file=sys.stderr)
+                return EXIT_USAGE
+            service.brownout.force(LEVEL_NAMES.index(payload), "script")
     service.drain()
     summary = service.describe()
+    summary["rejections"] = rejections
     if args.json:
         print(json_module.dumps(summary, indent=2, sort_keys=True))
     else:
@@ -767,6 +826,8 @@ def cmd_serve(args) -> int:
                 bucket["expired"],
                 bucket["shed_total"],
                 "%d/%d" % (bucket["cache_hits"], bucket["cache_misses"]),
+                bucket["stale_serves"],
+                bucket["degraded"],
                 "%.1f" % (bucket["latency"]["p50"] * 1e3),
                 "%.1f" % (bucket["latency"]["p95"] * 1e3),
             ]
@@ -775,7 +836,7 @@ def cmd_serve(args) -> int:
         print(
             format_table(
                 ["tenant", "sub", "done", "fail", "exp", "shed",
-                 "hit/miss", "p50 ms", "p95 ms"],
+                 "hit/miss", "stale", "degr", "p50 ms", "p95 ms"],
                 rows,
                 title="serving session (%s, capacity %d)"
                 % (args.engine, args.capacity),
@@ -796,10 +857,32 @@ def cmd_serve(args) -> int:
                 "y" if summary["snapshots"]["frozen_copies"] == 1 else "ies",
             )
         )
+        health = summary["health"]
+        monitor = health["monitor"]
+        level = (
+            health["brownout"]["level_name"]
+            if "brownout" in health
+            else "normal (no brownout)"
+        )
+        open_breakers = monitor["open_breakers"]
+        print(
+            "health: level %s; %d stale serve(s), %d degraded answer(s), "
+            "%d/%d refresh(es) failed; breakers open: %s"
+            % (
+                level,
+                monitor["stale_serves"],
+                monitor["degraded_answers"],
+                monitor["refresh_failures"],
+                monitor["refreshes"],
+                ", ".join(open_breakers) if open_breakers else "none",
+            )
+        )
     if summary["completed"] == 0:
         return EXIT_FAILURE
     if summary["shed"] or summary["failed"] or summary["expired"]:
         return EXIT_PARTIAL
+    if summary["stale_serves"] or summary["degraded"]:
+        return EXIT_DEGRADED
     return EXIT_OK
 
 
@@ -1024,8 +1107,8 @@ def build_parser() -> argparse.ArgumentParser:
     serve = subparsers.add_parser(
         "serve",
         help="run a scripted multi-tenant serving session (exit 0 all "
-             "completed / 3 some shed, failed or expired / 1 none "
-             "completed)",
+             "completed fresh / 6 served but some stale or partial / 3 "
+             "some shed, failed or expired / 1 none completed)",
     )
     add_common(serve)
     serve.add_argument("--tenants", nargs="+", default=["alpha:2", "beta:1"],
@@ -1061,6 +1144,33 @@ def build_parser() -> argparse.ArgumentParser:
                             "the session clock is deterministic)")
     serve.add_argument("--json", action="store_true",
                        help="print the full service metrics as JSON")
+    serve.add_argument("--brownout", action="store_true",
+                       help="enable the degradation ladder (drop parallelism "
+                            "→ partial answers → stale-serving → shed) with "
+                            "the default policy")
+    serve.add_argument("--watchdog", type=_positive_float, default=None,
+                       metavar="SECONDS",
+                       help="hard wall-clock ceiling per execution, enforced "
+                            "through the sibling-abort budget machinery")
+    serve.add_argument("--breaker-threshold", type=_positive_int, default=None,
+                       help="consecutive failures before a tenant's circuit "
+                            "breaker opens (default 5 with --brownout; "
+                            "omit both to disable)")
+    serve.add_argument("--chaos-seed", type=int,
+                       default=int(os.environ.get("REPRO_CHAOS_SEED", "0")),
+                       help="fault-plan seed for --chaos-* injection "
+                            "(default $REPRO_CHAOS_SEED or 0)")
+    serve.add_argument("--chaos-transient", type=float, default=0.0,
+                       metavar="RATE",
+                       help="probability an execution fails with an injected "
+                            "transient fault")
+    serve.add_argument("--chaos-latency-rate", type=float, default=0.0,
+                       metavar="RATE",
+                       help="probability an execution sleeps an injected "
+                            "delay first")
+    serve.add_argument("--chaos-latency-seconds", type=_positive_float,
+                       default=0.05, metavar="SECONDS",
+                       help="size of the injected delay (default 0.05)")
     serve.set_defaults(func=cmd_serve)
 
     experiments = subparsers.add_parser(

@@ -86,6 +86,26 @@ class CircuitBreaker:
                 % (what, self._consecutive_failures, self.cooldown_seconds)
             )
 
+    def cooldown_remaining(self) -> float:
+        """Seconds until an open circuit goes half-open (0.0 when the
+        circuit is not open — there is nothing to wait for)."""
+        if self.state != OPEN:
+            return 0.0
+        elapsed = self.clock.monotonic() - self._opened_at
+        return max(0.0, self.cooldown_seconds - elapsed)
+
+    def as_dict(self) -> dict:
+        """JSON-ready snapshot for health reports."""
+        return {
+            "state": self.state,
+            "consecutive_failures": self._consecutive_failures,
+            "failure_threshold": self.failure_threshold,
+            "cooldown_seconds": self.cooldown_seconds,
+            "cooldown_remaining": self.cooldown_remaining(),
+            "times_opened": self.times_opened,
+            "rejected_requests": self.rejected_requests,
+        }
+
     def record_success(self) -> None:
         self._consecutive_failures = 0
         self._state = CLOSED

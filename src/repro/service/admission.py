@@ -40,6 +40,10 @@ DEFAULT_SERVICE_SECONDS = 0.05
 REASON_UNKNOWN_TENANT = "unknown-tenant"
 REASON_QUEUE_FULL = "queue-full"
 REASON_QUOTA_EXHAUSTED = "quota-exhausted"
+#: Shed by the brownout ladder at shed-new-work (service-wide).
+REASON_BROWNOUT = "brownout-shed"
+#: Shed because the tenant's own circuit breaker is open.
+REASON_TENANT_BREAKER = "breaker-open"
 
 
 class TenantConfig:
@@ -325,8 +329,10 @@ __all__ = [
     "AdmissionController",
     "AdmissionRejected",
     "DEFAULT_SERVICE_SECONDS",
+    "REASON_BROWNOUT",
     "REASON_QUEUE_FULL",
     "REASON_QUOTA_EXHAUSTED",
+    "REASON_TENANT_BREAKER",
     "REASON_UNKNOWN_TENANT",
     "SCALE",
     "TenantConfig",

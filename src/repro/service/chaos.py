@@ -1,0 +1,89 @@
+"""Service-level chaos: inject faults *inside* the serving loop.
+
+PR 2's :class:`~repro.resilience.faults.FaultPlan` injects faults at
+the federated-endpoint boundary; :class:`ServiceChaos` adapts the same
+seeded plan to the :class:`~repro.service.service.QueryService`
+execution path, so answerer/store faults hit requests that never touch
+federation.  The service calls :meth:`maybe_fail` once per execution
+(and per stale refresh), in deterministic scheduling order, so a
+(seed, request sequence) pair replays the identical fault schedule —
+the property E19 and the chaos-serving CI matrix rely on.
+
+``arm()``/``disarm()`` switch injection on and off without consuming
+plan draws, which is how benchmark schedules model a fault *window*:
+the draws while disarmed are simply not taken, so the post-window
+world is fault-free regardless of the plan's rates.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from ..resilience.clock import Clock, SYSTEM_CLOCK
+from ..resilience.errors import EndpointOutage, TransientEndpointError
+from ..resilience.faults import FaultPlan
+
+
+class ServiceChaos:
+    """Applies a :class:`FaultPlan` to serving-loop executions."""
+
+    def __init__(
+        self,
+        plan: FaultPlan,
+        clock: Optional[Clock] = None,
+        armed: bool = True,
+    ):
+        self.plan = plan
+        self.clock = clock if clock is not None else SYSTEM_CLOCK
+        self.armed = armed
+        self.injected: Dict[str, int] = {
+            "transient": 0,
+            "outage": 0,
+            "latency": 0,
+        }
+
+    def arm(self) -> None:
+        self.armed = True
+
+    def disarm(self) -> None:
+        self.armed = False
+
+    def maybe_fail(self, what: str = "request") -> None:
+        """Consume one plan draw and inject its faults: added latency
+        is slept on the injected clock (so watchdog budgets observe
+        it), then outages/transients raise.  No-op while disarmed."""
+        if not self.armed:
+            return
+        decision = self.plan.decide()
+        if decision.latency_seconds > 0:
+            self.injected["latency"] += 1
+            self.clock.sleep(decision.latency_seconds)
+        if decision.outage:
+            self.injected["outage"] += 1
+            raise EndpointOutage(
+                "%s failed: injected outage" % (what,), endpoint_name="service"
+            )
+        if decision.transient:
+            self.injected["transient"] += 1
+            raise TransientEndpointError(
+                "%s failed: injected transient fault" % (what,),
+                endpoint_name="service",
+            )
+
+    def as_dict(self) -> dict:
+        return {
+            "armed": self.armed,
+            "seed": self.plan.seed,
+            "requests_seen": self.plan.requests_seen,
+            "injected": dict(self.injected),
+        }
+
+    def __repr__(self) -> str:
+        return "ServiceChaos(%r, armed=%s, injected=%r)" % (
+            self.plan,
+            self.armed,
+            self.injected,
+        )
+
+
+__all__ = ["ServiceChaos"]

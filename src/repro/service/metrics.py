@@ -43,6 +43,19 @@ class TenantMetrics:
         #: sibling-abort copies land here via ``BudgetExceeded.owner``,
         #: never on the tenant that merely shared the worker pool.
         self.budget_trips = 0
+        #: Budget aborts split by ``BudgetExceeded.kind`` ("rows" /
+        #: "time"), from the exception's own ``details`` attribution.
+        self.aborted: Dict[str, int] = {}
+        #: The request labels (``tenant/req-N``) whose budgets tripped,
+        #: so overruns are queryable per request, not just per tenant.
+        self.aborted_requests: List[str] = []
+        #: Failures split by exception class name.
+        self.failures_by_reason: Dict[str, int] = {}
+        #: Degraded-mode serving counters.
+        self.degraded = 0
+        self.stale_serves = 0
+        self.refreshes = 0
+        self.refresh_failures = 0
         self.latencies: List[float] = []
         self.queue_waits: List[float] = []
         self.service_times: List[float] = []
@@ -63,6 +76,13 @@ class TenantMetrics:
             "cache_hits": self.cache_hits,
             "cache_misses": self.cache_misses,
             "budget_trips": self.budget_trips,
+            "aborted": dict(sorted(self.aborted.items())),
+            "aborted_requests": list(self.aborted_requests),
+            "failures_by_reason": dict(sorted(self.failures_by_reason.items())),
+            "degraded": self.degraded,
+            "stale_serves": self.stale_serves,
+            "refreshes": self.refreshes,
+            "refresh_failures": self.refresh_failures,
             "latency": {
                 "p50": percentile(self.latencies, 0.50),
                 "p95": percentile(self.latencies, 0.95),
@@ -118,6 +138,7 @@ class ServiceMetrics:
         latency_seconds: float,
         rows: int,
         cache: Optional[str] = None,
+        degraded: bool = False,
     ) -> None:
         with self._lock:
             bucket = self._bucket(tenant)
@@ -130,17 +151,46 @@ class ServiceMetrics:
                 bucket.cache_hits += 1
             elif cache == "miss":
                 bucket.cache_misses += 1
+            elif cache == "stale":
+                bucket.stale_serves += 1
+            if degraded:
+                bucket.degraded += 1
 
-    def note_failed(self, tenant: str) -> None:
+    def note_failed(self, tenant: str, reason: Optional[str] = None) -> None:
         with self._lock:
-            self._bucket(tenant).failed += 1
+            bucket = self._bucket(tenant)
+            bucket.failed += 1
+            if reason:
+                bucket.failures_by_reason[reason] = (
+                    bucket.failures_by_reason.get(reason, 0) + 1
+                )
 
-    def note_budget_trip(self, owner_tenant: str) -> None:
+    def note_budget_trip(
+        self,
+        owner_tenant: str,
+        owner: Optional[str] = None,
+        kind: Optional[str] = None,
+    ) -> None:
         """Attribute one budget overrun to its *originating* tenant —
         callers pass the tenant parsed from ``BudgetExceeded.owner``,
-        not the tenant whose worker happened to observe the abort."""
+        not the tenant whose worker happened to observe the abort.
+        ``owner``/``kind`` (from ``BudgetExceeded.details``) keep the
+        per-request and rows-vs-time breakdown queryable."""
         with self._lock:
-            self._bucket(owner_tenant).budget_trips += 1
+            bucket = self._bucket(owner_tenant)
+            bucket.budget_trips += 1
+            if kind:
+                bucket.aborted[kind] = bucket.aborted.get(kind, 0) + 1
+            if owner:
+                bucket.aborted_requests.append(owner)
+
+    def note_refresh(self, tenant: str, ok: bool) -> None:
+        """A single-flight stale refresh finished for *tenant*."""
+        with self._lock:
+            bucket = self._bucket(tenant)
+            bucket.refreshes += 1
+            if not ok:
+                bucket.refresh_failures += 1
 
     # ------------------------------------------------------------------
     # Aggregate views
@@ -159,6 +209,10 @@ class ServiceMetrics:
             "cache_hits": sum(b.cache_hits for b in buckets),
             "cache_misses": sum(b.cache_misses for b in buckets),
             "budget_trips": sum(b.budget_trips for b in buckets),
+            "degraded": sum(b.degraded for b in buckets),
+            "stale_serves": sum(b.stale_serves for b in buckets),
+            "refreshes": sum(b.refreshes for b in buckets),
+            "refresh_failures": sum(b.refresh_failures for b in buckets),
         }
 
     def shed_rate(self) -> float:

@@ -93,8 +93,10 @@ class Ticket:
         self.error: Optional[BaseException] = None
         self.started_at: Optional[float] = None
         self.finished_at: Optional[float] = None
-        #: ``"hit"`` / ``"miss"`` when the tenant cache partition was
-        #: consulted, None for uncacheable (snapshot-pinned) reads.
+        #: ``"hit"`` / ``"miss"`` / ``"stale"`` when the tenant cache
+        #: partition was consulted (``"stale"`` = an expired entry was
+        #: served under stale-while-revalidate), None for uncacheable
+        #: (snapshot-pinned) reads.
         self.cache: Optional[str] = None
 
     @property
@@ -105,6 +107,19 @@ class Ticket:
     @property
     def answer(self):
         return None if self.report is None else self.report.answer
+
+    @property
+    def degraded(self) -> bool:
+        """Did the answer go out flagged as a truncated partial
+        (brownout partial-answers mode)?"""
+        return self.report is not None and bool(
+            self.report.details.get("partial")
+        )
+
+    @property
+    def stale(self) -> bool:
+        """Was an expired cache entry served (stale-while-revalidate)?"""
+        return self.report is not None and bool(self.report.details.get("stale"))
 
     def queue_seconds(self) -> Optional[float]:
         if self.started_at is None:

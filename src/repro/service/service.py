@@ -22,28 +22,61 @@ writer :class:`~repro.core.answerer.QueryAnswerer`:
   token; all partitions watch the one shared store, so a write
   invalidates every tenant's answers at the same epoch (shared-epoch
   invalidation: no tenant can read another tenant's entries, and no
-  tenant can read stale data either);
+  tenant can read stale data either — unless the brownout ladder has
+  *explicitly* opened the stale-while-revalidate window, in which case
+  expired entries are served tagged ``stale=True``);
 * **snapshot reads** — :meth:`pin` hands out an epoch-pinned
   :class:`~repro.storage.snapshot.StoreSnapshot`; a request carrying
   one is answered by a reader answerer materialized from the pinned
-  state, byte-identical no matter what the writer does concurrently.
+  state, byte-identical no matter what the writer does concurrently;
+* **degraded-mode serving** — an optional
+  :class:`~repro.service.degrade.BrownoutController` observes per-round
+  :class:`~repro.service.health.HealthMonitor` signals and walks the
+  degradation ladder; the service derives per-request effective
+  budgets, parallelism, partial-answer opt-in, stale-serving, and
+  front-door shedding from the current level.  Per-tenant circuit
+  breakers shed a pathological tenant's requests at the door before
+  its failures can drag the ladder down for everyone else, a watchdog
+  bounds every execution's wall-clock via the sibling-abort budget
+  machinery, and an optional :class:`~repro.service.chaos.ServiceChaos`
+  injects seeded faults inside this very serving loop.
 """
 
 from __future__ import annotations
 
+import threading
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from ..cache import QueryCache, dataset_token
+from ..cache.keys import cover_key, query_key
 from ..core.answerer import AnswerReport, QueryAnswerer, Strategy
 from ..parallel import ExecutorPool
 from ..reformulation.engine import ReformulationTooLarge
 from ..resilience.clock import Clock, SYSTEM_CLOCK
-from ..resilience.errors import BudgetExceeded
+from ..resilience.errors import BudgetExceeded, EndpointFailure
 from ..storage.backends import QueryTooLargeError
 from ..storage.snapshot import SnapshotManager, StoreSnapshot
-from .admission import AdmissionController, AdmissionRejected, TenantConfig
+from .admission import (
+    AdmissionController,
+    AdmissionRejected,
+    REASON_BROWNOUT,
+    REASON_TENANT_BREAKER,
+    TenantConfig,
+)
+from .chaos import ServiceChaos
+from .degrade import BrownoutController, BrownoutPolicy
+from .health import DEFAULT_BREAKER_COOLDOWN, DEFAULT_BREAKER_THRESHOLD, HealthMonitor
 from .metrics import ServiceMetrics
 from .request import DONE, FAILED, RUNNING, QueryRequest, Ticket
+
+#: Exceptions the serving loop absorbs into a FAILED ticket (everything
+#: else is a programming error and propagates).
+_SERVING_ERRORS = (
+    BudgetExceeded,
+    ReformulationTooLarge,
+    QueryTooLargeError,
+    EndpointFailure,
+)
 
 
 class QueryService:
@@ -58,6 +91,21 @@ class QueryService:
     timestamp, deadline, and retry-after hint — tests inject a
     :class:`~repro.resilience.clock.FakeClock` and replay identical
     schedules.
+
+    Degraded-mode knobs (all optional):
+
+    * ``brownout`` — ``True`` for the default
+      :class:`~repro.service.degrade.BrownoutPolicy`, a policy, or a
+      ready :class:`~repro.service.degrade.BrownoutController`;
+    * ``watchdog_seconds`` — a hard wall-clock ceiling applied to every
+      execution (min'd with the tenant's own time budget) so no single
+      reformulation blowup can occupy a slot forever;
+    * ``breaker_threshold`` / ``breaker_cooldown`` — per-tenant circuit
+      breakers (threshold consecutive failures open the tenant's
+      breaker; ``0`` disables).  Enabled by default when ``brownout``
+      is set;
+    * ``chaos`` — a :class:`~repro.service.chaos.ServiceChaos` whose
+      seeded faults are injected per execution and per stale refresh.
     """
 
     def __init__(
@@ -72,6 +120,11 @@ class QueryService:
         pool: Optional[ExecutorPool] = None,
         cache_answers: int = 512,
         cache_reformulations: int = 128,
+        brownout: Union[None, bool, BrownoutPolicy, BrownoutController] = None,
+        chaos: Optional[ServiceChaos] = None,
+        watchdog_seconds: Optional[float] = None,
+        breaker_threshold: Optional[int] = None,
+        breaker_cooldown: float = DEFAULT_BREAKER_COOLDOWN,
     ):
         self.clock = clock if clock is not None else SYSTEM_CLOCK
         self.engine = engine
@@ -86,6 +139,33 @@ class QueryService:
         )
         self.capacity = capacity
         self.metrics = ServiceMetrics([c.name for c in configs])
+        # Degraded-mode serving: ladder, health, chaos, watchdog.
+        if brownout is True:
+            brownout = BrownoutController(clock=self.clock)
+        elif isinstance(brownout, BrownoutPolicy):
+            brownout = BrownoutController(brownout, clock=self.clock)
+        self.brownout: Optional[BrownoutController] = brownout
+        self.chaos = chaos
+        if watchdog_seconds is not None and watchdog_seconds <= 0:
+            raise ValueError(
+                "watchdog_seconds must be > 0, got %r" % (watchdog_seconds,)
+            )
+        self.watchdog_seconds = watchdog_seconds
+        if breaker_threshold is None and brownout is not None:
+            breaker_threshold = DEFAULT_BREAKER_THRESHOLD
+        self.health = HealthMonitor(
+            [c.name for c in configs],
+            total_queue_depth=sum(c.queue_depth for c in configs),
+            clock=self.clock,
+            breaker_threshold=breaker_threshold,
+            breaker_cooldown=breaker_cooldown,
+        )
+        # Stale-while-revalidate bookkeeping: logical keys with a
+        # refresh in flight (single-flight), and the FIFO of refreshes
+        # step() works through.
+        self._refreshing: set = set()
+        self._pending_refreshes: List[QueryRequest] = []
+        self._refresh_lock = threading.RLock()
         # Per-tenant cache partitions: private entries (one dataset
         # token per tenant keeps keys disjoint even if partitions were
         # ever merged), shared invalidation epochs via the one store.
@@ -105,12 +185,43 @@ class QueryService:
 
     def submit(self, request: QueryRequest) -> Ticket:
         """Admit *request*, or shed it with
-        :class:`~repro.service.admission.AdmissionRejected`."""
+        :class:`~repro.service.admission.AdmissionRejected`.
+
+        Health gates run before the admission controller: at
+        shed-new-work every submission is refused with a retry-after
+        hint, and a tenant whose circuit breaker is open is refused
+        until the cooldown elapses.  Neither gate feeds the ladder's
+        shed signal — brownout sheds are the *remedy*, and breaker
+        sheds are tenant-local quarantine; only genuine queue/quota
+        sheds indicate service-wide overload."""
         self.metrics.note_submitted(request.tenant)
+        self.health.note_submitted()
+        if self.brownout is not None and self.brownout.shed_new_work:
+            self.metrics.note_shed(request.tenant, REASON_BROWNOUT)
+            raise AdmissionRejected(
+                "service degraded to %s; not accepting new work"
+                % self.brownout.level_name,
+                tenant=request.tenant,
+                reason=REASON_BROWNOUT,
+                retry_after=self.admission.retry_after(),
+                queued=self.admission.backlog(request.tenant),
+            )
+        breaker = self.health.breaker_for(request.tenant)
+        if breaker is not None and not breaker.allow():
+            self.metrics.note_shed(request.tenant, REASON_TENANT_BREAKER)
+            raise AdmissionRejected(
+                "tenant %r circuit open after repeated failures"
+                % (request.tenant,),
+                tenant=request.tenant,
+                reason=REASON_TENANT_BREAKER,
+                retry_after=breaker.cooldown_remaining(),
+                queued=self.admission.backlog(request.tenant),
+            )
         try:
             ticket = self.admission.submit(request)
         except AdmissionRejected as exc:
             self.metrics.note_shed(request.tenant, exc.reason)
+            self.health.note_shed()
             raise
         self.metrics.note_admitted(request.tenant)
         return ticket
@@ -149,13 +260,21 @@ class QueryService:
 
     def step(self) -> List[Ticket]:
         """Run one scheduling round: dequeue up to ``capacity`` tickets
-        in weighted-fair order, execute them, account them.  Returns
-        the tickets that left the queue this round (done, failed, or
-        expired), in scheduling order."""
+        in weighted-fair order, execute them, account them, work one
+        slice of pending stale refreshes, then feed the round's health
+        signals to the brownout ladder.  Returns the tickets that left
+        the queue this round (done, failed, or expired), in scheduling
+        order."""
         runnable, expired = self.admission.next_batch(self.capacity)
         for ticket in expired:
             self.metrics.note_expired(ticket.request.tenant)
-        if self.pool is not None and self.pool.usable() and len(runnable) > 1:
+        use_pool = (
+            self.pool is not None
+            and self.pool.usable()
+            and len(runnable) > 1
+            and (self.brownout is None or self.brownout.allows_parallelism)
+        )
+        if use_pool:
             # The pool call only parallelizes evaluation; results land
             # on the tickets, and accounting below runs in scheduling
             # order, so the metrics stream is identical to a serial
@@ -166,14 +285,19 @@ class QueryService:
                 self._execute(ticket)
         for ticket in runnable:
             self._account(ticket)
+        self._run_refreshes()
+        signals = self.health.end_round(self.admission.backlog())
+        if self.brownout is not None:
+            self.brownout.observe(signals)
         return runnable + expired
 
     def drain(self, max_steps: int = 10_000) -> List[Ticket]:
         """Step until every queue is empty; returns all finished
-        tickets in completion order."""
+        tickets in completion order.  Pending stale refreshes are
+        worked to completion too — drain leaves no background work."""
         finished: List[Ticket] = []
         steps = 0
-        while self.admission.backlog() > 0:
+        while self.admission.backlog() > 0 or self._pending_refreshes:
             steps += 1
             if steps > max_steps:
                 raise RuntimeError(
@@ -202,6 +326,48 @@ class QueryService:
             self._readers[snapshot.epoch] = reader
         return reader, True
 
+    def _answer_cache_key(
+        self,
+        cache: QueryCache,
+        request: QueryRequest,
+        answerer: QueryAnswerer,
+        data_epoch: Optional[int] = None,
+    ):
+        return cache.answer_key(
+            self._tokens[request.tenant],
+            request.query,
+            answerer.schema,
+            answerer.policy,
+            request.strategy.value,
+            cover=request.cover if request.strategy is Strategy.REF_JUCQ else None,
+            extra=("service", self.engine),
+            data_epoch=data_epoch,
+        )
+
+    def _budget_kwargs(self, config: TenantConfig, owner: str, degrade: bool) -> dict:
+        """The budget kwargs for one execution: the tenant's configured
+        budgets, tightened by the ladder when *degrade* is set, then
+        capped by the watchdog's hard wall-clock ceiling."""
+        row_budget = config.request_rows
+        time_budget = config.request_seconds
+        if degrade and self.brownout is not None:
+            row_budget, time_budget = self.brownout.effective_budgets(
+                row_budget, time_budget
+            )
+        if self.watchdog_seconds is not None and self.engine != "sqlite":
+            time_budget = (
+                self.watchdog_seconds
+                if time_budget is None
+                else min(time_budget, self.watchdog_seconds)
+            )
+        if row_budget is None and time_budget is None:
+            return {}
+        return {
+            "row_budget": row_budget,
+            "time_budget": time_budget,
+            "budget_owner": owner,
+        }
+
     def _execute(self, ticket: Ticket) -> None:
         request = ticket.request
         ticket.status = RUNNING
@@ -211,17 +377,7 @@ class QueryService:
         cache = None if pinned else self._caches.get(request.tenant)
         key = None
         if cache is not None:
-            key = cache.answer_key(
-                self._tokens[request.tenant],
-                request.query,
-                answerer.schema,
-                answerer.policy,
-                request.strategy.value,
-                cover=request.cover
-                if request.strategy is Strategy.REF_JUCQ
-                else None,
-                extra=("service", self.engine),
-            )
+            key = self._answer_cache_key(cache, request, answerer)
             hit = cache.lookup_answer(key)
             if hit is not None:
                 answer, details = hit
@@ -237,25 +393,25 @@ class QueryService:
                     details,
                 )
                 return
-        kwargs = {}
-        if config.request_rows is not None or config.request_seconds is not None:
-            kwargs = {
-                "row_budget": config.request_rows,
-                "time_budget": config.request_seconds,
-                "budget_owner": ticket.owner,
-            }
+            if self.brownout is not None and self.brownout.serve_stale:
+                if self._serve_stale(ticket, cache, request, answerer):
+                    return
+        kwargs = self._budget_kwargs(config, ticket.owner, degrade=True)
+        if self.brownout is not None and self.brownout.allow_partial:
+            # Only the pipelined engine carries partial rows on the
+            # exception; elsewhere the flag is a harmless no-op and the
+            # overrun still fails the ticket.
+            kwargs["allow_partial"] = True
         try:
+            if self.chaos is not None:
+                self.chaos.maybe_fail("request %s" % ticket.owner)
             report = answerer.answer(
                 request.query,
                 request.strategy,
                 cover=request.cover,
                 **kwargs,
             )
-        except (
-            BudgetExceeded,
-            ReformulationTooLarge,
-            QueryTooLargeError,
-        ) as exc:
+        except _SERVING_ERRORS as exc:
             ticket.error = exc
             ticket.status = FAILED
         else:
@@ -263,13 +419,146 @@ class QueryService:
             ticket.status = DONE
             if key is not None:
                 ticket.cache = "miss"
-                cache.store_answer(key, (report.answer, dict(report.details)))
+                if not report.details.get("partial"):
+                    # Degraded partials are never written back: the
+                    # cache holds only full answers, so later readers
+                    # (and stale-serving) can trust every entry.
+                    cache.store_answer(key, (report.answer, dict(report.details)))
         ticket.finished_at = self.clock.monotonic()
+
+    # ------------------------------------------------------------------
+    # Stale-while-revalidate
+
+    def _refresh_key(self, request: QueryRequest):
+        """The single-flight identity of a refresh: epoch-independent,
+        so one refresh is in flight per logical query per tenant no
+        matter how many stale serves it backs."""
+        return (
+            request.tenant,
+            request.strategy.value,
+            query_key(request.query),
+            None if request.cover is None else cover_key(request.cover),
+        )
+
+    def _serve_stale(
+        self,
+        ticket: Ticket,
+        cache: QueryCache,
+        request: QueryRequest,
+        answerer: QueryAnswerer,
+    ) -> bool:
+        """Serve an expired cache entry if one is still reachable.
+
+        Epoch invalidation is lazy — superseded entries linger in the
+        LRU — so probing the previous ``stale_max_epochs`` data epochs'
+        keys finds answers invalidated by recent writes.  A hit is
+        served tagged ``stale=True`` (age included) and a single-flight
+        background refresh is scheduled; anything older than the window
+        is unreachable, so a stale serve never outlives the next epoch
+        beyond the policy's bound."""
+        policy = self.brownout.policy
+        current_epoch = cache.data_epoch
+        for age in range(1, policy.stale_max_epochs + 1):
+            epoch = current_epoch - age
+            if epoch < 0:
+                break
+            stale_key = self._answer_cache_key(
+                cache, request, answerer, data_epoch=epoch
+            )
+            hit = cache.lookup_answer(stale_key)
+            if hit is None:
+                continue
+            answer, details = hit
+            scheduled = self._schedule_refresh(request)
+            ticket.cache = "stale"
+            ticket.status = DONE
+            ticket.finished_at = self.clock.monotonic()
+            details = dict(details)
+            details["stale"] = {
+                "age_epochs": age,
+                "served_epoch": epoch,
+                "current_epoch": current_epoch,
+                "refresh_scheduled": scheduled,
+            }
+            details["cache"] = {"answer": "stale", "tenant": request.tenant}
+            ticket.report = AnswerReport(
+                request.strategy,
+                answer,
+                ticket.finished_at - ticket.started_at,
+                details,
+            )
+            return True
+        return False
+
+    def _schedule_refresh(self, request: QueryRequest) -> bool:
+        """Queue a background recompute for *request*'s logical query;
+        single-flight per :meth:`_refresh_key`."""
+        logical = self._refresh_key(request)
+        with self._refresh_lock:
+            if logical in self._refreshing:
+                return False
+            self._refreshing.add(logical)
+            self._pending_refreshes.append(request)
+            return True
+
+    def _run_refreshes(self) -> None:
+        """Work up to ``refreshes_per_round`` pending refreshes.  A
+        successful recompute stores a genuinely fresh entry (current
+        epochs); a failure releases the single-flight guard so a later
+        stale serve can retry — and feeds the health monitor's refresh
+        canary, which is what holds the ladder down while the fault
+        persists."""
+        if self.brownout is None:
+            return
+        quota = self.brownout.policy.refreshes_per_round
+        while quota > 0 and self._pending_refreshes:
+            quota -= 1
+            with self._refresh_lock:
+                if not self._pending_refreshes:
+                    break
+                request = self._pending_refreshes.pop(0)
+            logical = self._refresh_key(request)
+            config = self.admission.tenants.get(request.tenant)
+            ok = False
+            try:
+                if self.chaos is not None:
+                    self.chaos.maybe_fail("refresh %s" % (request.tenant,))
+                kwargs = (
+                    self._budget_kwargs(
+                        config, "%s/refresh" % request.tenant, degrade=False
+                    )
+                    if config is not None
+                    else {}
+                )
+                report = self.answerer.answer(
+                    request.query,
+                    request.strategy,
+                    cover=request.cover,
+                    **kwargs,
+                )
+            except _SERVING_ERRORS:
+                ok = False
+            else:
+                ok = True
+                cache = self._caches.get(request.tenant)
+                if cache is not None and not report.details.get("partial"):
+                    key = self._answer_cache_key(cache, request, self.answerer)
+                    cache.store_answer(key, (report.answer, dict(report.details)))
+            finally:
+                with self._refresh_lock:
+                    self._refreshing.discard(logical)
+            self.health.note_refresh(ok)
+            self.metrics.note_refresh(request.tenant, ok)
+
+    # ------------------------------------------------------------------
+    # Accounting
 
     def _account(self, ticket: Ticket) -> None:
         tenant = ticket.request.tenant
         if ticket.status == DONE:
             self.admission.note_service_time(ticket.service_seconds())
+            stale = ticket.cache == "stale"
+            degraded = ticket.degraded
             self.metrics.note_completed(
                 tenant,
                 ticket.queue_seconds(),
@@ -277,6 +566,13 @@ class QueryService:
                 ticket.latency_seconds(),
                 ticket.report.cardinality,
                 ticket.cache,
+                degraded=degraded,
+            )
+            self.health.note_completed(
+                tenant,
+                ticket.latency_seconds(),
+                stale=stale,
+                degraded=degraded,
             )
             try:
                 # Standing quota is charged on *answer rows* — an
@@ -287,19 +583,42 @@ class QueryService:
                 # The answer stands; the tenant's later submits shed.
                 pass
         elif ticket.status == FAILED:
-            self.metrics.note_failed(tenant)
+            self.metrics.note_failed(tenant, reason=type(ticket.error).__name__)
+            self.health.note_failure(tenant)
             if isinstance(ticket.error, BudgetExceeded):
                 # Attribute the overrun to the owner stamped on the
                 # budget — under fan-out the observing worker may be a
                 # sibling, but the owner names the true originator.
                 owner = getattr(ticket.error, "owner", None) or ticket.owner
-                self.metrics.note_budget_trip(owner.split("/")[0])
+                self.metrics.note_budget_trip(
+                    owner.split("/")[0],
+                    owner=owner,
+                    kind=getattr(ticket.error, "kind", None),
+                )
 
     # ------------------------------------------------------------------
     # Observability
 
     def cache_stats(self) -> Dict[str, dict]:
         return {name: cache.stats() for name, cache in sorted(self._caches.items())}
+
+    def health_report(self) -> dict:
+        """The JSON-ready health section: ladder state, per-tenant
+        breakers, EWMAs, stale/shed counters, chaos injections."""
+        payload = {
+            "monitor": self.health.as_dict(),
+            "breakers": {
+                name: breaker.as_dict()
+                for name, breaker in sorted(self.health.breakers.items())
+            },
+            "watchdog_seconds": self.watchdog_seconds,
+            "pending_refreshes": len(self._pending_refreshes),
+        }
+        if self.brownout is not None:
+            payload["brownout"] = self.brownout.as_dict()
+        if self.chaos is not None:
+            payload["chaos"] = self.chaos.as_dict()
+        return payload
 
     def describe(self) -> dict:
         payload = self.metrics.as_dict()
@@ -310,6 +629,7 @@ class QueryService:
             "frozen_copies": self.snapshots.frozen_copies,
             "epoch": self.snapshots.epoch,
         }
+        payload["health"] = self.health_report()
         return payload
 
 

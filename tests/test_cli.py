@@ -361,6 +361,67 @@ class TestServe:
         )
         assert code == 2
 
+    def test_serve_json_includes_health_section(self, capsys):
+        import json
+
+        code, out = run_cli(
+            capsys, "serve", "--dataset", "books", "--requests", "4",
+            "--brownout", "--watchdog", "2.5", "--json",
+        )
+        assert code == 0
+        health = json.loads(out)["health"]
+        assert health["brownout"]["level_name"] == "normal"
+        assert health["watchdog_seconds"] == 2.5
+        assert health["monitor"]["stale_serves"] == 0
+        for breaker in health["breakers"].values():
+            assert breaker["state"] == "closed"
+            assert breaker["cooldown_remaining"] == 0.0
+
+    def test_serve_json_surfaces_rejections(self, capsys):
+        import json
+
+        code, out = run_cli(
+            capsys, "serve", "--dataset", "books", "--requests", "9",
+            "--queue-depth", "1", "--capacity", "1", "--json",
+        )
+        assert code == 3
+        rejections = json.loads(out)["rejections"]
+        assert rejections
+        for rejection in rejections:
+            assert rejection["reason"] == "queue-full"
+            assert rejection["retry_after"] is not None
+            assert rejection["tenant"]
+            assert rejection["query"]
+
+    def test_serve_stale_script_exits_degraded(self, capsys, tmp_path):
+        script = tmp_path / "brownout.txt"
+        script.write_text(
+            "submit alpha default\n"
+            "drain\n"
+            "insert <http://example.org/noise> rdf:type "
+            "<http://example.org/Noise>\n"
+            "chaos arm\n"
+            "degrade stale-serving\n"
+            "submit alpha default\n"
+            "drain\n"
+            "chaos disarm\n"
+        )
+        code, out = run_cli(
+            capsys, "serve", "--dataset", "books", "--script", str(script),
+            "--brownout", "--chaos-transient", "1.0",
+        )
+        assert code == 6  # every request answered, one of them stale
+        assert "health: level" in out
+        assert "1 stale serve(s)" in out
+
+    def test_serve_degrade_verb_requires_brownout(self, capsys, tmp_path):
+        script = tmp_path / "degrade.txt"
+        script.write_text("degrade stale-serving\n")
+        code, _ = run_cli(
+            capsys, "serve", "--dataset", "books", "--script", str(script),
+        )
+        assert code == 2
+
     def test_serve_script_deadline_expiry_all_expired(self, capsys, tmp_path):
         script = tmp_path / "expire.txt"
         script.write_text(
