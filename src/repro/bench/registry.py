@@ -398,6 +398,50 @@ def _quick_e19() -> str:
     )
 
 
+def _quick_e20() -> str:
+    import shutil
+    import tempfile
+
+    from ..rdf import Namespace, RDF_TYPE, Triple
+    from ..replication import ReplicationCluster
+
+    directory = tempfile.mkdtemp(prefix="repro-quick-e20-")
+    ex = Namespace("http://example.org/quick-e20/")
+    cluster = ReplicationCluster(
+        directory, ("n1", "n2", "n3"), seed=7,
+        link_faults={"drop_rate": 0.2, "duplicate_rate": 0.1,
+                     "tear_rate": 0.1},
+    )
+    try:
+        for index in range(12):
+            cluster.primary_node.insert(
+                Triple(ex["s%d" % index], RDF_TYPE, ex.Entity))
+            cluster.pump(1)
+        cluster.kill_primary()
+        cluster.pump(4)  # lease expires; a follower is promoted
+        for index in range(12, 18):
+            cluster.primary_node.insert(
+                Triple(ex["s%d" % index], RDF_TYPE, ex.Entity))
+            cluster.pump(1)
+        cluster.heal()
+        spent = cluster.pump_until_converged()
+        problems = cluster.verify_consistency()
+        return (
+            "3-node cluster over lossy links: kill-primary -> epoch %d, "
+            "heal + %d round(s) -> %s (lsn %d everywhere, %d reseed(s))"
+            % (
+                cluster.coordinator.epoch,
+                spent,
+                "converged" if not problems else "; ".join(problems),
+                cluster.primary_node.lsn,
+                len(cluster.reseed_log),
+            )
+        )
+    finally:
+        cluster.close()
+        shutil.rmtree(directory, ignore_errors=True)
+
+
 EXPERIMENTS: List[Experiment] = [
     Experiment("E1", "Example 1's UCQ reformulation blow-up and parse failure",
                "benchmarks/bench_e1_reformulation_size.py", _quick_e1),
@@ -437,6 +481,8 @@ EXPERIMENTS: List[Experiment] = [
                "benchmarks/bench_e18_service.py", _quick_e18),
     Experiment("E19", "Degraded-mode serving: availability through a fault window",
                "benchmarks/bench_e19_degraded.py", _quick_e19),
+    Experiment("E20", "Replicated serving: availability through a primary crash",
+               "benchmarks/bench_e20_replication.py", _quick_e20),
     Experiment("A1", "Ablation: exact statistics vs textbook uniformity",
                "benchmarks/bench_a1_statistics_ablation.py"),
     Experiment("A2", "Ablation: UCQ subsumption pruning",

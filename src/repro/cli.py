@@ -12,6 +12,8 @@
     python -m repro checkpoint --wal /tmp/lubm-wal
     python -m repro recover --wal /tmp/lubm-wal --verify
     python -m repro serve --dataset lubm --tenants alpha:3 beta:1 --requests 12
+    python -m repro replicate --writes 40 --drop-rate 0.2 --dir /tmp/cluster
+    python -m repro replstatus --dir /tmp/cluster
 
 Each subcommand maps to one step of the Section 5 demonstration:
 ``stats`` is step 1, ``answer`` (with ``--strategy all``) is step 2,
@@ -35,6 +37,9 @@ Exit codes (documented in README.md):
 5     nothing to recover (no checkpoint, no WAL records)
 6     degraded but served (``serve``: every request got an
       answer, but some answers were stale or flagged partial)
+7     replication diverged or unconverged (``replicate``: a
+      live follower still differs from the primary after the
+      catch-up budget)
 ====  =======================================================
 """
 
@@ -77,6 +82,7 @@ EXIT_PARTIAL = 3
 EXIT_RECOVERED_TRUNCATED = 4
 EXIT_NOTHING_TO_RECOVER = 5
 EXIT_DEGRADED = 6
+EXIT_REPLICATION = 7
 
 
 def _build_graph(args):
@@ -771,11 +777,13 @@ def cmd_serve(args) -> int:
             except AdmissionRejected as exc:
                 rejections.append(dict(exc.diagnostics(), query=name))
                 if not args.json:  # JSON mode carries them in "rejections"
-                    hint = (
-                        ""
-                        if exc.retry_after is None
-                        else " (retry after %.3fs)" % exc.retry_after
-                    )
+                    hints = []
+                    if exc.retry_after is not None:
+                        hints.append("retry after %.3fs" % exc.retry_after)
+                    if exc.cooldown_remaining is not None:
+                        hints.append(
+                            "breaker cools in %.3fs" % exc.cooldown_remaining)
+                    hint = " (%s)" % "; ".join(hints) if hints else ""
                     print(
                         "shed %s/%s: %s%s — %s"
                         % (tenant, name, exc.reason, hint, exc)
@@ -817,6 +825,16 @@ def cmd_serve(args) -> int:
     if args.json:
         print(json_module.dumps(summary, indent=2, sort_keys=True))
     else:
+        # Per-tenant back-off hint: the largest retry-after / breaker
+        # cooldown among this tenant's rejections, so exit-3/exit-6
+        # sessions tell clients when to come back.
+        backoff = {}
+        for rejection in rejections:
+            wait = max(rejection.get("retry_after", 0.0),
+                       rejection.get("cooldown_remaining", 0.0))
+            if wait > 0:
+                backoff[rejection["tenant"]] = max(
+                    backoff.get(rejection["tenant"], 0.0), wait)
         rows = [
             [
                 name,
@@ -830,13 +848,15 @@ def cmd_serve(args) -> int:
                 bucket["degraded"],
                 "%.1f" % (bucket["latency"]["p50"] * 1e3),
                 "%.1f" % (bucket["latency"]["p95"] * 1e3),
+                ("%.3f" % backoff[name]) if name in backoff else "-",
             ]
             for name, bucket in summary["tenants"].items()
         ]
         print(
             format_table(
                 ["tenant", "sub", "done", "fail", "exp", "shed",
-                 "hit/miss", "stale", "degr", "p50 ms", "p95 ms"],
+                 "hit/miss", "stale", "degr", "p50 ms", "p95 ms",
+                 "backoff s"],
                 rows,
                 title="serving session (%s, capacity %d)"
                 % (args.engine, args.capacity),
@@ -883,6 +903,219 @@ def cmd_serve(args) -> int:
         return EXIT_PARTIAL
     if summary["stale_serves"] or summary["degraded"]:
         return EXIT_DEGRADED
+    return EXIT_OK
+
+
+def _parse_repl_script(lines):
+    """Parse a ``replicate --script`` file into (verb, payload) commands.
+
+    Grammar (``#`` comments and blank lines ignored)::
+
+        write [N]          insert N fresh triples on the primary
+        pump [N]           advance N replication rounds
+        kill NAME          crash a node (primary or follower)
+        kill-primary       crash whichever node is primary right now
+        restart NAME       restart a crashed node
+        partition NAME     cut a node off (it stays alive)
+        heal [NAME]        mend partitions / restart the dead — one
+                           node, or the whole cluster when omitted
+        converge [MAX]     pump until consistent (budget MAX rounds)
+    """
+    commands = []
+    for lineno, raw in enumerate(lines, start=1):
+        line = raw.split("#", 1)[0].strip()
+        if not line:
+            continue
+        parts = line.split()
+        verb = parts[0]
+        try:
+            if verb in ("write", "pump"):
+                commands.append(
+                    (verb, int(parts[1]) if len(parts) > 1 else 1))
+            elif verb in ("kill", "restart", "partition"):
+                commands.append((verb, parts[1]))
+            elif verb == "kill-primary":
+                commands.append(("kill-primary", None))
+            elif verb == "heal":
+                commands.append(("heal", parts[1] if len(parts) > 1 else None))
+            elif verb == "converge":
+                commands.append(
+                    ("converge", int(parts[1]) if len(parts) > 1 else 200))
+            else:
+                raise ValueError("unknown verb %r" % verb)
+        except (IndexError, ValueError) as exc:
+            raise SystemExit("replicate script line %d: %s" % (lineno, exc))
+    return commands
+
+
+def cmd_replicate(args) -> int:
+    """Run a scripted WAL-shipping replication session and report the
+    cluster's final state.  Deterministic: the cluster runs on an
+    injected fake clock and every link fault comes from a seeded plan,
+    so the same flags and script always yield the same epochs, reseed
+    log, and exit code.
+
+    Exit codes: 0 the cluster converged (every live follower
+    byte-identical to the primary), 7 a live follower still diverges
+    after the catch-up budget, 2 usage errors.
+    """
+    import json as json_module
+    import shutil
+    import tempfile
+
+    from .rdf import Namespace, RDF_TYPE, Triple
+    from .replication import ReplicationCluster
+
+    names = ["n%d" % (i + 1) for i in range(args.nodes)]
+    faults = {}
+    if args.drop_rate:
+        faults["drop_rate"] = args.drop_rate
+    if args.duplicate_rate:
+        faults["duplicate_rate"] = args.duplicate_rate
+    if args.delay_rate:
+        faults["delay_rate"] = args.delay_rate
+        faults["delay_rounds"] = args.delay_rounds
+    if args.tear_rate:
+        faults["tear_rate"] = args.tear_rate
+    if args.script:
+        with open(args.script) as handle:
+            commands = _parse_repl_script(handle)
+    else:
+        commands = [("write", args.writes), ("converge", args.max_rounds)]
+    directory = args.dir or tempfile.mkdtemp(prefix="repro-replicate-")
+    keep = args.dir is not None
+    ex = Namespace("http://example.org/replicate/")
+    written = 0
+    try:
+        cluster = ReplicationCluster(
+            directory, names, seed=args.seed, link_faults=faults or None,
+            lease_seconds=args.lease, link_capacity=args.link_capacity,
+            retain=args.retain,
+        )
+    except (TypeError, ValueError) as exc:
+        print("bad replicate flags: %s" % exc, file=sys.stderr)
+        return EXIT_USAGE
+    try:
+        spent = 0
+        for verb, payload in commands:
+            if verb == "write":
+                for _ in range(payload):
+                    cluster.primary_node.insert(
+                        Triple(ex["s%d" % written], RDF_TYPE, ex.Entity))
+                    written += 1
+                    cluster.pump(1)
+            elif verb == "pump":
+                cluster.pump(payload)
+            elif verb == "kill":
+                cluster.kill(payload)
+            elif verb == "kill-primary":
+                cluster.kill_primary()
+            elif verb == "restart":
+                cluster.restart(payload)
+            elif verb == "partition":
+                cluster.partition(payload)
+            elif verb == "heal":
+                cluster.heal(payload)
+            elif verb == "converge":
+                spent += cluster.pump_until_converged(max_rounds=payload)
+        # Always close with a convergence attempt so the exit code
+        # reflects the healed steady state, not mid-chaos lag.
+        spent += cluster.pump_until_converged(max_rounds=args.max_rounds)
+        status = cluster.status()
+        status["writes"] = written
+        status["converge_rounds"] = spent
+        if keep:
+            with open(os.path.join(directory, "replstatus.json"), "w") as out:
+                json_module.dump(status, out, indent=2, sort_keys=True)
+        if args.json:
+            print(json_module.dumps(status, indent=2, sort_keys=True))
+        else:
+            primary_lsn = status["nodes"][status["primary"]]["lsn"]
+            rows = [
+                [
+                    name,
+                    state["role"],
+                    "up" if state["alive"] else "down",
+                    state["repl_epoch"],
+                    state["lsn"] if state["lsn"] is not None else "-",
+                    state.get("lag", "-"),
+                    state["applied"],
+                    state["dups_skipped"],
+                    state["resyncs"],
+                    state["reseeds"],
+                ]
+                for name, state in sorted(status["nodes"].items())
+            ]
+            print(
+                format_table(
+                    ["node", "role", "state", "epoch", "lsn", "lag",
+                     "applied", "dups", "resyncs", "reseeds"],
+                    rows,
+                    title="replication session (%d writes, %d rounds, "
+                    "primary %s at lsn %s)"
+                    % (written, status["rounds"], status["primary"],
+                       primary_lsn),
+                )
+            )
+            for name, link in sorted(status["links"].items()):
+                print(
+                    "link %s: shipped %d, delivered %d, dropped %d, "
+                    "duplicated %d, delayed %d, torn %d"
+                    % (name, link["shipped"], link["delivered"],
+                       link["dropped"], link["duplicated"], link["delayed"],
+                       link["torn"])
+                )
+            print(
+                "epoch %d after %d election(s); %d reseed(s), "
+                "%d divergence(s) detected"
+                % (status["coordinator"]["epoch"],
+                   status["coordinator"]["elections"],
+                   len(status["reseeds"]), status["divergences"])
+            )
+            for problem in status["consistency_problems"]:
+                print("UNCONVERGED: %s" % problem, file=sys.stderr)
+        return (EXIT_REPLICATION if status["consistency_problems"]
+                else EXIT_OK)
+    finally:
+        cluster.close()
+        if not keep:
+            shutil.rmtree(directory, ignore_errors=True)
+
+
+def cmd_replstatus(args) -> int:
+    """Dump per-replica LSN lag, epochs, and link fault counters as
+    JSON.  Reads the ``replstatus.json`` a ``replicate --dir`` session
+    left behind; without one, reopens the node directories and reports
+    the durable facts (role, epoch, LSN) with lags recomputed against
+    the highest LSN on disk.
+    """
+    import json as json_module
+
+    from .replication import ReplicaNode
+
+    saved = os.path.join(args.dir, "replstatus.json")
+    if os.path.exists(saved):
+        with open(saved) as handle:
+            print(json_module.dumps(json_module.load(handle), indent=2,
+                                    sort_keys=True))
+        return EXIT_OK
+    nodes = {}
+    for name in sorted(os.listdir(args.dir)) if os.path.isdir(args.dir) else []:
+        path = os.path.join(args.dir, name)
+        if not os.path.isdir(path):
+            continue
+        node = ReplicaNode(name, path)
+        try:
+            nodes[name] = node.status()
+        finally:
+            node.durable.close()
+    if not nodes:
+        print("no replica state under %r" % args.dir, file=sys.stderr)
+        return EXIT_FAILURE
+    top = max(state["lsn"] for state in nodes.values())
+    for state in nodes.values():
+        state["lag"] = top - state["lsn"]
+    print(json_module.dumps({"nodes": nodes}, indent=2, sort_keys=True))
     return EXIT_OK
 
 
@@ -1112,9 +1345,10 @@ def build_parser() -> argparse.ArgumentParser:
     )
     add_common(serve)
     serve.add_argument("--tenants", nargs="+", default=["alpha:2", "beta:1"],
-                       metavar="NAME[:WEIGHT[:DEPTH]]",
-                       help="tenant specs: scheduling weight and queue "
-                            "depth (default alpha:2 beta:1)")
+                       metavar="NAME[:WEIGHT[:DEPTH[:MAXLAG]]]",
+                       help="tenant specs: scheduling weight, queue depth, "
+                            "and replica staleness bound in LSNs "
+                            "(default alpha:2 beta:1)")
     serve.add_argument("--script",
                        help="serving script (submit/step/drain/pin/release/"
                             "insert/advance lines); omit for a synthetic "
@@ -1172,6 +1406,74 @@ def build_parser() -> argparse.ArgumentParser:
                        default=0.05, metavar="SECONDS",
                        help="size of the injected delay (default 0.05)")
     serve.set_defaults(func=cmd_serve)
+
+    replicate = subparsers.add_parser(
+        "replicate",
+        help="run a scripted WAL-shipping replication session (exit 0 "
+             "converged / 7 a live follower still diverges from the "
+             "primary after the catch-up budget)",
+    )
+    replicate.add_argument("--nodes", type=_positive_int, default=3,
+                           help="cluster size; the first node starts as "
+                                "primary (default 3)")
+    replicate.add_argument("--writes", type=_positive_int, default=24,
+                           help="synthetic primary writes without --script "
+                                "(default 24)")
+    replicate.add_argument("--script",
+                           help="chaos script (write/pump/kill/kill-primary/"
+                                "restart/partition/heal/converge lines); "
+                                "omit for writes + converge")
+    replicate.add_argument("--seed", type=int,
+                           default=int(os.environ.get("REPRO_CHAOS_SEED",
+                                                      "0")),
+                           help="link fault-plan seed (default "
+                                "$REPRO_CHAOS_SEED or 0)")
+    replicate.add_argument("--drop-rate", type=float, default=0.0,
+                           metavar="RATE",
+                           help="probability a shipped frame is dropped")
+    replicate.add_argument("--duplicate-rate", type=float, default=0.0,
+                           metavar="RATE",
+                           help="probability a shipped frame arrives twice")
+    replicate.add_argument("--delay-rate", type=float, default=0.0,
+                           metavar="RATE",
+                           help="probability a shipped frame is reordered "
+                                "behind later traffic")
+    replicate.add_argument("--delay-rounds", type=_positive_int, default=2,
+                           help="rounds a delayed frame is held (default 2)")
+    replicate.add_argument("--tear-rate", type=float, default=0.0,
+                           metavar="RATE",
+                           help="probability a frame arrives torn (prefix "
+                                "only, stream cut)")
+    replicate.add_argument("--lease", type=_positive_float, default=3.0,
+                           help="failover lease in fake-clock seconds "
+                                "(default 3; one round = one second)")
+    replicate.add_argument("--link-capacity", type=_positive_int, default=16,
+                           help="in-flight frames per link before "
+                                "backpressure (default 16)")
+    replicate.add_argument("--retain", type=_positive_int, default=512,
+                           help="primary catch-up log size in frames; "
+                                "falling past it forces a reseed "
+                                "(default 512)")
+    replicate.add_argument("--max-rounds", type=_positive_int, default=200,
+                           help="final convergence budget in rounds "
+                                "(default 200)")
+    replicate.add_argument("--dir",
+                           help="keep the cluster directories here (and a "
+                                "replstatus.json) instead of a throwaway "
+                                "temp dir")
+    replicate.add_argument("--json", action="store_true",
+                           help="print the full cluster status as JSON")
+    replicate.set_defaults(func=cmd_replicate)
+
+    replstatus = subparsers.add_parser(
+        "replstatus",
+        help="dump per-replica LSN lag, epochs, and link fault counters "
+             "as JSON from a replicate --dir session",
+    )
+    replstatus.add_argument("--dir", required=True,
+                            help="cluster root a 'replicate --dir' run "
+                                 "left behind")
+    replstatus.set_defaults(func=cmd_replstatus)
 
     experiments = subparsers.add_parser(
         "experiments", help="list or quick-run the experiment suite"

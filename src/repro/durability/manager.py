@@ -29,8 +29,9 @@ same logical state.
 from __future__ import annotations
 
 import os
+import zlib
 from contextlib import contextmanager
-from typing import List, Optional, Tuple
+from typing import Callable, Dict, List, Optional, Tuple
 
 from ..rdf.graph import Graph
 from ..rdf.triples import Triple
@@ -117,6 +118,14 @@ class DurableStore:
                 (recovery.checkpoint_sequence, recovery.wal_segment))
         #: Lazily created snapshot bookkeeping (see :meth:`pin_snapshot`).
         self._snapshots = None
+        #: Replication taps: called as ``fn(lsn, payload)`` for every
+        #: WAL payload logged, *after* the local epoch bump, in log
+        #: order (see :meth:`add_wal_listener`).
+        self._wal_listeners: List[Callable[[int, bytes], None]] = []
+        #: ``lsn -> state_crc`` fingerprints recorded at checkpoint
+        #: time; replication's divergence check compares a follower's
+        #: fingerprint against the primary's history at the same LSN.
+        self.checkpoint_crcs: Dict[int, int] = {}
         self.store.add_listener(self._on_store_event)
 
     # ------------------------------------------------------------------
@@ -165,6 +174,46 @@ class DurableStore:
             self.schema_epoch += 1
         else:
             self.data_epoch += 1
+        for listener in self._wal_listeners:
+            listener(self.lsn, payload)
+
+    # ------------------------------------------------------------------
+    # Replication hooks
+
+    @property
+    def lsn(self) -> int:
+        """The log sequence number: how many operations this state is
+        the result of.  Every op bumps exactly one of the two epochs,
+        both are checkpointed and replayed by recovery, so the LSN is
+        durable for free and two stores with equal op histories agree
+        on it."""
+        return self.data_epoch + self.schema_epoch
+
+    def add_wal_listener(self, listener: Callable[[int, bytes], None]) -> None:
+        """Subscribe to every WAL payload as it is logged.  Called as
+        ``listener(lsn, payload)`` where *lsn* is the LSN the store
+        reached by applying that record — the replication shipping
+        tap.  Listeners fire in log order, including inside
+        :meth:`batch` (batching coalesces the I/O, not the stream)."""
+        self._wal_listeners.append(listener)
+
+    def remove_wal_listener(self, listener) -> None:
+        """Unsubscribe a :meth:`add_wal_listener` tap (fencing an old
+        primary detaches its shipping taps)."""
+        if listener in self._wal_listeners:
+            self._wal_listeners.remove(listener)
+
+    def state_crc(self) -> int:
+        """A position-independent fingerprint of the logical state:
+        CRC32 of the canonical checkpoint encoding with the sequence /
+        segment / offset fields zeroed.  Two stores that applied the
+        same op history have equal fingerprints regardless of how
+        often either checkpointed; replication uses this for
+        divergence detection and the byte-identity invariant."""
+        body = build_snapshot(
+            self.store, self.saturator, 0, 0, 0,
+            self.data_epoch, self.schema_epoch)
+        return zlib.crc32(encode_checkpoint(body))
 
     # ------------------------------------------------------------------
     # Mutations (the live path shares apply_* with recovery replay)
@@ -305,6 +354,10 @@ class DurableStore:
             sync=self.sync_policy,
         )
         self._known_checkpoints.append((sequence, next_segment))
+        self.checkpoint_crcs[self.lsn] = self.state_crc()
+        if len(self.checkpoint_crcs) > 8:
+            for stale in sorted(self.checkpoint_crcs)[:-8]:
+                del self.checkpoint_crcs[stale]
         self._prune()
         return final
 

@@ -54,9 +54,18 @@ class DecodeResult:
     offset (relative to the buffer start) where the valid prefix ends;
     ``truncated`` is True when trailing bytes had to be dropped, with
     ``reason`` saying why (``"torn record"`` / ``"corrupt record"``).
+
+    ``end_offset`` is the *absolute* position where the valid prefix
+    ends in whatever the bytes were decoded from: for
+    :func:`decode_records` it equals ``valid_length``, but for
+    :meth:`WriteAheadLog.read_from` it is ``offset + valid_length`` —
+    the file position an incremental tailer must resume from.  Passing
+    ``valid_length`` back as the next ``read_from`` offset re-reads (or
+    with a stale cursor skips) frames; ``end_offset`` never does.
     """
 
-    __slots__ = ("records", "valid_length", "truncated", "reason")
+    __slots__ = ("records", "valid_length", "truncated", "reason",
+                 "end_offset")
 
     def __init__(
         self,
@@ -64,11 +73,13 @@ class DecodeResult:
         valid_length: int,
         truncated: bool,
         reason: Optional[str],
+        end_offset: Optional[int] = None,
     ):
         self.records = records
         self.valid_length = valid_length
         self.truncated = truncated
         self.reason = reason
+        self.end_offset = valid_length if end_offset is None else end_offset
 
     def __repr__(self) -> str:
         return "DecodeResult(<%d records, %d bytes%s>)" % (
@@ -158,13 +169,20 @@ class WriteAheadLog:
         """Decode the suffix starting at byte *offset*.  A missing file
         or an offset beyond its end reads as empty (both arise in the
         crash window between checkpoint publication and segment
-        rotation)."""
+        rotation).
+
+        The result's ``valid_length`` is relative to the read slice;
+        its ``end_offset`` is the absolute file position where the
+        valid prefix ends — feed that (not ``valid_length``) back in as
+        the next offset when tailing the segment incrementally."""
         if not self.io.exists(self.path):
-            return DecodeResult([], 0, False, None)
+            return DecodeResult([], 0, False, None, end_offset=offset)
         data = self.io.read(self.path)
         if offset >= len(data):
-            return DecodeResult([], 0, False, None)
-        return decode_records(data[offset:])
+            return DecodeResult([], 0, False, None, end_offset=offset)
+        result = decode_records(data[offset:])
+        result.end_offset = offset + result.valid_length
+        return result
 
     def truncate_to(self, size: int) -> None:
         """Physically drop everything past *size* (the recovery

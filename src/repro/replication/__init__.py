@@ -1,0 +1,31 @@
+"""WAL-shipping replication: primary/follower clusters with failover.
+
+The subsystem ships the durable store's CRC32-framed WAL records over
+lossy in-process links, replays them on followers through the same op
+codec recovery uses, detects divergence at reconnect (epochs +
+checkpoint CRCs), re-seeds through the proven recovery path, elects a
+new primary on lease expiry, fences the old one, and routes service
+reads to bounded-staleness replicas.  See ``DESIGN.md`` §15.
+"""
+
+from .cluster import DEFAULT_NODES, ReplicationCluster
+from .errors import PrimaryFenced, ReplicaDiverged, ReplicationError
+from .failover import FailoverCoordinator
+from .link import ReplicationLink
+from .node import ReplicaNode, ROLE_FOLLOWER, ROLE_PRIMARY, SHIP_HEADER
+from .routing import ReplicaRouter
+
+__all__ = [
+    "DEFAULT_NODES",
+    "FailoverCoordinator",
+    "PrimaryFenced",
+    "ReplicaDiverged",
+    "ReplicaNode",
+    "ReplicaRouter",
+    "ReplicationCluster",
+    "ReplicationError",
+    "ReplicationLink",
+    "ROLE_FOLLOWER",
+    "ROLE_PRIMARY",
+    "SHIP_HEADER",
+]

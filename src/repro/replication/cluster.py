@@ -1,0 +1,328 @@
+"""The cluster control plane: nodes, links, sessions, elections.
+
+:class:`ReplicationCluster` wires N :class:`ReplicaNode` directories
+under one root, one :class:`ReplicationLink` per node (used while it
+follows), and one :class:`FailoverCoordinator`.  Everything advances
+through :meth:`pump`, one deterministic round at a time:
+
+1. link windows tick (delayed frames land, partitions cut queues);
+2. the reachable primary heartbeats its lease;
+3. an expired lease triggers an election — the most-caught-up
+   reachable follower is promoted, the old primary is fenced (now, if
+   reachable; at heal otherwise);
+4. each connected follower without a session handshakes (divergence
+   check → resume, or reseed through the recovery path), then the
+   primary ships catch-up frames into the link's free window
+   (backpressure: overflow stays in the primary's bounded catch-up
+   log), the follower drains and applies, and its ack advances.
+
+The *data plane* (frames) is lossy and fault-injected; the *control
+plane* (handshakes, seeds, acks) is modeled as a reliable RPC that
+only works while the link is up — the standard split in real WAL
+shipping, where the replication stream rides a session protocol.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Dict, List, Optional, Sequence
+
+from ..durability.io import FileSystem
+from ..resilience.clock import Clock, FakeClock
+from ..resilience.faults import ReplicationFaultPlan
+from .failover import FailoverCoordinator
+from .link import ReplicationLink
+from .node import ReplicaNode
+
+#: Default node names (name order breaks election ties).
+DEFAULT_NODES = ("n1", "n2", "n3")
+
+
+class ReplicationCluster:
+    """A primary and its followers under one root directory."""
+
+    def __init__(
+        self,
+        directory: str,
+        node_names: Sequence[str] = DEFAULT_NODES,
+        io: Optional[FileSystem] = None,
+        clock: Optional[Clock] = None,
+        lease_seconds: float = 3.0,
+        link_capacity: int = 16,
+        retain: int = 512,
+        seed: int = 0,
+        link_faults: Optional[Dict[str, float]] = None,
+        sync: str = "never",
+        with_saturator: bool = False,
+    ):
+        if len(node_names) < 2:
+            raise ValueError("a cluster needs at least two nodes, got %r"
+                             % (list(node_names),))
+        if len(set(node_names)) != len(node_names):
+            raise ValueError("duplicate node names: %r" % (list(node_names),))
+        self.directory = directory
+        self.io = io if io is not None else FileSystem()
+        self.clock = clock if clock is not None else FakeClock()
+        self.nodes: Dict[str, ReplicaNode] = {}
+        self.links: Dict[str, ReplicationLink] = {}
+        faults = dict(link_faults or {})
+        for index, name in enumerate(node_names):
+            self.nodes[name] = ReplicaNode(
+                name,
+                os.path.join(directory, name),
+                io=self.io,
+                sync=sync,
+                with_saturator=with_saturator,
+                retain=retain,
+            )
+            # Per-link seeds stay deterministic but independent, so one
+            # follower's faults never shift another's schedule.
+            plan = (ReplicationFaultPlan(seed=seed + index, **faults)
+                    if faults else None)
+            self.links[name] = ReplicationLink(
+                name, plan=plan, capacity=link_capacity)
+        self.coordinator = FailoverCoordinator(
+            self.clock, lease_seconds=lease_seconds)
+        self.primary_name = node_names[0]
+        primary = self.nodes[self.primary_name]
+        primary.promote(self.coordinator.epoch)
+        self.coordinator.record_epoch_start(self.coordinator.epoch,
+                                            primary.lsn)
+        #: Per-follower ship sessions: ``{"next_lsn": int, "acked": int}``.
+        self.sessions: Dict[str, Dict[str, int]] = {}
+        #: Old primaries awaiting fencing (they were unreachable when
+        #: the epoch moved past them).
+        self._deposed: set = set()
+        self.reseed_log: List[Dict[str, str]] = []
+        self.divergences = 0
+        self.rounds = 0
+
+    # ------------------------------------------------------------------
+    # Topology accessors
+
+    @property
+    def primary_node(self) -> ReplicaNode:
+        return self.nodes[self.primary_name]
+
+    def followers(self) -> List[ReplicaNode]:
+        return [node for name, node in self.nodes.items()
+                if name != self.primary_name]
+
+    # ------------------------------------------------------------------
+    # Chaos verbs (the CLI script surface)
+
+    def kill(self, name: str) -> None:
+        node = self.nodes[name]
+        if node.alive:
+            node.kill()
+        self.sessions.pop(name, None)
+
+    def kill_primary(self) -> str:
+        name = self.primary_name
+        self.kill(name)
+        return name
+
+    def restart(self, name: str) -> None:
+        node = self.nodes[name]
+        if not node.alive:
+            node.restart()
+        self.sessions.pop(name, None)
+
+    def partition(self, name: str) -> None:
+        self.nodes[name].partitioned = True
+        self.sessions.pop(name, None)
+
+    def heal(self, name: Optional[str] = None) -> None:
+        """Mend partitions (and restart dead nodes) — for *name*, or
+        for the whole cluster when omitted."""
+        targets = [name] if name is not None else list(self.nodes)
+        for target in targets:
+            node = self.nodes[target]
+            if not node.alive:
+                node.restart()
+            node.partitioned = False
+            self.sessions.pop(target, None)
+
+    # ------------------------------------------------------------------
+    # The round loop
+
+    def pump(self, rounds: int = 1, dt: float = 1.0) -> None:
+        """Advance *rounds* deterministic replication rounds, moving
+        the injected clock *dt* seconds per round."""
+        for _ in range(rounds):
+            self.rounds += 1
+            if isinstance(self.clock, FakeClock):
+                self.clock.advance(dt)
+            primary = self.primary_node
+            for name, link in self.links.items():
+                node = self.nodes[name]
+                link.set_up(
+                    name != self.primary_name
+                    and primary.alive
+                    and primary.reachable
+                    and node.reachable
+                )
+                link.tick()
+            if primary.reachable and not primary.fenced and primary.alive:
+                self.coordinator.heartbeat()
+            if self.coordinator.lease_expired:
+                self._run_election()
+                primary = self.primary_node
+            self._fence_deposed()
+            if not primary.alive or primary.fenced:
+                continue
+            for name, node in self.nodes.items():
+                if name == self.primary_name or not node.alive:
+                    continue
+                link = self.links[name]
+                if not link.up:
+                    continue
+                self._serve_follower(primary, node, link)
+
+    def _run_election(self) -> None:
+        old_name = self.primary_name
+        old = self.nodes[old_name]
+        winner = self.coordinator.elect(
+            [node for name, node in self.nodes.items() if name != old_name])
+        if winner is None:
+            return
+        epoch = self.coordinator.promote(winner)
+        self.primary_name = winner.name
+        self.sessions.clear()
+        if old.reachable and old.alive:
+            old.fence(epoch)
+            old.demote()
+        else:
+            # Unreachable: it cannot be told now — remember to fence it
+            # the moment it comes back (before it can serve or ship).
+            self._deposed.add(old_name)
+
+    def _fence_deposed(self) -> None:
+        for name in sorted(self._deposed):
+            node = self.nodes[name]
+            if node.alive and node.reachable:
+                node.fence(self.coordinator.epoch)
+                node.demote()
+                self._deposed.discard(name)
+
+    def _serve_follower(
+        self,
+        primary: ReplicaNode,
+        node: ReplicaNode,
+        link: ReplicationLink,
+    ) -> None:
+        session = self.sessions.get(node.name)
+        if node.needs_sync or session is None:
+            action, reason = primary.handshake(
+                node.repl_epoch, node.lsn, node.state_crc(),
+                self.coordinator.epoch_starts)
+            if action == "reseed":
+                self.reseed_log.append({"node": node.name,
+                                        "reason": reason or ""})
+                if reason is not None and reason.startswith("diverged"):
+                    self.divergences += 1
+                node.install_seed(primary.seed_snapshot(),
+                                  self.coordinator.epoch)
+            else:
+                node.adopt(self.coordinator.epoch)
+            session = {"next_lsn": node.lsn + 1, "acked": node.lsn}
+            self.sessions[node.name] = session
+        if session["next_lsn"] <= primary.lsn:
+            if not primary.can_ship_from(session["next_lsn"]):
+                # Fell past the catch-up floor mid-session: reseed via
+                # a fresh handshake next round.
+                node.request_sync()
+                self.sessions.pop(node.name, None)
+                return
+            budget = link.free_slots
+            for lsn, frame in primary.frames_from(session["next_lsn"],
+                                                  budget):
+                if not link.send(frame):
+                    break
+                session["next_lsn"] = lsn + 1
+        node.receive(link.deliver())
+        node.apply_available()
+        session["acked"] = node.lsn
+        if link.queued == 0 and session["acked"] < session["next_lsn"] - 1:
+            # Everything outstanding was lost in flight (dropped or
+            # torn, with no later frame to expose the gap): rewind the
+            # ship cursor to the ack and re-send — followers skip
+            # duplicates, so over-sending is always safe.
+            session["next_lsn"] = session["acked"] + 1
+
+    # ------------------------------------------------------------------
+    # Convergence
+
+    def pump_until_converged(self, max_rounds: int = 200,
+                             dt: float = 1.0) -> int:
+        """Pump until every live node matches the primary (or the
+        round budget runs out); returns the rounds spent."""
+        spent = 0
+        while spent < max_rounds and self.verify_consistency():
+            self.pump(1, dt=dt)
+            spent += 1
+        return spent
+
+    def verify_consistency(self) -> List[str]:
+        """The differential invariant: every live follower's state —
+        triples, dictionary, schema, epochs — must be byte-identical to
+        the primary's (compared through the canonical checkpoint
+        encoding).  Returns human-readable problems; empty = converged."""
+        problems: List[str] = []
+        primary = self.primary_node
+        if not primary.alive:
+            return ["primary %r is dead" % self.primary_name]
+        crc = primary.state_crc()
+        for node in self.followers():
+            if not node.alive:
+                problems.append("follower %r is dead" % node.name)
+                continue
+            if node.lsn != primary.lsn:
+                problems.append(
+                    "follower %r at lsn %d, primary at %d"
+                    % (node.name, node.lsn, primary.lsn))
+            elif node.state_crc() != crc:
+                problems.append(
+                    "follower %r state fingerprint differs at lsn %d"
+                    % (node.name, node.lsn))
+            if node.alive and (
+                node.durable.data_epoch != primary.durable.data_epoch
+                or node.durable.schema_epoch != primary.durable.schema_epoch
+            ) and node.lsn == primary.lsn:
+                problems.append(
+                    "follower %r epochs (%d, %d) != primary (%d, %d)"
+                    % (node.name, node.durable.data_epoch,
+                       node.durable.schema_epoch,
+                       primary.durable.data_epoch,
+                       primary.durable.schema_epoch))
+        return problems
+
+    # ------------------------------------------------------------------
+
+    def status(self) -> Dict[str, object]:
+        """The ``repro replstatus`` payload."""
+        primary = self.primary_node
+        primary_lsn = primary.lsn if primary.alive else None
+        return {
+            "primary": self.primary_name,
+            "rounds": self.rounds,
+            "coordinator": self.coordinator.status(),
+            "nodes": {name: node.status(primary_lsn)
+                      for name, node in self.nodes.items()},
+            "links": {name: link.snapshot()
+                      for name, link in self.links.items()
+                      if name != self.primary_name},
+            "reseeds": list(self.reseed_log),
+            "divergences": self.divergences,
+            "consistency_problems": self.verify_consistency(),
+        }
+
+    def close(self) -> None:
+        for node in self.nodes.values():
+            if node.alive:
+                node.durable.close()
+
+    def __repr__(self) -> str:
+        return "ReplicationCluster(%r, primary=%r, epoch %d, %d nodes)" % (
+            self.directory, self.primary_name, self.coordinator.epoch,
+            len(self.nodes))

@@ -1,0 +1,92 @@
+"""Lease-based primary election.
+
+The :class:`FailoverCoordinator` models the external consensus
+authority (an etcd/ZooKeeper stand-in) every real failover design
+leans on: the primary holds a time-bounded lease and renews it with
+heartbeats; when the lease expires — the primary died or is
+partitioned away from the coordinator — the coordinator bumps the
+replication epoch and promotes the most-caught-up reachable follower.
+Time is an injected :class:`~repro.resilience.clock.Clock`, never wall
+time, so every election schedule replays deterministically under the
+test clock.
+
+Election rule: among reachable live candidates — sync-clean ones
+preferred, mid-resync ones only as a last resort — pick the maximum
+``(lsn, name)``: most-caught-up wins, name order breaks ties
+deterministically.  The promotion epoch fences the old primary (see
+:meth:`ReplicaNode.fence`): any write it accepts after the epoch moved
+raises, and any frame it had in flight is discarded by followers as
+stale-epoch — the two halves of the fencing invariant.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from ..resilience.clock import Clock
+from .node import ReplicaNode
+
+
+class FailoverCoordinator:
+    """Lease bookkeeping plus the election decision."""
+
+    def __init__(self, clock: Clock, lease_seconds: float = 3.0):
+        if lease_seconds <= 0:
+            raise ValueError(
+                "lease_seconds must be positive, got %r" % lease_seconds)
+        self.clock = clock
+        self.lease_seconds = lease_seconds
+        self.epoch = 1
+        self.lease_until = clock.monotonic() + lease_seconds
+        self.elections = 0
+        #: epoch -> LSN at which that epoch began: the lineage map the
+        #: reconnect handshake judges follower histories against.
+        self.epoch_starts: Dict[int, int] = {}
+
+    def heartbeat(self) -> None:
+        """The reachable primary renews its lease."""
+        self.lease_until = self.clock.monotonic() + self.lease_seconds
+
+    @property
+    def lease_expired(self) -> bool:
+        return self.clock.monotonic() > self.lease_until
+
+    def remaining(self) -> float:
+        return max(0.0, self.lease_until - self.clock.monotonic())
+
+    def record_epoch_start(self, epoch: int, lsn: int) -> None:
+        self.epoch_starts[epoch] = lsn
+
+    def elect(self, candidates: List[ReplicaNode]) -> Optional[ReplicaNode]:
+        """Pick the promotion winner, or None when no candidate is
+        reachable and live.  Sync-clean candidates are preferred, but a
+        follower mid-resync is still electable when no clean one exists:
+        its *applied* prefix is consistent (frames apply in LSN order),
+        only its in-flight stream was broken — refusing it entirely
+        would deadlock a cluster whose primary died mid-fault-burst."""
+        reachable = [node for node in candidates if node.reachable]
+        if not reachable:
+            return None
+        clean = [node for node in reachable if not node.needs_sync]
+        pool = clean or reachable
+        return max(pool, key=lambda node: (node.lsn, node.name))
+
+    def promote(self, winner: ReplicaNode) -> int:
+        """Advance the epoch and install *winner* as its primary.
+        Returns the new epoch; the caller fences the old primary."""
+        self.epoch += 1
+        self.elections += 1
+        winner.promote(self.epoch)
+        self.record_epoch_start(self.epoch, winner.lsn)
+        self.heartbeat()
+        return self.epoch
+
+    def status(self) -> Dict[str, object]:
+        return {
+            "epoch": self.epoch,
+            "elections": self.elections,
+            "lease_remaining": self.remaining(),
+            "lease_expired": self.lease_expired,
+            "epoch_starts": {str(e): lsn
+                             for e, lsn in sorted(self.epoch_starts.items())},
+        }

@@ -1,0 +1,146 @@
+"""The in-process wire between a primary and one follower.
+
+A :class:`ReplicationLink` models a lossy, reordering byte stream with
+a bounded in-flight window.  The primary pushes whole encoded frames;
+the follower drains *chunks* (whole frames, duplicated frames, or torn
+frame prefixes) and concatenates them into its stream buffer — exactly
+the byte-level contract ``decode_records`` was built for.  Faults come
+from a seeded :class:`~repro.resilience.faults.ReplicationFaultPlan`,
+so every schedule replays bit-identically from its seed:
+
+* **drop** — the frame never arrives; the follower sees an LSN gap and
+  requests a resync.
+* **duplicate** — the frame arrives twice; the follower skips the
+  replayed LSN.
+* **delay** — the frame is held for N rounds and lands *after* later
+  traffic (reordering: first a gap, then a stale duplicate).
+* **tear** — only a prefix of the frame's bytes arrive; the follower's
+  decode truncates at the torn frame and resyncs.
+
+The bounded window (``capacity`` chunks) is the backpressure point:
+:meth:`send` refuses when the window is full and the primary keeps the
+overflow in its own bounded catch-up log instead.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Dict, List, Optional
+
+from ..resilience.faults import ReplicationFaultPlan
+
+#: Counter names, fixed so ``repro replstatus`` output is stable.
+COUNTER_NAMES = (
+    "shipped", "delivered", "dropped", "duplicated", "delayed", "torn",
+    "refused", "lost_in_flight",
+)
+
+
+class ReplicationLink:
+    """One direction of wire: current primary → one follower."""
+
+    def __init__(
+        self,
+        name: str,
+        plan: Optional[ReplicationFaultPlan] = None,
+        capacity: int = 16,
+    ):
+        if capacity < 1:
+            raise ValueError("link capacity must be >= 1, got %r" % capacity)
+        self.name = name
+        self.plan = plan
+        self.capacity = capacity
+        self.up = True
+        #: Chunks awaiting delivery to the follower, in arrival order.
+        self._queue: Deque[bytes] = deque()
+        #: ``[rounds_remaining, chunk]`` pairs held back by delay faults.
+        self._delayed: List[List] = []
+        self.counters: Dict[str, int] = {c: 0 for c in COUNTER_NAMES}
+
+    # ------------------------------------------------------------------
+
+    @property
+    def queued(self) -> int:
+        return len(self._queue) + len(self._delayed)
+
+    @property
+    def free_slots(self) -> int:
+        return max(0, self.capacity - self.queued)
+
+    def set_up(self, up: bool) -> None:
+        """Raise or cut the link.  Cutting it loses everything in
+        flight — a partition is not a pause."""
+        if self.up and not up:
+            self.counters["lost_in_flight"] += self.queued
+            self._queue.clear()
+            self._delayed = []
+        self.up = up
+
+    # ------------------------------------------------------------------
+
+    def send(self, frame: bytes) -> bool:
+        """Offer one frame to the wire.
+
+        Returns False when the link is down or the window is full
+        (backpressure) — the caller must retry later.  Returns True
+        when the wire *accepted* the frame, which — as on a real
+        network — says nothing about delivery: the fault plan may
+        still drop, tear, delay or duplicate it in flight.
+        """
+        if not self.up:
+            self.counters["refused"] += 1
+            return False
+        if self.free_slots == 0:
+            self.counters["refused"] += 1
+            return False
+        decision = self.plan.decide(len(frame)) if self.plan else None
+        self.counters["shipped"] += 1
+        if decision is not None and decision.drop:
+            self.counters["dropped"] += 1
+            return True
+        if decision is not None and decision.tear_at is not None:
+            self.counters["torn"] += 1
+            self._queue.append(frame[:decision.tear_at])
+            return True
+        if decision is not None and decision.delay_rounds > 0:
+            self.counters["delayed"] += 1
+            self._delayed.append([decision.delay_rounds, frame])
+            return True
+        self._queue.append(frame)
+        if decision is not None and decision.duplicate:
+            self.counters["duplicated"] += 1
+            self._queue.append(frame)
+        return True
+
+    def tick(self) -> None:
+        """Advance one round: delayed frames age, expired ones land
+        (after anything already queued — that is the reorder)."""
+        still_delayed: List[List] = []
+        for entry in self._delayed:
+            entry[0] -= 1
+            if entry[0] <= 0:
+                self._queue.append(entry[1])
+            else:
+                still_delayed.append(entry)
+        self._delayed = still_delayed
+
+    def deliver(self) -> List[bytes]:
+        """Drain every queued chunk to the follower (empty if down)."""
+        if not self.up:
+            return []
+        chunks = list(self._queue)
+        self._queue.clear()
+        self.counters["delivered"] += len(chunks)
+        return chunks
+
+    def snapshot(self) -> Dict[str, object]:
+        """Counters + live window state for ``repro replstatus``."""
+        state: Dict[str, object] = dict(self.counters)
+        state["up"] = self.up
+        state["queued"] = self.queued
+        state["capacity"] = self.capacity
+        return state
+
+    def __repr__(self) -> str:
+        return "ReplicationLink(%r, %s, %d queued)" % (
+            self.name, "up" if self.up else "down", self.queued)

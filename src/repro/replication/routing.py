@@ -1,0 +1,151 @@
+"""Replica-aware routing for the query service.
+
+A :class:`ReplicaRouter` stands between one
+:class:`~repro.service.service.QueryService` and one
+:class:`~repro.replication.cluster.ReplicationCluster`:
+
+* **writes** go to the current primary (and raise
+  :class:`~repro.replication.errors.PrimaryFenced` during an
+  availability gap — the service surfaces that instead of silently
+  writing to a deposed node);
+* **reads** may be offloaded to a follower when the tenant's
+  bounded-staleness contract allows it (``TenantConfig.replica_max_lag``
+  — the follower's LSN lag must be within the bound) or when the
+  brownout ladder has reached *replica-reads-only*, in which case the
+  least-lagged follower serves regardless of bound and the answer is
+  flagged stale with its lag.
+
+Routing is deterministic: among qualifying followers the least-lagged
+wins, name order breaking ties — the same schedule replays under the
+test clock.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+from .cluster import ReplicationCluster
+from .node import ReplicaNode
+
+#: Router counter names, fixed for stable status output.
+ROUTER_COUNTER_NAMES = (
+    "writes", "fenced_writes", "primary_reads", "replica_reads",
+    "stale_replica_reads", "no_replica_available",
+)
+
+
+class ReplicaRouter:
+    """Route reads to followers within a staleness bound, writes to
+    the primary."""
+
+    def __init__(
+        self,
+        cluster: ReplicationCluster,
+        pump_per_step: int = 1,
+    ):
+        self.cluster = cluster
+        #: Replication rounds advanced per service scheduling round
+        #: (keeps catch-up deterministic relative to serving).
+        self.pump_per_step = pump_per_step
+        self.counters: Dict[str, int] = {c: 0 for c in ROUTER_COUNTER_NAMES}
+
+    # ------------------------------------------------------------------
+
+    @property
+    def primary(self) -> ReplicaNode:
+        return self.cluster.primary_node
+
+    def tick(self) -> None:
+        """One service round elapsed: advance replication with it."""
+        if self.pump_per_step > 0:
+            self.cluster.pump(self.pump_per_step)
+
+    # ------------------------------------------------------------------
+    # Reads
+
+    def route_read(
+        self,
+        max_lag: Optional[int],
+        forced: bool = False,
+    ) -> Optional[Tuple[ReplicaNode, int]]:
+        """Pick a follower for one read, or None to stay on the
+        primary.
+
+        ``max_lag`` is the tenant's staleness bound in LSNs (None means
+        the tenant did not opt in).  ``forced`` is the brownout rung:
+        route to the least-lagged live follower even without an opt-in,
+        ignoring the bound — availability over freshness.  Returns
+        ``(node, lag)``; lag counts how many ops behind the primary the
+        chosen follower is (0 = fresh read).
+        """
+        if not forced and max_lag is None:
+            self.counters["primary_reads"] += 1
+            return None
+        primary = self.cluster.primary_node
+        primary_lsn = primary.lsn if primary.alive else None
+        candidates = []
+        for node in self.cluster.followers():
+            if not node.alive or node.needs_sync:
+                continue
+            lag = 0 if primary_lsn is None else max(0, primary_lsn - node.lsn)
+            candidates.append((lag, node.name, node))
+        if forced:
+            eligible = candidates
+        else:
+            eligible = [c for c in candidates if c[0] <= max_lag]
+        if not eligible:
+            self.counters["no_replica_available"] += 1
+            return None
+        lag, _, node = min(eligible)
+        self.counters["replica_reads"] += 1
+        if lag > 0:
+            self.counters["stale_replica_reads"] += 1
+        return node, lag
+
+    # ------------------------------------------------------------------
+    # Writes
+
+    def insert(self, triple) -> bool:
+        return self._write("insert", triple)
+
+    def delete(self, triple) -> bool:
+        return self._write("delete", triple)
+
+    def load(self, graph) -> int:
+        self.counters["writes"] += 1
+        try:
+            count = 0
+            for triple in graph.data_triples():
+                if self.cluster.primary_node.insert(triple):
+                    count += 1
+            return count
+        except Exception:
+            self.counters["fenced_writes"] += 1
+            raise
+
+    def _write(self, op: str, triple) -> bool:
+        self.counters["writes"] += 1
+        try:
+            return getattr(self.cluster.primary_node, op)(triple)
+        except Exception:
+            self.counters["fenced_writes"] += 1
+            raise
+
+    # ------------------------------------------------------------------
+
+    def status(self) -> Dict[str, object]:
+        primary = self.cluster.primary_node
+        return {
+            "primary": self.cluster.primary_name,
+            "primary_alive": primary.alive,
+            "epoch": self.cluster.coordinator.epoch,
+            "counters": dict(self.counters),
+            "follower_lags": {
+                node.name: (max(0, primary.lsn - node.lsn)
+                            if primary.alive and node.alive else None)
+                for node in self.cluster.followers()
+            },
+        }
+
+    def __repr__(self) -> str:
+        return "ReplicaRouter(%r)" % (self.cluster,)

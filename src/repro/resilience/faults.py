@@ -135,6 +135,118 @@ class FaultPlan:
         )
 
 
+class ReplicationFaultDecision:
+    """What the plan injects into one shipped replication frame."""
+
+    __slots__ = ("drop", "duplicate", "delay_rounds", "tear_at")
+
+    def __init__(
+        self,
+        drop: bool = False,
+        duplicate: bool = False,
+        delay_rounds: int = 0,
+        tear_at: Optional[int] = None,
+    ):
+        self.drop = drop
+        self.duplicate = duplicate
+        self.delay_rounds = delay_rounds
+        #: When not None, only the first ``tear_at`` bytes of the frame
+        #: reach the wire (a torn tail) and the stream cuts there.
+        self.tear_at = tear_at
+
+
+class ReplicationFaultPlan:
+    """A seeded per-frame fault schedule for WAL shipping.
+
+    Same determinism contract as :class:`FaultPlan`: every draw comes
+    from one ``random.Random(seed)`` consumed in frame order, and the
+    draws for every axis are always consumed, so a (seed, frame
+    sequence) pair replays identically regardless of which rates are
+    enabled.  Axes:
+
+    * ``drop_rate`` — the frame never arrives (the follower sees a
+      sequence gap and requests a resync);
+    * ``duplicate_rate`` — the frame arrives twice (the follower must
+      skip the replayed LSN);
+    * ``delay_rate`` / ``delay_rounds`` — the frame is held back and
+      delivered *after* later traffic (reordering; also surfaces as a
+      gap at the follower);
+    * ``tear_rate`` — only a prefix of the frame's bytes arrives and
+      the stream cuts there (the torn-tail case ``decode_records``
+      already truncates at).
+
+    >>> plan = ReplicationFaultPlan(seed=5, drop_rate=0.5)
+    >>> first = [plan.decide(80).drop for _ in range(8)]
+    >>> replay = ReplicationFaultPlan(seed=5, drop_rate=0.5)
+    >>> first == [replay.decide(80).drop for _ in range(8)]
+    True
+    """
+
+    def __init__(
+        self,
+        seed: int = 0,
+        drop_rate: float = 0.0,
+        duplicate_rate: float = 0.0,
+        delay_rate: float = 0.0,
+        delay_rounds: int = 1,
+        tear_rate: float = 0.0,
+    ):
+        for name, rate in (
+            ("drop_rate", drop_rate),
+            ("duplicate_rate", duplicate_rate),
+            ("delay_rate", delay_rate),
+            ("tear_rate", tear_rate),
+        ):
+            if not 0.0 <= rate <= 1.0:
+                raise ValueError("%s must be in [0, 1], got %r" % (name, rate))
+        if delay_rounds < 1:
+            raise ValueError("delay_rounds must be >= 1, got %r" % delay_rounds)
+        self.seed = seed
+        self.drop_rate = drop_rate
+        self.duplicate_rate = duplicate_rate
+        self.delay_rate = delay_rate
+        self.delay_rounds = delay_rounds
+        self.tear_rate = tear_rate
+        self._rng = random.Random(seed)
+        self.frames_seen = 0
+
+    def decide(self, frame_size: int) -> ReplicationFaultDecision:
+        """The faults for the next frame of *frame_size* bytes.  One
+        draw per axis, always consumed (order-stable determinism)."""
+        self.frames_seen += 1
+        drop_draw = self._rng.random()
+        duplicate_draw = self._rng.random()
+        delay_draw = self._rng.random()
+        tear_draw = self._rng.random()
+        # A torn frame keeps a non-empty strict prefix: an empty one is
+        # a drop, a full one is intact (1-byte frames stay intact).
+        tear_point = 1 + self._rng.randrange(max(1, frame_size - 1))
+        if self.drop_rate > 0 and drop_draw < self.drop_rate:
+            return ReplicationFaultDecision(drop=True)
+        if self.tear_rate > 0 and tear_draw < self.tear_rate:
+            return ReplicationFaultDecision(tear_at=tear_point)
+        decision = ReplicationFaultDecision()
+        if self.duplicate_rate > 0 and duplicate_draw < self.duplicate_rate:
+            decision.duplicate = True
+        if self.delay_rate > 0 and delay_draw < self.delay_rate:
+            decision.delay_rounds = self.delay_rounds
+        return decision
+
+    def __repr__(self) -> str:
+        return (
+            "ReplicationFaultPlan(seed=%d, drop=%.2f, dup=%.2f, "
+            "delay=%.2f@%d, tear=%.2f)"
+            % (
+                self.seed,
+                self.drop_rate,
+                self.duplicate_rate,
+                self.delay_rate,
+                self.delay_rounds,
+                self.tear_rate,
+            )
+        )
+
+
 class CrashPlan:
     """A seeded schedule of crash points for the durability harness.
 

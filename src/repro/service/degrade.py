@@ -2,7 +2,7 @@
 
 Under overload or faults, a front door has better options than the
 binary serve/collapse: it can shed *quality* before it sheds *work*.
-The :class:`BrownoutController` walks a five-level ladder, one level
+The :class:`BrownoutController` walks a six-level ladder, one level
 per observation round, guarded by hysteresis so transient spikes do
 not flap the service between modes:
 
@@ -17,7 +17,11 @@ lvl   name                what the service gives up
 3     stale-serving       freshness: expired per-tenant cache entries
                           are served tagged ``stale=True`` while a
                           single-flight refresh recomputes them
-4     shed-new-work       availability for *new* requests: submissions
+4     replica-reads-only  primary reads: every routable read is pushed
+                          to follower replicas (tagged with its LSN
+                          lag), keeping the primary for writes — a
+                          no-op rung when the service has no replicas
+5     shed-new-work       availability for *new* requests: submissions
                           are refused with a retry-after hint
 ====  ==================  ==================================================
 
@@ -44,13 +48,15 @@ NORMAL = 0
 NO_PARALLELISM = 1
 PARTIAL_ANSWERS = 2
 STALE_SERVING = 3
-SHED_NEW_WORK = 4
+REPLICA_READS_ONLY = 4
+SHED_NEW_WORK = 5
 
 LEVEL_NAMES = (
     "normal",
     "no-parallelism",
     "partial-answers",
     "stale-serving",
+    "replica-reads-only",
     "shed-new-work",
 )
 
@@ -155,6 +161,10 @@ class BrownoutController:
     @property
     def serve_stale(self) -> bool:
         return self._level >= STALE_SERVING
+
+    @property
+    def replica_reads_only(self) -> bool:
+        return self._level >= REPLICA_READS_ONLY
 
     @property
     def shed_new_work(self) -> bool:
@@ -270,6 +280,7 @@ __all__ = [
     "NORMAL",
     "NO_PARALLELISM",
     "PARTIAL_ANSWERS",
+    "REPLICA_READS_ONLY",
     "SHED_NEW_WORK",
     "STALE_SERVING",
 ]

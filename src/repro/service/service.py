@@ -125,10 +125,20 @@ class QueryService:
         watchdog_seconds: Optional[float] = None,
         breaker_threshold: Optional[int] = None,
         breaker_cooldown: float = DEFAULT_BREAKER_COOLDOWN,
+        replicas=None,
     ):
         self.clock = clock if clock is not None else SYSTEM_CLOCK
         self.engine = engine
         self.pool = pool
+        #: Optional :class:`~repro.replication.routing.ReplicaRouter`.
+        #: When set, writes are mirrored to the replication primary
+        #: (fenced writes raise), reads may be offloaded to followers
+        #: within each tenant's ``replica_max_lag`` bound, and the
+        #: brownout ladder's replica-reads-only rung pushes every
+        #: routable read off the primary.  The service's own writer
+        #: answerer must be built over the primary's dataset — the
+        #: router mirrors, it does not substitute.
+        self.replicas = replicas
         self.answerer = QueryAnswerer(graph, schema, engine=engine)
         self.snapshots = SnapshotManager(self.answerer.store)
         configs = [
@@ -216,6 +226,7 @@ class QueryService:
                 reason=REASON_TENANT_BREAKER,
                 retry_after=breaker.cooldown_remaining(),
                 queued=self.admission.backlog(request.tenant),
+                cooldown_remaining=breaker.cooldown_remaining(),
             )
         try:
             ticket = self.admission.submit(request)
@@ -242,15 +253,23 @@ class QueryService:
     # hooks and every tenant's cache invalidation fire on the way)
 
     def insert(self, triple) -> bool:
+        if self.replicas is not None:
+            # The primary writes (and ships) first: a fenced write
+            # raises here and the serving copy stays untouched.
+            self.replicas.insert(triple)
         return self.answerer.insert(triple)
 
     def delete(self, triple) -> bool:
+        if self.replicas is not None:
+            self.replicas.delete(triple)
         return self.answerer.delete(triple)
 
     def load(self, graph) -> int:
         """Bulk-load *graph*'s data triples; returns how many were new."""
         count = 0
         for triple in graph.data_triples():
+            if self.replicas is not None:
+                self.replicas.insert(triple)
             if self.answerer.insert(triple):
                 count += 1
         return count
@@ -265,6 +284,11 @@ class QueryService:
         signals to the brownout ladder.  Returns the tickets that left
         the queue this round (done, failed, or expired), in scheduling
         order."""
+        if self.replicas is not None:
+            # Replication advances in lock-step with serving rounds, so
+            # follower catch-up is deterministic relative to the
+            # request schedule.
+            self.replicas.tick()
         runnable, expired = self.admission.next_batch(self.capacity)
         for ticket in expired:
             self.metrics.note_expired(ticket.request.tenant)
@@ -310,13 +334,37 @@ class QueryService:
     # ------------------------------------------------------------------
     # Execution internals
 
-    def _answerer_for(self, request: QueryRequest) -> Tuple[QueryAnswerer, bool]:
-        """The answerer evaluating *request*: the live writer, or a
+    def _answerer_for(
+        self, request: QueryRequest
+    ) -> Tuple[QueryAnswerer, bool, Optional[dict]]:
+        """The answerer evaluating *request*: the live writer, a
         reader materialized from the request's pinned snapshot (one
-        reader per epoch, shared across requests)."""
+        reader per epoch, shared across requests), or a follower
+        replica's reader when routing applies.  Returns ``(answerer,
+        bypass_cache, replica_info)`` — snapshot and replica reads
+        bypass the tenant cache (their freshness is the pin/lag, not
+        the epoch)."""
         snapshot = request.snapshot
         if snapshot is None:
-            return self.answerer, False
+            if self.replicas is not None:
+                forced = (
+                    self.brownout is not None
+                    and self.brownout.replica_reads_only
+                )
+                config = self.admission.tenants.get(request.tenant)
+                bound = None if config is None else config.replica_max_lag
+                # Route unconditionally: the router counts primary
+                # reads (no opt-in, no rung) as well as replica picks.
+                routed = self.replicas.route_read(bound, forced=forced)
+                if routed is not None:
+                    node, lag = routed
+                    info = {
+                        "node": node.name,
+                        "lag": lag,
+                        "forced": forced,
+                    }
+                    return node.reader(self.engine), True, info
+            return self.answerer, False, None
         reader = self._readers.get(snapshot.epoch)
         if reader is None:
             store = snapshot.store()
@@ -324,7 +372,7 @@ class QueryService:
                 store.to_graph(), store.schema, engine=self.engine
             )
             self._readers[snapshot.epoch] = reader
-        return reader, True
+        return reader, True, None
 
     def _answer_cache_key(
         self,
@@ -373,7 +421,7 @@ class QueryService:
         ticket.status = RUNNING
         ticket.started_at = self.clock.monotonic()
         config = self.admission.tenants[request.tenant]
-        answerer, pinned = self._answerer_for(request)
+        answerer, pinned, replica = self._answerer_for(request)
         cache = None if pinned else self._caches.get(request.tenant)
         key = None
         if cache is not None:
@@ -415,6 +463,14 @@ class QueryService:
             ticket.error = exc
             ticket.status = FAILED
         else:
+            if replica is not None:
+                report.details["replica"] = replica
+                if replica["lag"] > 0:
+                    # A bounded-staleness read: flagged exactly like a
+                    # stale cache serve, so clients can tell.
+                    report.details.setdefault(
+                        "stale", {"replica_lag": replica["lag"]}
+                    )
             ticket.report = report
             ticket.status = DONE
             if key is not None:
@@ -630,6 +686,8 @@ class QueryService:
             "epoch": self.snapshots.epoch,
         }
         payload["health"] = self.health_report()
+        if self.replicas is not None:
+            payload["replicas"] = self.replicas.status()
         return payload
 
 

@@ -322,6 +322,21 @@ class TestServe:
         assert code == 3
         assert "queue-full" in out
         assert "retry after" in out
+        # The exit-3 table carries the back-off hint per tenant.
+        assert "backoff s" in out
+
+    def test_serve_json_rejections_carry_retry_after(self, capsys):
+        import json
+
+        code, out = run_cli(
+            capsys, "serve", "--dataset", "books", "--requests", "9",
+            "--queue-depth", "1", "--capacity", "1", "--json",
+        )
+        assert code == 3
+        summary = json.loads(out)
+        assert summary["rejections"]
+        assert all("retry_after" in r for r in summary["rejections"])
+        assert all(r["retry_after"] >= 0 for r in summary["rejections"])
 
     def test_serve_script_with_snapshot_pin(self, capsys, tmp_path):
         script = tmp_path / "session.txt"
@@ -357,9 +372,17 @@ class TestServe:
     def test_serve_bad_tenant_spec_is_usage_error(self, capsys):
         code, _ = run_cli(
             capsys, "serve", "--dataset", "books",
-            "--tenants", "a:1:2:3",
+            "--tenants", "a:1:2:3:4",
         )
         assert code == 2
+
+    def test_serve_four_part_tenant_spec_sets_replica_bound(self, capsys):
+        code, _ = run_cli(
+            capsys, "serve", "--dataset", "books", "--requests", "2",
+            "--tenants", "a:2:4:3",
+        )
+        assert code == 0
+
 
     def test_serve_json_includes_health_section(self, capsys):
         import json
@@ -434,6 +457,74 @@ class TestServe:
         )
         assert code == 1  # nothing completed at all
         assert "0 completed" in out
+
+
+class TestReplicate:
+    def test_default_workload_converges(self, capsys):
+        code, out = run_cli(capsys, "replicate", "--writes", "6")
+        assert code == 0
+        assert "replication session" in out
+        assert "n1" in out and "n3" in out
+
+    def test_faulty_links_still_converge(self, capsys):
+        code, out = run_cli(
+            capsys, "replicate", "--writes", "10", "--drop-rate", "0.3",
+            "--tear-rate", "0.2", "--duplicate-rate", "0.1",
+            "--seed", "11",
+        )
+        assert code == 0
+        assert "dropped" in out
+
+    def test_script_failover_and_replstatus(self, capsys, tmp_path):
+        import json
+
+        script = tmp_path / "chaos.txt"
+        script.write_text(
+            "write 6\n"
+            "kill-primary\n"
+            "pump 5  # lease expires, a follower takes over\n"
+            "write 3\n"
+            "heal\n"
+            "converge\n"
+        )
+        directory = str(tmp_path / "cluster")
+        code, out = run_cli(
+            capsys, "replicate", "--script", str(script),
+            "--dir", directory, "--json",
+        )
+        assert code == 0
+        status = json.loads(out)
+        assert status["coordinator"]["epoch"] == 2
+        assert status["consistency_problems"] == []
+        code, out = run_cli(capsys, "replstatus", "--dir", directory)
+        assert code == 0
+        saved = json.loads(out)
+        assert set(saved["nodes"]) == {"n1", "n2", "n3"}
+        assert saved["links"]["n2"]["shipped"] >= 0
+
+    def test_unconverged_cluster_exits_7(self, capsys, tmp_path):
+        script = tmp_path / "bad.txt"
+        script.write_text("write 4\npartition n3\nwrite 2\n")
+        code, out = run_cli(
+            capsys, "replicate", "--script", str(script),
+            "--max-rounds", "5",
+        )
+        assert code == 7
+
+    def test_replstatus_without_state_fails(self, capsys, tmp_path):
+        code, _ = run_cli(capsys, "replstatus",
+                          "--dir", str(tmp_path / "void"))
+        assert code == 1
+
+    def test_replicate_run_is_deterministic(self, capsys):
+        argv = ["replicate", "--writes", "8", "--drop-rate", "0.2",
+                "--seed", "3", "--json"]
+        import json
+
+        first = json.loads(run_cli(capsys, *argv)[1])
+        second = json.loads(run_cli(capsys, *argv)[1])
+        assert first["nodes"] == second["nodes"]
+        assert first["links"] == second["links"]
 
 
 class TestExitCodeTable:

@@ -114,8 +114,8 @@ class TestBrownoutLadder:
     def test_escalates_one_level_per_round_and_saturates(self):
         ladder = BrownoutController(clock=FakeClock())
         pressured = signals(failure_fraction=1.0)
-        levels = [ladder.observe(pressured) for _ in range(6)]
-        assert levels == [1, 2, 3, 4, 4, 4]
+        levels = [ladder.observe(pressured) for _ in range(7)]
+        assert levels == [1, 2, 3, 4, 5, 5, 5]
         assert ladder.level == SHED_NEW_WORK
         assert all(t[2] - t[1] == 1 for t in ladder.transitions)
 

@@ -392,6 +392,34 @@ class TestDurableStore:
         assert set(recover(directory).store.to_graph()) == set(
             sample_triples(5))
 
+    def test_pinned_snapshot_survives_checkpoint_rotation(self, tmp_path):
+        # A pinned snapshot must stay readable after the checkpoint it
+        # froze against is rotated out by the retention window: the
+        # pin's lifetime is the reader's, not the pruner's.
+        directory = str(tmp_path / "wal")
+        durable = DurableStore.open(directory, sync="never")
+        triples = sample_triples(6)
+        for triple in triples[:3]:
+            durable.insert(triple)
+        durable.checkpoint()
+        snapshot = durable.pin_snapshot()
+        pinned_label = snapshot.label
+        # Three more checkpoints push the pin-time one past the
+        # retention window (KEEP_CHECKPOINTS = 2) and prune it.
+        for triple in triples[3:]:
+            durable.insert(triple)
+            durable.checkpoint()
+        io = FileSystem()
+        checkpoints = sorted(
+            n for n in io.listdir(directory) if n.startswith("checkpoint-"))
+        assert "checkpoint-00000001.ckpt" not in checkpoints
+        # The pinned view still reads the pre-rotation state exactly.
+        assert snapshot.label == pinned_label
+        assert set(snapshot.store().to_graph()) == set(triples[:3])
+        assert durable.store.triple_count == 6
+        snapshot.release()
+        durable.close()
+
     def test_recover_empty_directory(self, tmp_path):
         result = recover(str(tmp_path / "nothing"))
         assert result.empty
