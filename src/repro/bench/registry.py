@@ -442,6 +442,40 @@ def _quick_e20() -> str:
         shutil.rmtree(directory, ignore_errors=True)
 
 
+def _quick_e21() -> str:
+    from ..core import QueryAnswerer, Strategy
+    from ..datasets import example1_query, generate_lubm
+    from ..query import Cover
+
+    graph = generate_lubm(universities=1, seed=1)
+    query = example1_query()
+    cover = Cover.per_atom(query)
+    reports = {
+        engine: QueryAnswerer(graph, engine=engine).answer(
+            query, Strategy.REF_JUCQ, cover=cover)
+        for engine in ("materialized", "pipelined", "columnar")
+    }
+    rm, rp, rc = (reports[e]
+                  for e in ("materialized", "pipelined", "columnar"))
+    identical = rm.answer == rp.answer == rc.answer
+    return (
+        "SCQ cover, %d answer row(s), three engines %s\n"
+        "materialized: %.0f ms, peak %d rows held\n"
+        "pipelined:    %.0f ms, peak %d rows buffered\n"
+        "columnar:     %.0f ms, peak %d rows buffered"
+        % (
+            rm.cardinality,
+            "identical" if identical else "DIVERGED",
+            rm.elapsed_seconds * 1e3,
+            rm.execution.max_intermediate_rows(),
+            rp.elapsed_seconds * 1e3,
+            rp.execution.peak_buffered_rows,
+            rc.elapsed_seconds * 1e3,
+            rc.execution.peak_buffered_rows,
+        )
+    )
+
+
 EXPERIMENTS: List[Experiment] = [
     Experiment("E1", "Example 1's UCQ reformulation blow-up and parse failure",
                "benchmarks/bench_e1_reformulation_size.py", _quick_e1),
@@ -483,6 +517,8 @@ EXPERIMENTS: List[Experiment] = [
                "benchmarks/bench_e19_degraded.py", _quick_e19),
     Experiment("E20", "Replicated serving: availability through a primary crash",
                "benchmarks/bench_e20_replication.py", _quick_e20),
+    Experiment("E21", "Columnar vs row engines: time and peak rows at scale",
+               "benchmarks/bench_e21_columnar.py", _quick_e21),
     Experiment("A1", "Ablation: exact statistics vs textbook uniformity",
                "benchmarks/bench_a1_statistics_ablation.py"),
     Experiment("A2", "Ablation: UCQ subsumption pruning",

@@ -193,10 +193,11 @@ _METRIC_HEADER = ["operator", "rows in", "rows out", "batches", "peak buffered",
 
 
 def _print_metrics(execution) -> None:
-    """Print the pipelined engine's per-operator metrics, when any."""
+    """Print the per-operator metrics (pipelined/columnar), when any."""
     metrics = getattr(execution, "metrics", None)
     if metrics is None:
-        print("no per-operator metrics (run with --engine pipelined)")
+        print("no per-operator metrics "
+              "(run with --engine pipelined or columnar)")
         return
     print(format_table(_METRIC_HEADER, metrics.table_rows(),
                        title="per-operator metrics"))
@@ -219,7 +220,7 @@ def cmd_answer(args) -> int:
         return EXIT_USAGE
     if args.parallelism > 1 and args.engine == "sqlite":
         print("--parallelism needs an in-process engine "
-              "(builtin/materialized/pipelined), not sqlite")
+              "(builtin/materialized/pipelined/columnar), not sqlite")
         return EXIT_USAGE
     cache = _make_cache(args)
     answerer = QueryAnswerer(_build_graph(args), engine=args.engine, cache=cache)
@@ -1173,16 +1174,18 @@ def build_parser() -> argparse.ArgumentParser:
     answer.add_argument("--limit", type=int, default=20)
     answer.add_argument("--engine", default="builtin",
                         choices=["builtin", "materialized", "pipelined",
-                                 "sqlite"],
+                                 "columnar", "sqlite"],
                         help="evaluation engine: materialized (builtin is "
                              "its alias), pipelined (streaming batches, "
-                             "per-operator metrics), or sqlite")
+                             "per-operator metrics), columnar (vectorized "
+                             "sorted-run execution), or sqlite")
     answer.add_argument("--show-metrics", action="store_true",
                         help="print the per-operator metric table (single "
-                             "strategy, pipelined engine)")
+                             "strategy, pipelined/columnar engine)")
     answer.add_argument("--allow-partial", action="store_true",
                         help="on budget overrun, keep the rows produced so "
-                             "far as a degraded answer (pipelined engine)")
+                             "far as a degraded answer (pipelined/columnar "
+                             "engine)")
     answer.add_argument("--cache", action="store_true",
                         help="answer through a reformulation+answer cache "
                              "(see `cache-stats` for its counters)")
@@ -1257,7 +1260,7 @@ def build_parser() -> argparse.ArgumentParser:
                              choices=["all"] + [s.value for s in Strategy])
     cache_stats.add_argument("--engine", default="builtin",
                              choices=["builtin", "materialized", "pipelined",
-                                      "sqlite"])
+                                      "columnar", "sqlite"])
     cache_stats.add_argument("--cache-size", type=_positive_int, default=1024,
                              help="LRU capacity per cache tier (default 1024)")
     cache_stats.add_argument("--repeat", type=int, default=3,
@@ -1271,9 +1274,11 @@ def build_parser() -> argparse.ArgumentParser:
     explain.add_argument("--strategy", default="ref-gcov",
                          choices=[s.value for s in Strategy])
     explain.add_argument("--engine", default="builtin",
-                         choices=["builtin", "materialized", "pipelined"],
-                         help="evaluation engine; pipelined appends the "
-                              "per-operator metric table to the plan")
+                         choices=["builtin", "materialized", "pipelined",
+                                  "columnar"],
+                         help="evaluation engine; pipelined and columnar "
+                              "append the per-operator metric table to "
+                              "the plan")
     explain.set_defaults(func=cmd_explain)
 
     covers = subparsers.add_parser("covers", help="explore covers (demo step 3)")
@@ -1367,7 +1372,7 @@ def build_parser() -> argparse.ArgumentParser:
                        help="override every tenant's queue depth")
     serve.add_argument("--engine", default="builtin",
                        choices=["builtin", "materialized", "pipelined",
-                                "sqlite"])
+                                "columnar", "sqlite"])
     serve.add_argument("--row-budget", type=_positive_int, default=None,
                        help="per-request row budget charged to the "
                             "submitting tenant")

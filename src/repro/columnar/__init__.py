@@ -1,0 +1,33 @@
+"""Columnar storage and execution: sorted ID-run indexes + vectorized
+operators.
+
+The paper's reformulated UCQs explode into hundreds of single-triple
+scans unioned and joined, so per-row Python object overhead dominates
+exactly where the paper measures its bottleneck.  This package keeps
+triples as dense integer IDs end to end:
+
+* :mod:`repro.columnar.indexes` — SPO/POS/OSP sorted integer-run
+  indexes over ``array('q')`` columns with binary-search range probes,
+  built lazily from the triple store and invalidated through its
+  mutation listeners and epoch;
+* :mod:`repro.columnar.chunks` — the column-batch exchange format and
+  its sortedness metadata;
+* :mod:`repro.columnar.engine` — the third execution engine: operators
+  over the shared plan IR (index-range scans, k-way sorted-run unions,
+  merge joins, mask selections) streaming column chunks, with the same
+  :class:`~repro.engine.metrics.PipelineMetrics` accounting and
+  mid-stream :class:`~repro.resilience.budget.ExecutionBudget`
+  charging as the pipelined engine.
+"""
+
+from .chunks import ColumnChunk, ColumnStream
+from .engine import run_columnar
+from .indexes import ColumnarIndexSet, SortedRunIndex
+
+__all__ = [
+    "ColumnChunk",
+    "ColumnStream",
+    "ColumnarIndexSet",
+    "SortedRunIndex",
+    "run_columnar",
+]

@@ -1,0 +1,150 @@
+"""The column-batch exchange format of the columnar engine.
+
+Operators exchange :class:`ColumnChunk` batches — a fixed row count
+represented as one ``array('q')`` (or plain list, for decoded-term
+relations) per column — wrapped in a :class:`ColumnStream` that also
+carries *sortedness metadata*: which lexicographic column order the
+stream's rows are guaranteed to follow, and which columns are constant
+across the whole stream.  The metadata is what lets the engine commit
+to merge joins and k-way sorted unions only when they are actually
+safe, and silently fall back to hashing otherwise: an order claim must
+always be *true*, never merely hoped.
+
+Rows never exist as Python tuples inside an operator unless the
+operator genuinely needs row-at-a-time state (join group emission,
+hash tables); scans, projections, filters and distinct move whole
+``array`` slices, which is where the engine's speed comes from.
+"""
+
+from __future__ import annotations
+
+from array import array
+from typing import Iterable, Iterator, List, Sequence, Tuple
+
+__all__ = ["ColumnChunk", "ColumnStream"]
+
+
+def as_column(values: Iterable) -> Sequence:
+    """Pack *values* into an ``array('q')`` when they are term ids,
+    falling back to a list for decoded-term relations."""
+    try:
+        return array("q", values)
+    except (TypeError, OverflowError):
+        return list(values)
+
+
+def _gather(column: Sequence, indexes: Sequence[int]) -> Sequence:
+    if isinstance(column, array):
+        return array("q", (column[i] for i in indexes))
+    return [column[i] for i in indexes]
+
+
+class ColumnChunk:
+    """A batch of rows stored column-wise.
+
+    ``length`` is explicit because zero-arity chunks are legal: a scan
+    with all three positions bound yields the empty row ``()`` once
+    when the triple is present, and that row count cannot be recovered
+    from an empty column tuple.
+    """
+
+    __slots__ = ("columns", "length")
+
+    def __init__(self, columns: Sequence[Sequence], length: int = None):
+        self.columns: Tuple[Sequence, ...] = tuple(columns)
+        if length is None:
+            length = len(self.columns[0]) if self.columns else 0
+        self.length = length
+
+    @classmethod
+    def from_rows(cls, rows: Sequence[Tuple], arity: int) -> "ColumnChunk":
+        """Transpose row tuples into a chunk (the boundary crossed by
+        operators that genuinely work row-at-a-time)."""
+        if arity == 0:
+            return cls((), len(rows))
+        if not rows:
+            return cls(tuple(array("q") for _ in range(arity)), 0)
+        return cls(tuple(as_column(col) for col in zip(*rows)), len(rows))
+
+    def __len__(self) -> int:
+        return self.length
+
+    @property
+    def arity(self) -> int:
+        return len(self.columns)
+
+    def rows(self) -> Iterator[Tuple]:
+        """Decode back to row tuples (the engine/answer boundary)."""
+        if not self.columns:
+            return iter([()] * self.length)
+        return zip(*self.columns)
+
+    def row(self, index: int) -> Tuple:
+        return tuple(column[index] for column in self.columns)
+
+    def take(self, indexes: Sequence[int]) -> "ColumnChunk":
+        """A new chunk holding the selected row positions, in order —
+        the materialization of a boolean-mask selection."""
+        return ColumnChunk(
+            tuple(_gather(column, indexes) for column in self.columns),
+            len(indexes),
+        )
+
+    def __repr__(self) -> str:
+        return "ColumnChunk(%d cols × %d rows)" % (self.arity, self.length)
+
+
+class ColumnStream:
+    """A lazy sequence of chunks plus its sortedness metadata.
+
+    ``order`` — column indexes the rows are lexicographically sorted
+    by, in significance order (a *guarantee*, possibly empty).
+    ``constants`` — column indexes whose value never changes across
+    the stream (a reformulation-bound constant column, for instance).
+    Constant columns are transparent to sortedness: a stream sorted by
+    column 0 with column 1 constant is also sorted by (0, 1) and
+    (1, 0).
+    """
+
+    __slots__ = ("chunks", "order", "constants")
+
+    def __init__(
+        self,
+        chunks: Iterator[ColumnChunk],
+        order: Tuple[int, ...] = (),
+        constants: frozenset = frozenset(),
+    ):
+        self.chunks = chunks
+        self.order = tuple(order)
+        self.constants = frozenset(constants)
+
+    def sorted_by(self, key: Sequence[int]) -> bool:
+        """True when the stream's rows are lexicographically sorted by
+        the *key* column sequence (modulo constant columns)."""
+        significant: List[int] = [
+            column for column in self.order if column not in self.constants
+        ]
+        depth = 0
+        for column in key:
+            if column in self.constants:
+                continue
+            if depth < len(significant) and significant[depth] == column:
+                depth += 1
+            else:
+                return False
+        return True
+
+    def fully_sorted(self, arity: int) -> bool:
+        """Sorted by every column — the precondition for merge-dedup
+        unions and streaming distinct."""
+        return self.sorted_by(range(arity))
+
+    def iter_rows(self) -> Iterator[Tuple]:
+        for chunk in self.chunks:
+            yield from chunk.rows()
+
+    def __repr__(self) -> str:
+        return "ColumnStream(order=%s, constants=%s)" % (
+            self.order,
+            sorted(self.constants),
+        )

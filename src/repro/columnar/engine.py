@@ -1,0 +1,741 @@
+"""The columnar executor: vectorized operators over the shared plan IR.
+
+The third engine over the same plan language as the materialized
+interpreter (:mod:`repro.storage.executor`) and the pipelined executor
+(:mod:`repro.engine.pipeline`).  Where the pipelined engine moves
+tuples in row batches, this one moves :class:`~repro.columnar.chunks.
+ColumnChunk` column batches whose cells never become Python objects
+until the answer boundary:
+
+* **Index-range scans** — a triple pattern resolves through
+  :meth:`~repro.columnar.indexes.ColumnarIndexSet.probe` to a row
+  range of one SPO/POS/OSP sorted run; emitting a chunk is slicing
+  ``array('q')`` columns (a C-level copy), not building per-row
+  dicts and tuples.  The residual key order of the range becomes the
+  stream's sortedness metadata.
+* **K-way sorted union** — when every input of a union is fully
+  sorted (scans and their projections are), inputs are merged with
+  adjacent-duplicate elimination: the union's set semantics fall out
+  of the merge for free, *before* any join multiplies rows — the
+  grouping effect the paper measures, applied physically.  Unsorted
+  inputs degrade to streamed concatenation exactly like the pipelined
+  engine (dedup deferred downstream).
+* **Merge joins on sorted runs** — taken only when both inputs are
+  provably sorted on the join key; buffers only the current
+  equal-key groups.  Otherwise the join hashes, building on the
+  smaller estimated side like the pipelined engine, so peak buffered
+  rows never exceed the pipelined engine's on the same plan.
+* **Mask selections / distinct** — filters compute keep-index lists
+  per chunk and gather; distinct over a fully sorted stream is
+  adjacent-row comparison with *zero* buffered state, and falls back
+  to the pipelined engine's seen-set otherwise.
+
+Accounting and control are identical to the pipelined engine: every
+operator's output is metered into a shared
+:class:`~repro.engine.metrics.PipelineMetrics` (``rows_out`` counts
+rows *represented* by chunks, not Python objects), charged against the
+caller's :class:`~repro.resilience.budget.ExecutionBudget` per chunk,
+and a budget abort carries the partial metrics and rows.  A pool makes
+multi-child unsorted unions parallel, as in the pipelined engine.
+"""
+
+from __future__ import annotations
+
+import heapq
+import queue as queue_module
+import threading
+import time
+from typing import Iterator, List, Optional, Sequence, Tuple
+
+from ..engine.ir import (
+    DistinctNode,
+    EmptyNode,
+    JoinNode,
+    NonLiteralFilterNode,
+    PlanNode,
+    ProjectNode,
+    RelationNode,
+    ScanNode,
+    UnionNode,
+)
+from ..engine.metrics import OperatorMetrics, PipelineMetrics, _Stopwatch
+from ..parallel.pool import ExecutorPool, primary_error
+from .chunks import ColumnChunk, ColumnStream, as_column
+
+Row = Tuple
+
+#: Rows per chunk.  Larger than the pipelined engine's row batches —
+#: per-chunk bookkeeping is the columnar engine's only per-row-free
+#: overhead, so amortizing it harder is pure win; still small enough
+#: that a budget fires within one chunk of the limit.
+DEFAULT_COLUMNAR_BATCH_SIZE = 1024
+
+
+class _ColumnarPipeline:
+    """One columnar execution: operators wired to shared accounting."""
+
+    def __init__(
+        self,
+        store,
+        metrics: PipelineMetrics,
+        budget,
+        batch_size: int,
+        pool: Optional[ExecutorPool] = None,
+    ):
+        self.store = store
+        self.indexes = store.columnar()
+        self.metrics = metrics
+        self.budget = budget
+        self.batch_size = batch_size
+        self.pool = pool
+
+    # -- plumbing ------------------------------------------------------
+
+    def stream(self, node: PlanNode) -> ColumnStream:
+        """The metered output stream of *node*.
+
+        Mirrors the pipelined engine's metering exactly: rows/batches/
+        wall-time per operator, ``node.actual_rows`` for EXPLAIN, and
+        per-chunk budget charging (RelationNode leaves whose rows were
+        already charged only get a time check).  Sortedness metadata
+        passes through untouched — metering never reorders.
+        """
+        entry = self.metrics.operator(node)
+        source = self._operator(node, entry)
+        charge = self.budget is not None and not (
+            isinstance(node, RelationNode) and node.charged
+        )
+        node.actual_rows = 0
+        watch = _Stopwatch(entry)
+
+        def metered() -> Iterator[ColumnChunk]:
+            inner = source.chunks
+            try:
+                iterator = iter(inner)
+                while True:
+                    with watch:
+                        chunk = next(iterator, None)
+                    if chunk is None:
+                        return
+                    entry.rows_out += chunk.length
+                    entry.batches += 1
+                    node.actual_rows += chunk.length
+                    if charge:
+                        self.budget.charge_rows(
+                            chunk.length, operator=entry.label
+                        )
+                    elif self.budget is not None:
+                        self.budget.check_time(operator=entry.label)
+                    yield chunk
+            finally:
+                close = getattr(inner, "close", None)
+                if close is not None:
+                    close()
+                self.metrics.release(entry)
+
+        return ColumnStream(metered(), source.order, source.constants)
+
+    def _counted(
+        self, stream: ColumnStream, entry: OperatorMetrics
+    ) -> Iterator[ColumnChunk]:
+        """Consume *stream*'s chunks, counting rows into *entry.rows_in*."""
+        for chunk in stream.chunks:
+            entry.rows_in += chunk.length
+            yield chunk
+
+    def _pull(self, child: PlanNode, entry: OperatorMetrics) -> ColumnStream:
+        stream = self.stream(child)
+        return ColumnStream(
+            self._counted(stream, entry), stream.order, stream.constants
+        )
+
+    def _chunked_rows(self, rows: Iterator[Row], arity: int) -> Iterator[ColumnChunk]:
+        """Re-chunk a row iterator (row-at-a-time operator cores)."""
+        batch: List[Row] = []
+        for row in rows:
+            batch.append(row)
+            if len(batch) >= self.batch_size:
+                yield ColumnChunk.from_rows(batch, arity)
+                batch = []
+        if batch:
+            yield ColumnChunk.from_rows(batch, arity)
+
+    # -- operators -----------------------------------------------------
+
+    def _operator(self, node: PlanNode, entry: OperatorMetrics) -> ColumnStream:
+        if isinstance(node, EmptyNode):
+            return ColumnStream(iter(()))
+        if isinstance(node, ScanNode):
+            return self._scan(node)
+        if isinstance(node, RelationNode):
+            return self._relation(node)
+        if isinstance(node, UnionNode):
+            return self._union(node, entry)
+        if isinstance(node, ProjectNode):
+            return self._project(node, entry)
+        if isinstance(node, NonLiteralFilterNode):
+            return self._filter(node, entry)
+        if isinstance(node, DistinctNode):
+            return self._distinct(node, entry)
+        if isinstance(node, JoinNode):
+            return self._join(node, entry)
+        raise TypeError("cannot execute %r" % (node,))
+
+    # -- scans ---------------------------------------------------------
+
+    def _scan(self, node: ScanNode) -> ColumnStream:
+        run, lo, hi, bound = self.indexes.probe(*node.bound_positions())
+        out_index = {var: i for i, var in enumerate(node.columns)}
+        positions_of: dict = {}
+        position_var: dict = {}
+        for position, (kind, value) in enumerate(node.positions):
+            if kind == "var":
+                positions_of.setdefault(value, []).append(position)
+                position_var[position] = value
+        # Residual key order of the probed range, as output columns.
+        order: List[int] = []
+        for position in run.permutation[bound:]:
+            column = out_index[position_var[position]]
+            if column not in order:
+                order.append(column)
+        sources = [
+            run.column_for_position(positions_of[var][0])
+            for var in node.columns
+        ]
+        duplicates = [
+            [run.column_for_position(p) for p in group]
+            for group in positions_of.values()
+            if len(group) > 1
+        ]
+        step = self.batch_size
+
+        def chunks() -> Iterator[ColumnChunk]:
+            for start in range(lo, hi, step):
+                end = min(start + step, hi)
+                if duplicates:
+                    # Repeated-variable pattern: keep rows where every
+                    # occurrence of the variable carries the same id.
+                    keep = [
+                        i
+                        for i in range(start, end)
+                        if all(
+                            group[0][i] == other[i]
+                            for group in duplicates
+                            for other in group[1:]
+                        )
+                    ]
+                    if keep:
+                        yield ColumnChunk(
+                            tuple(
+                                as_column(src[i] for i in keep)
+                                for src in sources
+                            ),
+                            len(keep),
+                        )
+                else:
+                    yield ColumnChunk(
+                        tuple(src[start:end] for src in sources),
+                        end - start,
+                    )
+
+        return ColumnStream(chunks(), tuple(order))
+
+    def _relation(self, node: RelationNode) -> ColumnStream:
+        rows = node.rows
+        arity = node.arity
+        step = self.batch_size
+
+        def chunks() -> Iterator[ColumnChunk]:
+            for start in range(0, len(rows), step):
+                yield ColumnChunk.from_rows(rows[start:start + step], arity)
+
+        return ColumnStream(chunks())
+
+    # -- union ---------------------------------------------------------
+
+    def _union(self, node: UnionNode, entry: OperatorMetrics) -> ColumnStream:
+        children = node.children()
+        if len(children) == 1:
+            return self._pull(children[0], entry)
+        arity = node.arity
+        streams = [self.stream(child) for child in children]
+        key = _total_order(streams, arity)
+        if key is not None:
+            return self._merge_union(streams, arity, key, entry)
+        if (
+            self.pool is not None
+            and self.pool.usable()
+        ):
+            return ColumnStream(self._parallel_union(streams, entry))
+
+        def concatenated() -> Iterator[ColumnChunk]:
+            for stream in streams:
+                yield from self._counted(stream, entry)
+
+        return ColumnStream(concatenated())
+
+    def _merge_union(
+        self,
+        streams: Sequence[ColumnStream],
+        arity: int,
+        key: Tuple[int, ...],
+        entry: OperatorMetrics,
+    ) -> ColumnStream:
+        """K-way merge of inputs all sorted by the total order *key*,
+        with adjacent duplicate elimination.
+
+        The output is sorted *and distinct* — the union's set semantics
+        computed without a dedup buffer, and early enough that a
+        downstream join multiplies the grouped extent, not the raw one.
+        """
+        identity = key == tuple(range(arity))
+
+        def rows() -> Iterator[Row]:
+            iters = [
+                ColumnStream(
+                    self._counted(stream, entry), stream.order
+                ).iter_rows()
+                for stream in streams
+            ]
+            if identity:
+                merged = heapq.merge(*iters)
+            else:
+                merged = heapq.merge(
+                    *iters, key=lambda row: tuple(row[i] for i in key)
+                )
+            previous: Optional[Row] = None
+            for row in merged:
+                if row != previous:
+                    previous = row
+                    yield row
+
+        return ColumnStream(self._chunked_rows(rows(), arity), key)
+
+    # -- parallel union / parallel scan --------------------------------
+
+    def _parallel_scan(
+        self,
+        stream: ColumnStream,
+        out: "queue_module.Queue",
+        stop: threading.Event,
+    ) -> None:
+        """Producer half: drain one child on a pool worker into the
+        bounded queue (same protocol as the pipelined engine — errors
+        relayed, ``done`` unconditional)."""
+        try:
+            for chunk in stream.chunks:
+                relayed = False
+                while not stop.is_set():
+                    try:
+                        out.put(("chunk", chunk), timeout=0.05)
+                        relayed = True
+                        break
+                    except queue_module.Full:
+                        continue
+                if not relayed:
+                    return
+        except BaseException as exc:  # relayed; the consumer re-raises
+            while not stop.is_set():
+                try:
+                    out.put(("error", exc), timeout=0.05)
+                    break
+                except queue_module.Full:
+                    continue
+        finally:
+            out.put(("done", None))
+
+    def _parallel_union(
+        self, streams: Sequence[ColumnStream], entry: OperatorMetrics
+    ) -> Iterator[ColumnChunk]:
+        capacity = max(4, 2 * self.pool.workers)
+        out: "queue_module.Queue" = queue_module.Queue(maxsize=capacity)
+        stop = threading.Event()
+        for stream in streams:
+            self.pool.submit(self._parallel_scan, stream, out, stop)
+        retired = 0
+        errors: List[BaseException] = []
+        try:
+            while retired < len(streams):
+                kind, payload = out.get()
+                if kind == "done":
+                    retired += 1
+                elif kind == "error":
+                    errors.append(payload)
+                    stop.set()
+                elif not errors:
+                    entry.rows_in += payload.length
+                    yield payload
+            if errors:
+                raise primary_error(errors)
+        finally:
+            stop.set()
+            while retired < len(streams):
+                if out.get()[0] == "done":
+                    retired += 1
+
+    # -- projection / selection ----------------------------------------
+
+    def _project(self, node: ProjectNode, entry: OperatorMetrics) -> ColumnStream:
+        child = self._pull(node.child, entry)
+        positions = node.child.variable_positions()
+        specs = [
+            ("col", positions[value]) if kind == "var" else ("const", value)
+            for kind, value in node.specs
+        ]
+        # Metadata: constants are injected constants plus surviving
+        # constant child columns; the order claim follows the child's
+        # order until a non-constant order column is dropped.
+        constants = set()
+        first_output: dict = {}
+        for output, (kind, value) in enumerate(specs):
+            if kind == "const":
+                constants.add(output)
+            else:
+                first_output.setdefault(value, output)
+                if value in child.constants:
+                    constants.add(output)
+        order: List[int] = []
+        for column in child.order:
+            if column in first_output:
+                mapped = first_output[column]
+                if mapped not in order:
+                    order.append(mapped)
+            elif column not in child.constants:
+                break
+
+        def chunks() -> Iterator[ColumnChunk]:
+            for chunk in child.chunks:
+                length = chunk.length
+                yield ColumnChunk(
+                    tuple(
+                        chunk.columns[value]
+                        if kind == "col"
+                        else _constant_column(value, length)
+                        for kind, value in specs
+                    ),
+                    length,
+                )
+
+        return ColumnStream(chunks(), tuple(order), frozenset(constants))
+
+    def _filter(
+        self, node: NonLiteralFilterNode, entry: OperatorMetrics
+    ) -> ColumnStream:
+        child = self._pull(node.child, entry)
+        positions = node.child.variable_positions()
+        guarded = [positions[variable] for variable in node.variables]
+        is_literal = self.store.dictionary.is_literal_id
+
+        def chunks() -> Iterator[ColumnChunk]:
+            for chunk in child.chunks:
+                if len(guarded) == 1:
+                    column = chunk.columns[guarded[0]]
+                    keep = [
+                        i for i, value in enumerate(column)
+                        if not is_literal(value)
+                    ]
+                else:
+                    columns = [chunk.columns[g] for g in guarded]
+                    keep = [
+                        i
+                        for i in range(chunk.length)
+                        if not any(is_literal(col[i]) for col in columns)
+                    ]
+                if len(keep) == chunk.length:
+                    yield chunk
+                elif keep:
+                    yield chunk.take(keep)
+
+        return ColumnStream(chunks(), child.order, child.constants)
+
+    def _distinct(self, node: DistinctNode, entry: OperatorMetrics) -> ColumnStream:
+        child = self._pull(node.child, entry)
+        arity = node.arity
+        if _total_order([child], arity) is not None:
+            # Sorted distinct: adjacent comparison, zero buffered state.
+            def sorted_chunks() -> Iterator[ColumnChunk]:
+                previous: Optional[Row] = None
+                for chunk in child.chunks:
+                    columns = chunk.columns
+                    keep: List[int] = []
+                    for i in range(chunk.length):
+                        row = tuple(col[i] for col in columns)
+                        if row != previous:
+                            previous = row
+                            keep.append(i)
+                    if len(keep) == chunk.length:
+                        yield chunk
+                    elif keep:
+                        yield chunk.take(keep)
+
+            return ColumnStream(
+                sorted_chunks(), child.order, child.constants
+            )
+
+        def hashed_chunks() -> Iterator[ColumnChunk]:
+            seen: set = set()
+            for chunk in child.chunks:
+                keep = []
+                for i, row in enumerate(chunk.rows()):
+                    if row not in seen:
+                        seen.add(row)
+                        keep.append(i)
+                if keep:
+                    self.metrics.buffer(entry, len(keep))
+                    if len(keep) == chunk.length:
+                        yield chunk
+                    else:
+                        yield chunk.take(keep)
+
+        return ColumnStream(hashed_chunks(), child.order, child.constants)
+
+    # -- joins ---------------------------------------------------------
+
+    def _join(self, node: JoinNode, entry: OperatorMetrics) -> ColumnStream:
+        left = self._pull(node.left, entry)
+        right = self._pull(node.right, entry)
+        variables = node.join_variables
+        left_key = [
+            node.left.variable_positions()[v] for v in variables
+        ]
+        right_key = [
+            node.right.variable_positions()[v] for v in variables
+        ]
+        keep = node.keep_right_indexes
+        left_arity = node.left.arity
+        constants = frozenset(left.constants) | frozenset(
+            left_arity + i
+            for i, index in enumerate(keep)
+            if index in right.constants
+        )
+        if variables and left.sorted_by(left_key) and right.sorted_by(right_key):
+            return ColumnStream(
+                self._merge_join(node, left, right, left_key, right_key, entry),
+                tuple(left_key),
+                constants,
+            )
+        # Hash fallback: identical build/probe policy to the pipelined
+        # engine (build on the smaller *estimated* side), so buffered
+        # state never exceeds the pipelined engine's on the same plan.
+        return ColumnStream(
+            self._hash_join(node, left, right, left_key, right_key, entry),
+            (),
+            constants,
+        )
+
+    def _merge_join(
+        self,
+        node: JoinNode,
+        left: ColumnStream,
+        right: ColumnStream,
+        left_key: Sequence[int],
+        right_key: Sequence[int],
+        entry: OperatorMetrics,
+    ) -> Iterator[ColumnChunk]:
+        """Streaming merge join of two key-sorted streams.
+
+        Only the current equal-key group of each side is held (and
+        charged to the metrics while held) — the sorted-run payoff: a
+        join over grouped type-atom unions touches each group once.
+        """
+        keep = node.keep_right_indexes
+        arity = node.arity
+        if len(left_key) == 1:
+            li, ri = left_key[0], right_key[0]
+            lkey_of = lambda row: row[li]  # noqa: E731
+            rkey_of = lambda row: row[ri]  # noqa: E731
+        else:
+            lkey_of = lambda row: tuple(row[i] for i in left_key)  # noqa: E731
+            rkey_of = lambda row: tuple(row[i] for i in right_key)  # noqa: E731
+
+        def rows() -> Iterator[Row]:
+            left_rows = left.iter_rows()
+            right_rows = right.iter_rows()
+            lrow = next(left_rows, None)
+            rrow = next(right_rows, None)
+            while lrow is not None and rrow is not None:
+                lkey = lkey_of(lrow)
+                rkey = rkey_of(rrow)
+                if lkey < rkey:
+                    lrow = next(left_rows, None)
+                elif lkey > rkey:
+                    rrow = next(right_rows, None)
+                else:
+                    lgroup = [lrow]
+                    lrow = next(left_rows, None)
+                    while lrow is not None and lkey_of(lrow) == lkey:
+                        lgroup.append(lrow)
+                        lrow = next(left_rows, None)
+                    rgroup = [tuple(rrow[i] for i in keep)]
+                    rrow = next(right_rows, None)
+                    while rrow is not None and rkey_of(rrow) == rkey:
+                        rgroup.append(tuple(rrow[i] for i in keep))
+                        rrow = next(right_rows, None)
+                    held = len(lgroup) + len(rgroup)
+                    self.metrics.buffer(entry, held)
+                    for lmatch in lgroup:
+                        for rmatch in rgroup:
+                            yield lmatch + rmatch
+                    self.metrics.buffer(entry, -held)
+
+        return self._chunked_rows(rows(), arity)
+
+    def _hash_join(
+        self,
+        node: JoinNode,
+        left: ColumnStream,
+        right: ColumnStream,
+        left_key: Sequence[int],
+        right_key: Sequence[int],
+        entry: OperatorMetrics,
+    ) -> Iterator[ColumnChunk]:
+        keep = node.keep_right_indexes
+        arity = node.arity
+        build_left = node.left.estimated_rows <= node.right.estimated_rows
+
+        # Single-variable keys (the common case) read the key column
+        # directly and materialize probe-side rows only on a match —
+        # the probe never builds tuples for rows that join to nothing.
+        single_left = left_key[0] if len(left_key) == 1 else None
+        single_right = right_key[0] if len(right_key) == 1 else None
+
+        def build(stream: ColumnStream, key: Sequence[int], single) -> dict:
+            table: dict = {}
+            setdefault = table.setdefault
+            for chunk in stream.chunks:
+                if single is not None:
+                    keycol = chunk.columns[single]
+                    for i, row in enumerate(chunk.rows()):
+                        setdefault(keycol[i], []).append(row)
+                else:
+                    for row in chunk.rows():
+                        setdefault(
+                            tuple(row[i] for i in key), []
+                        ).append(row)
+                self.metrics.buffer(entry, chunk.length)
+            return table
+
+        def probe(
+            stream: ColumnStream, key: Sequence[int], single, table: dict
+        ) -> Iterator[Tuple[Row, list]]:
+            get = table.get
+            for chunk in stream.chunks:
+                if single is not None:
+                    keycol = chunk.columns[single]
+                    columns = chunk.columns
+                    for i in range(chunk.length):
+                        matches = get(keycol[i])
+                        if matches:
+                            yield tuple(col[i] for col in columns), matches
+                else:
+                    for row in chunk.rows():
+                        matches = get(tuple(row[i] for i in key))
+                        if matches:
+                            yield row, matches
+
+        def rows() -> Iterator[Row]:
+            if build_left:
+                table = build(left, left_key, single_left)
+                for rrow, matches in probe(
+                    right, right_key, single_right, table
+                ):
+                    kept = tuple(rrow[i] for i in keep)
+                    for lrow in matches:
+                        yield lrow + kept
+            else:
+                table = build(right, right_key, single_right)
+                # Project build rows to the kept columns once, up
+                # front, instead of per emitted output row.
+                for group in table.values():
+                    group[:] = [tuple(r[i] for i in keep) for r in group]
+                for lrow, matches in probe(
+                    left, left_key, single_left, table
+                ):
+                    for rkept in matches:
+                        yield lrow + rkept
+
+        return self._chunked_rows(rows(), arity)
+
+
+def _total_order(
+    streams: Sequence[ColumnStream], arity: int
+) -> Optional[Tuple[int, ...]]:
+    """A column sequence covering *every* column that all inputs are
+    sorted by, or None when no common total order exists.
+
+    Built from the first input's order claim, extended with the
+    remaining columns; a total order is required because the merge
+    dedups by comparing *adjacent full rows* — a key that ignored a
+    column could interleave distinct rows between duplicates.  Each
+    input only has to be sorted by the sequence *modulo its own
+    constant columns* — disjuncts binding a position to different
+    constants still merge.
+    """
+    if arity == 0:
+        return None
+    lead = streams[0]
+    key = [c for c in lead.order if c < arity]
+    key.extend(c for c in range(arity) if c not in key)
+    key_tuple = tuple(key)
+    if all(stream.sorted_by(key_tuple) for stream in streams):
+        return key_tuple
+    return None
+
+
+def _constant_column(value, length: int):
+    if isinstance(value, int):
+        return as_column([value]) * length
+    return [value] * length
+
+
+# ---------------------------------------------------------------------------
+# Entry point
+
+
+def run_columnar(
+    plan: PlanNode,
+    store,
+    budget=None,
+    batch_size: int = DEFAULT_COLUMNAR_BATCH_SIZE,
+    metrics: Optional[PipelineMetrics] = None,
+    pool: Optional[ExecutorPool] = None,
+) -> Tuple[List[Row], PipelineMetrics]:
+    """Execute *plan* against *store* columnar-ly; returns (rows, metrics).
+
+    The contract is the pipelined engine's, verbatim: the collected
+    answer is distinct, metrics report rows *represented* (a chunk of
+    1,024 rows counts 1,024, whatever its Python object count), and a
+    :class:`~repro.resilience.errors.BudgetExceeded` mid-stream carries
+    the metrics snapshot and partial rows (``partial`` /
+    ``partial_rows``).  Differential harnesses may therefore compare
+    all three engines' answers byte for byte.
+    """
+    if metrics is None:
+        metrics = PipelineMetrics()
+    pipeline = _ColumnarPipeline(
+        store, metrics, budget, batch_size, pool=pool
+    )
+    collect = OperatorMetrics("Collect")
+    started = time.perf_counter()
+    if budget is not None:
+        budget.start()
+    seen: set = set()
+    rows: List[Row] = []
+    try:
+        for chunk in pipeline.stream(plan).chunks:
+            fresh = 0
+            for row in chunk.rows():
+                if row not in seen:
+                    seen.add(row)
+                    rows.append(row)
+                    fresh += 1
+            if fresh:
+                metrics.buffer(collect, fresh)
+    except Exception as exc:
+        metrics.elapsed_seconds = time.perf_counter() - started
+        if hasattr(exc, "diagnostics"):
+            exc.partial = metrics.as_dict()
+            exc.partial_rows = list(rows)
+        raise
+    metrics.elapsed_seconds = time.perf_counter() - started
+    return rows, metrics

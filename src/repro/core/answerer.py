@@ -53,8 +53,10 @@ Answer = FrozenSet[Tuple[Term, ...]]
 
 #: Engines the answerer accepts. ``"builtin"`` is the historical alias
 #: of the materialized interpreter; ``"pipelined"`` runs the same plans
-#: through the batch executor of :mod:`repro.engine.pipeline`.
-ANSWERER_ENGINES = ("builtin", "materialized", "pipelined", "sqlite")
+#: through the batch executor of :mod:`repro.engine.pipeline`;
+#: ``"columnar"`` through the vectorized executor of
+#: :mod:`repro.columnar.engine`.
+ANSWERER_ENGINES = ("builtin", "materialized", "pipelined", "columnar", "sqlite")
 
 
 class Strategy(enum.Enum):
@@ -143,10 +145,12 @@ class QueryAnswerer:
         time executor; ``"builtin"`` is its historical alias and the
         default), ``"pipelined"`` (the batch-streaming executor of
         :mod:`repro.engine.pipeline`, with per-operator metrics and
-        mid-pipeline budget enforcement), or ``"sqlite"`` (generated
-        SQL on a real RDBMS — answers are identical, per the
-        test-suite, but plan metrics are the engine's own and not
-        reported).
+        mid-pipeline budget enforcement), ``"columnar"`` (the
+        vectorized executor of :mod:`repro.columnar.engine` over
+        sorted integer-run indexes — same metrics and budget
+        semantics), or ``"sqlite"`` (generated SQL on a real RDBMS —
+        answers are identical, per the test-suite, but plan metrics
+        are the engine's own and not reported).
 
         ``cache`` (opt-in) amortizes repeated answering: reformulations
         and answers are served from a :class:`~repro.cache.QueryCache`
@@ -166,7 +170,9 @@ class QueryAnswerer:
         self.engine = engine
         # The executor-level engine name: "builtin" is the alias kept
         # for callers predating the pipelined engine.
-        self._exec_engine = "pipelined" if engine == "pipelined" else "materialized"
+        self._exec_engine = (
+            engine if engine in ("pipelined", "columnar") else "materialized"
+        )
         self.store = TripleStore.from_graph(graph, merged)
         self.executor = Executor(self.store, backend)
         self._sql_backend: Optional[SqliteBackend] = None
@@ -326,7 +332,8 @@ class QueryAnswerer:
         complete answer — budgets never truncate, they only refuse.
         Budget-exceeded runs are never cached.
 
-        ``allow_partial`` (pipelined engine) turns a final budget
+        ``allow_partial`` (pipelined and columnar engines) turns a
+        final budget
         overrun into a *degraded* answer instead of an exception: the
         rows the pipeline had produced before the abort are decoded and
         returned, with ``details["partial"]`` set, the overrun
@@ -466,7 +473,8 @@ class QueryAnswerer:
         """Build the degraded :class:`AnswerReport` for a budget
         overrun, or None when the caller did not opt in (or the engine
         produced no partial rows — the materialized interpreter aborts
-        whole operators, so only the pipelined engine carries them)."""
+        whole operators, so only the pipelined and columnar engines
+        carry them)."""
         if not allow_partial:
             return None
         partial_answer = getattr(exc, "partial_answer", None)

@@ -7,11 +7,14 @@ Interprets the plan trees of :mod:`repro.engine.ir` against a
 the executor records the actual cardinality of every node, letting
 experiments compare the estimates with reality).
 
-:class:`Executor` is the façade over both physical engines: the
-materialized interpreter below, and the pipelined batch executor of
+:class:`Executor` is the façade over the physical engines: the
+materialized interpreter below, the pipelined batch executor of
 :mod:`repro.engine.pipeline` (``engine="pipelined"``), which runs the
-same plans in bounded memory with per-operator metrics.  Either way
-the result is an :class:`ExecutionResult` with the same API.
+same plans in bounded memory with per-operator metrics, and the
+vectorized columnar executor of :mod:`repro.columnar.engine`
+(``engine="columnar"``), which runs them over sorted integer-run
+indexes exchanging column batches.  Either way the result is an
+:class:`ExecutionResult` with the same API.
 """
 
 from __future__ import annotations
@@ -42,7 +45,7 @@ from .store import TripleStore
 Row = Tuple[int, ...]
 
 #: The physical engines :class:`Executor` can run a plan on.
-ENGINES = ("materialized", "pipelined")
+ENGINES = ("materialized", "pipelined", "columnar")
 
 
 class ExecutionResult:
@@ -91,10 +94,14 @@ class ExecutionResult:
     def peak_buffered_rows(self) -> int:
         """The engine's memory high-water mark in rows.
 
-        For a pipelined run, the global peak of concurrently buffered
-        operator state (from the metrics); for a materialized run the
-        best available proxy is the largest operator output, which the
-        interpreter held in full by construction.
+        For a pipelined or columnar run, the global peak of
+        concurrently buffered operator state (from the metrics) —
+        counted as rows *represented*, so a column chunk of 1,024 rows
+        contributes 1,024 whatever its Python object count, keeping
+        E16-style memory comparisons meaningful across all three
+        engines.  For a materialized run the best available proxy is
+        the largest operator output, which the interpreter held in
+        full by construction.
         """
         if self.metrics is not None:
             return self.metrics.peak_buffered_rows
@@ -390,8 +397,9 @@ class Executor:
         the query exceeds the backend's parse limit, and
         :class:`~repro.resilience.errors.BudgetExceeded` when a
         ``budget`` is given and the evaluation outgrows it — with the
-        partial per-node cardinalities (and, pipelined, the operator
-        metrics and partial answer) attached to the raised error.
+        partial per-node cardinalities (and, pipelined or columnar,
+        the operator metrics and partial answer) attached to the
+        raised error.
 
         ``pool`` (an :class:`~repro.parallel.ExecutorPool`) evaluates
         union children — UCQ disjuncts, cover-fragment extents —
@@ -407,6 +415,12 @@ class Executor:
         try:
             if engine == "pipelined":
                 rows, metrics = run_on_store(
+                    plan, self.store, budget=budget, pool=pool
+                )
+            elif engine == "columnar":
+                from ..columnar.engine import run_columnar
+
+                rows, metrics = run_columnar(
                     plan, self.store, budget=budget, pool=pool
                 )
             else:

@@ -56,6 +56,12 @@ class TripleStore:
         self.schema = Schema()
         self._listeners = []
         self._pre_listeners = []
+        # Bumped on every successful encoded-level mutation — including
+        # paths that bypass the Triple-level listeners (checkpoint
+        # restore, WAL replay).  The columnar index set compares this
+        # against the epoch it was built at to decide staleness.
+        self._mutation_epoch = 0
+        self._columnar = None
 
     def add_listener(self, callback) -> None:
         """Register ``callback(triple, operation)`` invoked after every
@@ -136,7 +142,12 @@ class TripleStore:
 
     def encoded_state(self) -> Tuple[List[Term], List[EncodedTriple]]:
         """The checkpoint payload: (terms in id order, sorted encoded
-        triples) — everything :meth:`from_encoded` needs."""
+        triples) — everything :meth:`from_encoded` needs.
+
+        The triple list is **sorted by (s, p, o)** — a contract, not an
+        accident: checkpoint bytes must not depend on set iteration
+        order (``PYTHONHASHSEED``), and the columnar SPO index can be
+        rebuilt from a restored checkpoint without re-sorting."""
         return self.dictionary.terms(), sorted(self._triples)
 
     def insert(self, triple: Triple) -> bool:
@@ -163,6 +174,7 @@ class TripleStore:
         self._pso[property_id][subject_id].append(object_id)
         self._pos[property_id][object_id].append(subject_id)
         self.statistics.record(subject_id, property_id, object_id)
+        self._mutation_epoch += 1
         return True
 
     def delete(self, triple: Triple) -> bool:
@@ -191,6 +203,7 @@ class TripleStore:
             if not self._pos[property_id]:
                 del self._pos[property_id]
         self.statistics.unrecord(subject_id, property_id, object_id)
+        self._mutation_epoch += 1
         if self._listeners:
             self._notify(triple, "delete")
         return True
@@ -247,8 +260,58 @@ class TripleStore:
         return encoded in self._triples
 
     def scan_all(self) -> Iterator[EncodedTriple]:
-        """Full triple-table scan (patterns with unbound property)."""
-        return iter(self._triples)
+        """Full triple-table scan (patterns with unbound property).
+
+        Deterministically **sorted by (s, p, o)**: the columnar engine's
+        sorted-run indexes assume a stable base order, and every engine's
+        scan output must not vary with ``PYTHONHASHSEED`` (set iteration
+        order).  Served from the columnar SPO run when one is already
+        built and current, so the sort is not paid twice.
+        """
+        columnar = self._columnar
+        if columnar is not None and columnar.has_current("spo"):
+            return columnar.order("spo").iter_triples()
+        return iter(sorted(self._triples))
+
+    def __iter__(self) -> Iterator[EncodedTriple]:
+        """Iterate the encoded triple table in sorted (s, p, o) order —
+        the same deterministic contract as :meth:`scan_all`."""
+        return self.scan_all()
+
+    def match(
+        self,
+        subject_id: Optional[int] = None,
+        property_id: Optional[int] = None,
+        object_id: Optional[int] = None,
+    ) -> Iterator[EncodedTriple]:
+        """Yield encoded triples matching the bound ids (None = wildcard)
+        in a deterministic sorted order.
+
+        The order is the probing index's run order — (s, p, o) for
+        subject-bound or unconstrained matches, (p, o, s) when the
+        property is bound, (o, s, p) for object-only matches — never
+        hash order, so repeated runs under different ``PYTHONHASHSEED``
+        values enumerate identically.
+        """
+        return self.columnar().match(subject_id, property_id, object_id)
+
+    # ------------------------------------------------------------------
+    # Columnar sorted-run indexes (the vectorized engine's access paths)
+
+    @property
+    def mutation_epoch(self) -> int:
+        """Monotone counter of successful encoded-level mutations."""
+        return self._mutation_epoch
+
+    def columnar(self):
+        """The store's :class:`~repro.columnar.indexes.ColumnarIndexSet`
+        — SPO/POS/OSP sorted integer-run indexes, built lazily on first
+        probe and invalidated through the mutation listeners/epoch."""
+        if self._columnar is None:
+            from ..columnar.indexes import ColumnarIndexSet
+
+            self._columnar = ColumnarIndexSet(self)
+        return self._columnar
 
     # ------------------------------------------------------------------
 

@@ -1,15 +1,17 @@
-"""Differential harness: pipelined vs materialized engine.
+"""Differential harness: materialized vs pipelined vs columnar.
 
-Both physical engines interpret the same plan IR
-(:mod:`repro.engine.ir`), so their contract is testable head-to-head:
+All three physical engines interpret the same plan IR
+(:mod:`repro.engine.ir`), so their contract is testable head-to-head
+as a three-engine matrix:
 
 * identical answers for every strategy on the books example and a
   LUBM micro workload (and on the reference evaluator's answers);
-* on the Example-1-style SCQ blowup, the pipelined engine's memory
-  high-water mark (``peak_buffered_rows``) stays strictly below the
-  materialized interpreter's largest operator output;
-* a row budget aborts the pipelined run mid-stream — before the
-  blowup materializes — and the error carries the partial metrics
+* on the Example-1-style SCQ blowup, the pipelined and columnar
+  engines' memory high-water marks (``peak_buffered_rows``) stay
+  strictly below the materialized interpreter's largest operator
+  output — and the columnar peak is no worse than the pipelined one;
+* a row budget aborts the pipelined/columnar run mid-stream — before
+  the blowup materializes — and the error carries the partial metrics
   and decoded partial answer that the degraded-answer path
   (``allow_partial``) turns into a ``CompletenessReport``.
 """
@@ -87,15 +89,18 @@ def blowup():
     return graph, schema, query
 
 
+#: The in-process engines of the three-engine differential matrix.
+ALL_ENGINES = ["materialized", "pipelined", "columnar"]
+
+
 @pytest.fixture(scope="module")
-def lubm_pair():
+def lubm_answerers():
     from repro.datasets import generate_lubm
 
     graph = generate_lubm(universities=1, seed=3)
-    return (
-        QueryAnswerer(graph, engine="materialized"),
-        QueryAnswerer(graph, engine="pipelined"),
-    )
+    return {
+        engine: QueryAnswerer(graph, engine=engine) for engine in ALL_ENGINES
+    }
 
 
 class TestBooksDifferential:
@@ -104,19 +109,25 @@ class TestBooksDifferential:
         graph, schema, query = books
         materialized = QueryAnswerer(graph, schema, engine="materialized")
         pipelined = QueryAnswerer(graph, schema, engine="pipelined")
+        columnar = QueryAnswerer(graph, schema, engine="columnar")
         cover = _cover_for(strategy, query)
         rm = materialized.answer(query, strategy, cover=cover)
         rp = pipelined.answer(query, strategy, cover=cover)
+        rc = columnar.answer(query, strategy, cover=cover)
         assert rp.answer == rm.answer, strategy
-        # Both agree with the reference evaluator over the saturation.
+        assert rc.answer == rm.answer, strategy
+        # All agree with the reference evaluator over the saturation.
         assert rp.answer == evaluate_cq(books_saturated, query)
         # Engine identity travels on the result, with metrics only on
-        # the pipelined side.
+        # the streaming engines.
         assert rm.execution.engine == "materialized"
         assert rm.execution.metrics is None
         assert rp.execution.engine == "pipelined"
         assert rp.execution.metrics is not None
         assert rp.execution.metrics.total_rows_out() > 0
+        assert rc.execution.engine == "columnar"
+        assert rc.execution.metrics is not None
+        assert rc.execution.metrics.total_rows_out() > 0
 
     def test_builtin_is_materialized_alias(self, books):
         graph, schema, query = books
@@ -128,8 +139,8 @@ class TestBooksDifferential:
 class TestLubmDifferential:
     @pytest.mark.parametrize("name", ["Q1", "Q5", "Q9", "Q13"])
     @pytest.mark.parametrize("strategy", STRATEGIES, ids=STRATEGY_IDS)
-    def test_same_answers(self, lubm_pair, name, strategy):
-        materialized, pipelined = lubm_pair
+    def test_same_answers(self, lubm_answerers, name, strategy):
+        materialized = lubm_answerers["materialized"]
         query = lubm_queries()[name]
         cover = _cover_for(strategy, query)
         try:
@@ -137,11 +148,13 @@ class TestLubmDifferential:
         except (QueryTooLargeError, ReformulationTooLarge) as exc:
             # Size refusals happen at reformulation/planning time, so
             # they must be engine-independent.
-            with pytest.raises(type(exc)):
-                pipelined.answer(query, strategy, cover=cover)
+            for engine in ("pipelined", "columnar"):
+                with pytest.raises(type(exc)):
+                    lubm_answerers[engine].answer(query, strategy, cover=cover)
             return
-        rp = pipelined.answer(query, strategy, cover=cover)
-        assert rp.answer == rm.answer, (name, strategy)
+        for engine in ("pipelined", "columnar"):
+            report = lubm_answerers[engine].answer(query, strategy, cover=cover)
+            assert report.answer == rm.answer, (name, strategy, engine)
 
 
 class TestScqBlowup:
@@ -160,6 +173,55 @@ class TestScqBlowup:
         blowup_rows = rm.execution.max_intermediate_rows()
         assert blowup_rows >= SUBCLASSES * PER_CLASS
         assert rp.execution.peak_buffered_rows < blowup_rows
+
+    def test_columnar_peak_no_worse_than_pipelined(self, blowup):
+        graph, schema, query = blowup
+        materialized = QueryAnswerer(graph, schema, engine="materialized")
+        pipelined = QueryAnswerer(graph, schema, engine="pipelined")
+        columnar = QueryAnswerer(graph, schema, engine="columnar")
+        rm = materialized.answer(query, Strategy.REF_SCQ)
+        rp = pipelined.answer(query, Strategy.REF_SCQ)
+        rc = columnar.answer(query, Strategy.REF_SCQ)
+        assert rc.answer == rm.answer == frozenset({(EX.i1_0, EX.o0)})
+        # The sorted-run merge dedups the type-fragment union while
+        # streaming and merge-joins it group by group, so the columnar
+        # peak stays at or below the pipelined engine's (which buffers
+        # a hash build side) — and far below the materialized blowup.
+        blowup_rows = rm.execution.max_intermediate_rows()
+        assert rc.execution.peak_buffered_rows <= rp.execution.peak_buffered_rows
+        assert rc.execution.peak_buffered_rows < blowup_rows
+
+    def test_columnar_budget_abort_carries_partial(self, blowup):
+        graph, schema, query = blowup
+        columnar = QueryAnswerer(graph, schema, engine="columnar")
+        with pytest.raises(BudgetExceeded) as info:
+            columnar.answer(
+                query,
+                Strategy.REF_SCQ,
+                row_budget=self.ROW_BUDGET,
+                budget_fallbacks=0,
+            )
+        exc = info.value
+        assert exc.kind == "rows"
+        assert exc.partial is not None
+        assert exc.partial["engine"] == "columnar"
+        assert exc.partial["operators"]
+        assert exc.partial_answer is not None
+
+    def test_columnar_allow_partial_degrades(self, blowup):
+        graph, schema, query = blowup
+        columnar = QueryAnswerer(graph, schema, engine="columnar")
+        report = columnar.answer(
+            query,
+            Strategy.REF_SCQ,
+            row_budget=self.ROW_BUDGET,
+            budget_fallbacks=0,
+            allow_partial=True,
+        )
+        assert report.details["partial"] is True
+        assert report.details["completeness"]["complete"] is False
+        complete = columnar.answer(query, Strategy.REF_SCQ).answer
+        assert report.answer <= complete
 
     def test_row_budget_aborts_pipelined_mid_stream(self, blowup):
         graph, schema, query = blowup
@@ -262,7 +324,7 @@ class TestParallelDifferential:
     """``answer(parallelism=4)`` is byte-for-byte ``answer()``: the
     fan-out changes wall-clock shape only, never the answer set."""
 
-    ENGINES = ["materialized", "pipelined"]
+    ENGINES = ALL_ENGINES
 
     @pytest.mark.parametrize("engine", ENGINES)
     @pytest.mark.parametrize("strategy", STRATEGIES, ids=STRATEGY_IDS)
@@ -281,9 +343,8 @@ class TestParallelDifferential:
 
     @pytest.mark.parametrize("engine", ENGINES)
     @pytest.mark.parametrize("name", ["Q5", "Q13"])
-    def test_lubm_jucq_answers_identical(self, lubm_pair, engine, name):
-        materialized, pipelined = lubm_pair
-        answerer = materialized if engine == "materialized" else pipelined
+    def test_lubm_jucq_answers_identical(self, lubm_answerers, engine, name):
+        answerer = lubm_answerers[engine]
         query = lubm_queries()[name]
         cover = Cover.per_atom(query)
         serial = answerer.answer(query, Strategy.REF_JUCQ, cover=cover)
@@ -312,7 +373,7 @@ class TestParallelBudgetAbort:
 
     ROW_BUDGET = TestScqBlowup.ROW_BUDGET
 
-    @pytest.mark.parametrize("engine", ["materialized", "pipelined"])
+    @pytest.mark.parametrize("engine", ALL_ENGINES)
     def test_concurrent_abort_keeps_diagnostics(self, blowup, engine):
         graph, schema, query = blowup
         answerer = QueryAnswerer(graph, schema, engine=engine)
@@ -403,8 +464,11 @@ class TestExecutorEngines:
         )
         rm = executor.run(query, engine="materialized")
         rp = executor.run(query, engine="pipelined")
+        rc = executor.run(query, engine="columnar")
         assert rp.answer() == rm.answer()
+        assert rc.answer() == rm.answer()
         assert rp.row_count == 30
+        assert rc.row_count == 30
 
     def test_cross_product_agrees(self):
         store = self._store()
@@ -412,10 +476,9 @@ class TestExecutorEngines:
         query = ConjunctiveQuery(
             [x, z], [TriplePattern(x, EX.p, y), TriplePattern(z, EX.q, w)]
         )
-        assert (
-            executor.run(query).answer()
-            == executor.run(query, engine="materialized").answer()
-        )
+        reference = executor.run(query, engine="materialized").answer()
+        assert executor.run(query).answer() == reference
+        assert executor.run(query, engine="columnar").answer() == reference
 
 
 class TestReferenceEvaluatorBudgets:
