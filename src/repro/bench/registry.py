@@ -476,6 +476,38 @@ def _quick_e21() -> str:
     )
 
 
+def _quick_e22() -> str:
+    from ..core import QueryAnswerer, Strategy
+    from ..datasets import example1_query, generate_lubm
+    from ..query import Cover
+
+    graph = generate_lubm(universities=1, seed=1)
+    query = example1_query()
+    cover = Cover.per_atom(query)
+    classic = QueryAnswerer(graph, engine="columnar").answer(
+        query, Strategy.REF_JUCQ, cover=cover
+    )
+    encoded = QueryAnswerer(
+        graph, engine="columnar", interval_encoding=True
+    ).answer(query, Strategy.REF_JUCQ, cover=cover)
+    identical = classic.answer == encoded.answer
+    stats = encoded.details["interval"]
+    return (
+        "SCQ cover, %d answer row(s), classic vs interval %s\n"
+        "classic columnar:  %.0f ms\n"
+        "interval columnar: %.0f ms — %d interval atom(s) collapsing "
+        "%d union branch(es)"
+        % (
+            classic.cardinality,
+            "identical" if identical else "DIVERGED",
+            classic.elapsed_seconds * 1e3,
+            encoded.elapsed_seconds * 1e3,
+            stats["interval_atoms"],
+            stats["branches_collapsed"],
+        )
+    )
+
+
 EXPERIMENTS: List[Experiment] = [
     Experiment("E1", "Example 1's UCQ reformulation blow-up and parse failure",
                "benchmarks/bench_e1_reformulation_size.py", _quick_e1),
@@ -519,6 +551,8 @@ EXPERIMENTS: List[Experiment] = [
                "benchmarks/bench_e20_replication.py", _quick_e20),
     Experiment("E21", "Columnar vs row engines: time and peak rows at scale",
                "benchmarks/bench_e21_columnar.py", _quick_e21),
+    Experiment("E22", "Hierarchy-aware interval encoding: unions as range scans",
+               "benchmarks/bench_e22_interval.py", _quick_e22),
     Experiment("A1", "Ablation: exact statistics vs textbook uniformity",
                "benchmarks/bench_a1_statistics_ablation.py"),
     Experiment("A2", "Ablation: UCQ subsumption pruning",

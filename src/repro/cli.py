@@ -223,7 +223,12 @@ def cmd_answer(args) -> int:
               "(builtin/materialized/pipelined/columnar), not sqlite")
         return EXIT_USAGE
     cache = _make_cache(args)
-    answerer = QueryAnswerer(_build_graph(args), engine=args.engine, cache=cache)
+    answerer = QueryAnswerer(
+        _build_graph(args),
+        engine=args.engine,
+        cache=cache,
+        interval_encoding=args.interval_encoding,
+    )
     query = _resolve_query(args)
     strategies = (
         list(Strategy)
@@ -272,6 +277,11 @@ def cmd_answer(args) -> int:
                 for answer_row in sorted(report.answer)[: args.limit]:
                     print("   ", tuple(str(term.lexical()) for term in answer_row))
             if args.show_metrics and len(strategies) == 1:
+                interval = report.details.get("interval")
+                if interval is not None:
+                    print("interval atoms: %d (collapsed %d union branch(es))"
+                          % (interval["interval_atoms"],
+                             interval["branches_collapsed"]))
                 _print_metrics(report.execution)
         except (QueryTooLargeError, ReformulationTooLarge, BudgetExceeded) as exc:
             row = [strategy.value, "FAIL"]
@@ -452,12 +462,20 @@ def cmd_federate(args) -> int:
 
 
 def cmd_explain(args) -> int:
-    answerer = QueryAnswerer(_build_graph(args), engine=args.engine)
+    answerer = QueryAnswerer(
+        _build_graph(args),
+        engine=args.engine,
+        interval_encoding=args.interval_encoding,
+    )
     query = _resolve_query(args)
     report = answerer.answer(query, Strategy(args.strategy))
     if report.execution is None:
         print("strategy %s has no relational plan" % args.strategy)
         return EXIT_FAILURE
+    interval = report.details.get("interval")
+    if interval is not None:
+        print("interval atoms: %d (collapsed %d union branch(es))"
+              % (interval["interval_atoms"], interval["branches_collapsed"]))
     print(explain_plan(report.execution.plan, answerer.store))
     if report.execution.metrics is not None:
         print()
@@ -1182,6 +1200,10 @@ def build_parser() -> argparse.ArgumentParser:
     answer.add_argument("--show-metrics", action="store_true",
                         help="print the per-operator metric table (single "
                              "strategy, pipelined/columnar engine)")
+    answer.add_argument("--interval-encoding", action="store_true",
+                        help="hierarchy-aware dictionary encoding: covered "
+                             "subclass/subproperty unions collapse into "
+                             "range-scanned interval atoms")
     answer.add_argument("--allow-partial", action="store_true",
                         help="on budget overrun, keep the rows produced so "
                              "far as a degraded answer (pipelined/columnar "
@@ -1279,6 +1301,10 @@ def build_parser() -> argparse.ArgumentParser:
                          help="evaluation engine; pipelined and columnar "
                               "append the per-operator metric table to "
                               "the plan")
+    explain.add_argument("--interval-encoding", action="store_true",
+                         help="hierarchy-aware dictionary encoding: interval "
+                              "atoms appear in the plan as range scans with "
+                              "their collapsed branch counts")
     explain.set_defaults(func=cmd_explain)
 
     covers = subparsers.add_parser("covers", help="explore covers (demo step 3)")

@@ -60,7 +60,11 @@ from ..engine.ir import (
 )
 from ..engine.metrics import OperatorMetrics, PipelineMetrics, _Stopwatch
 from ..parallel.pool import ExecutorPool, primary_error
+from bisect import bisect_left
+from operator import itemgetter
+
 from .chunks import ColumnChunk, ColumnStream, as_column
+from .indexes import ORDER_PERMUTATIONS
 
 Row = Tuple
 
@@ -184,6 +188,9 @@ class _ColumnarPipeline:
     # -- scans ---------------------------------------------------------
 
     def _scan(self, node: ScanNode) -> ColumnStream:
+        range_info = node.range_spec()
+        if range_info is not None:
+            return self._range_scan(node, range_info)
         run, lo, hi, bound = self.indexes.probe(*node.bound_positions())
         out_index = {var: i for i, var in enumerate(node.columns)}
         positions_of: dict = {}
@@ -236,6 +243,176 @@ class _ColumnarPipeline:
                     yield ColumnChunk(
                         tuple(src[start:end] for src in sources),
                         end - start,
+                    )
+
+        return ColumnStream(chunks(), tuple(order))
+
+    def _range_scan(
+        self, node: ScanNode, range_info: Tuple[int, Tuple[int, int]]
+    ) -> ColumnStream:
+        """Scan a pattern with a hierarchy-interval range position.
+
+        When the bound constants occupy a run's key prefix and the
+        range position is the *next* key column, the interval is
+        literally one bisect-narrowed row range of that sorted run;
+        with several distinct ids inside the interval, the narrowed
+        range is set-deduped and re-sorted on the residual key in one
+        C-level pass so the output stream stays sorted.  Any other
+        shape degrades to a mask filter over the best conventional
+        probe.
+        """
+        range_position, (range_lo, range_hi) = range_info
+        bounds = node.bound_positions()
+        bound_set = {i for i, v in enumerate(bounds) if v is not None}
+        out_index = {var: i for i, var in enumerate(node.columns)}
+        positions_of: dict = {}
+        position_var: dict = {}
+        for position, (kind, value) in enumerate(node.positions):
+            if kind == "var":
+                positions_of.setdefault(value, []).append(position)
+                position_var[position] = value
+        has_duplicates = any(
+            len(group) > 1 for group in positions_of.values()
+        )
+
+        chosen = None
+        depth = len(bound_set)
+        for name, permutation in ORDER_PERMUTATIONS.items():
+            if (
+                set(permutation[:depth]) == bound_set
+                and permutation[depth] == range_position
+            ):
+                chosen = name
+                break
+        if chosen is None or has_duplicates:
+            return self._masked_range_scan(
+                node, range_info, position_var, positions_of, out_index
+            )
+
+        run = self.indexes.order(chosen)
+        prefix = tuple(bounds[p] for p in run.permutation[:depth])
+        lo, hi = run.range(*prefix)
+        range_column = run.columns[depth]
+        lo = bisect_left(range_column, range_lo, lo, hi)
+        hi = bisect_left(range_column, range_hi, lo, hi)
+
+        order: List[int] = []
+        for position in run.permutation[depth + 1:]:
+            column = out_index[position_var[position]]
+            if column not in order:
+                order.append(column)
+        sources = [
+            run.column_for_position(positions_of[var][0])
+            for var in node.columns
+        ]
+        step = self.batch_size
+
+        if lo >= hi or range_column[lo] == range_column[hi - 1]:
+            # Zero or one distinct id in the interval: the narrowed
+            # range behaves exactly like a (prefix + id) probe —
+            # plain column slices, residual order intact.
+            def sliced() -> Iterator[ColumnChunk]:
+                for start in range(lo, hi, step):
+                    end = min(start + step, hi)
+                    yield ColumnChunk(
+                        tuple(src[start:end] for src in sources),
+                        end - start,
+                    )
+
+            return ColumnStream(sliced(), tuple(order))
+
+        # Several distinct ids inside the interval: the groups must be
+        # re-sorted on the residual key and deduped (the same row can
+        # match several ids — an instance typed with two subclasses).
+        # The whole narrowed range is materialized and set-deduped in
+        # one pass: its size is bounded by the subtree's instance
+        # count, and a C-level set + sort beats a per-row Python heap
+        # merge by a wide margin on exactly the big intervals where
+        # the encoding matters.
+        if len(sources) == 1:
+            merged = as_column(sorted(set(sources[0][lo:hi])))
+
+            def merged_chunks() -> Iterator[ColumnChunk]:
+                for start in range(0, len(merged), step):
+                    end = min(start + step, len(merged))
+                    yield ColumnChunk((merged[start:end],), end - start)
+
+            return ColumnStream(merged_chunks(), tuple(order))
+
+        # Rows are assembled, deduped, and sorted as residual-key-order
+        # tuples so every pass — zip, set, sort, and the itemgetter
+        # column extraction below — runs at C level; only the final
+        # array construction touches each row from Python.
+        key_columns = tuple(order)
+        rows = sorted(set(zip(*(sources[c][lo:hi] for c in key_columns))))
+        take = tuple(
+            key_columns.index(column) for column in range(len(node.columns))
+        )
+
+        def merged_rows() -> Iterator[ColumnChunk]:
+            for start in range(0, len(rows), step):
+                chunk = rows[start:start + step]
+                yield ColumnChunk(
+                    tuple(
+                        as_column(map(itemgetter(k), chunk)) for k in take
+                    ),
+                    len(chunk),
+                )
+
+        return ColumnStream(merged_rows(), tuple(order))
+
+    def _masked_range_scan(
+        self,
+        node: ScanNode,
+        range_info: Tuple[int, Tuple[int, int]],
+        position_var: dict,
+        positions_of: dict,
+        out_index: dict,
+    ) -> ColumnStream:
+        """Fallback: probe on the bound constants alone and filter the
+        range position per chunk (keep-index gather)."""
+        range_position, (range_lo, range_hi) = range_info
+        run, lo, hi, bound = self.indexes.probe(*node.bound_positions())
+        filter_column = run.column_for_position(range_position)
+        order: List[int] = []
+        for position in run.permutation[bound:]:
+            variable = position_var.get(position)
+            if variable is None:
+                break  # the range position: sortedness ends here
+            column = out_index[variable]
+            if column not in order:
+                order.append(column)
+        sources = [
+            run.column_for_position(positions_of[var][0])
+            for var in node.columns
+        ]
+        duplicates = [
+            [run.column_for_position(p) for p in group]
+            for group in positions_of.values()
+            if len(group) > 1
+        ]
+        step = self.batch_size
+
+        def chunks() -> Iterator[ColumnChunk]:
+            for start in range(lo, hi, step):
+                end = min(start + step, hi)
+                keep = [
+                    i
+                    for i in range(start, end)
+                    if range_lo <= filter_column[i] < range_hi
+                    and all(
+                        group[0][i] == other[i]
+                        for group in duplicates
+                        for other in group[1:]
+                    )
+                ]
+                if keep:
+                    yield ColumnChunk(
+                        tuple(
+                            as_column(src[i] for i in keep)
+                            for src in sources
+                        ),
+                        len(keep),
                     )
 
         return ColumnStream(chunks(), tuple(order))

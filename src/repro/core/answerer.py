@@ -26,6 +26,7 @@ from typing import Dict, FrozenSet, Optional, Tuple
 
 from ..cache import QueryCache, dataset_token
 from ..datalog.encoding import answer_query as datalog_answer
+from ..encoding.hierarchy import HierarchyInterval, preencode_hierarchy
 from ..optimizer.gcov import gcov
 from ..parallel.pool import ExecutorPool, pool_for
 from ..query.algebra import ConjunctiveQuery
@@ -139,6 +140,7 @@ class QueryAnswerer:
         policy: ReformulationPolicy = COMPLETE,
         engine: str = "builtin",
         cache: Optional[QueryCache] = None,
+        interval_encoding: bool = False,
     ):
         """``engine`` selects the evaluation engine for the relational
         strategies: ``"materialized"`` (the instrumented operator-at-a-
@@ -156,7 +158,16 @@ class QueryAnswerer:
         and answers are served from a :class:`~repro.cache.QueryCache`
         and invalidated through the live-update hooks — see
         :mod:`repro.cache.cache`.  One cache may be shared by several
-        answerers."""
+        answerers.
+
+        ``interval_encoding`` (opt-in) dictionary-encodes the schema's
+        class and property hierarchies *before* the data, so every
+        covered subtree occupies one contiguous id interval; the
+        reformulation strategies then collapse subclass/subproperty
+        unions into single interval atoms executed as range scans —
+        see :mod:`repro.encoding.hierarchy`.  Answers are identical to
+        the classic unions (uncovered nodes keep them); only plan
+        shape and speed change."""
         if engine not in ANSWERER_ENGINES:
             raise ValueError("unknown engine %r" % (engine,))
         self.graph = graph
@@ -173,7 +184,21 @@ class QueryAnswerer:
         self._exec_engine = (
             engine if engine in ("pipelined", "columnar") else "materialized"
         )
-        self.store = TripleStore.from_graph(graph, merged)
+        self.interval_encoding = interval_encoding
+        if interval_encoding:
+            # Hierarchy ids must be assigned before any data term grabs
+            # one, so the store is built empty, pre-encoded from the
+            # merged schema, and only then loaded.
+            store = TripleStore()
+            self.encoding = preencode_hierarchy(store, merged)
+            store.load(graph, merged)
+            self.store = store
+        else:
+            self.encoding = None
+            self.store = TripleStore.from_graph(graph, merged)
+        self._encoding_token = (
+            None if self.encoding is None else self.encoding.token()
+        )
         self.executor = Executor(self.store, backend)
         self._sql_backend: Optional[SqliteBackend] = None
         self._saturated_sql_backend: Optional[SqliteBackend] = None
@@ -292,8 +317,37 @@ class QueryAnswerer:
         threads) run *compute* once, not once per thread."""
         if self.cache is None:
             return compute(), None
+        if self._encoding_token is not None:
+            # Interval-encoded reformulations mention encoding-specific
+            # ids; never trade them with classic (or differently
+            # encoded) entries.
+            extra = (extra, self._encoding_token)
         key = self.cache.reformulation_key(kind, query, self.schema, policy, extra)
         return self.cache.get_or_compute("reformulation", key, compute)
+
+    def _interval_stats(self, reformulation) -> Optional[Dict]:
+        """How much the hierarchy encoding collapsed in a materialized
+        reformulation: interval atoms emitted, and the union branches
+        they replaced (summed).  None without interval encoding."""
+        if self.encoding is None:
+            return None
+        from ..query.algebra import JoinOfUnions
+
+        unions = (
+            reformulation.fragments
+            if isinstance(reformulation, JoinOfUnions)
+            else (reformulation,)
+        )
+        atoms = 0
+        collapsed = 0
+        for union in unions:
+            for disjunct in union.disjuncts:
+                for atom in disjunct.atoms:
+                    for term in atom.as_tuple():
+                        if isinstance(term, HierarchyInterval):
+                            atoms += 1
+                            collapsed += max(0, term.branches - 1)
+        return {"interval_atoms": atoms, "branches_collapsed": collapsed}
 
     # ------------------------------------------------------------------
 
@@ -413,7 +467,12 @@ class QueryAnswerer:
                 self.policy,
                 strategy.value,
                 cover=cover if strategy is Strategy.REF_JUCQ else None,
-                extra=(self.engine, self.backend.name, max_disjuncts),
+                extra=(
+                    self.engine,
+                    self.backend.name,
+                    max_disjuncts,
+                    self._encoding_token,
+                ),
             )
             cached = self.cache.lookup_answer(answer_key)
             if cached is not None:
@@ -523,7 +582,12 @@ class QueryAnswerer:
                 raise
             details["budget_exceeded"] = primary.diagnostics()
             search = gcov(
-                query, self.schema, self.store, self.backend, self.policy
+                query,
+                self.schema,
+                self.store,
+                self.backend,
+                self.policy,
+                encoding=self.encoding,
             )
             ranked = sorted(search.explored, key=lambda pair: pair[1])
             excluded = {exclude_repr} if exclude_repr is not None else set()
@@ -534,7 +598,8 @@ class QueryAnswerer:
                     continue
                 excluded.add(shown)
                 candidate_jucq = jucq_for_cover(
-                    candidate, self.schema, self.policy
+                    candidate, self.schema, self.policy,
+                    encoding=self.encoding,
                 )
                 try:
                     answer, execution = self._evaluate(
@@ -596,7 +661,7 @@ class QueryAnswerer:
                 "ucq-size",
                 query,
                 policy,
-                lambda: ucq_size(query, self.schema, policy),
+                lambda: ucq_size(query, self.schema, policy, self.encoding),
             )
             # A UCQ of n disjuncts over an α-atom query has ~n·α atoms;
             # refuse before materializing what the backend cannot parse.
@@ -610,20 +675,28 @@ class QueryAnswerer:
                 query,
                 policy,
                 lambda: reformulate(
-                    query, self.schema, policy, max_disjuncts=max_disjuncts
+                    query,
+                    self.schema,
+                    policy,
+                    max_disjuncts=max_disjuncts,
+                    encoding=self.encoding,
                 ),
                 extra=max_disjuncts,
             )
+            details = {
+                "ucq_disjuncts": size,
+                "policy": policy.name,
+                "_reformulation_cache": reformulation_hit,
+            }
+            interval_stats = self._interval_stats(union)
+            if interval_stats is not None:
+                details["interval"] = interval_stats
             answer, execution = self._evaluate(union, budget=budget(), pool=pool)
             return AnswerReport(
                 strategy,
                 answer,
                 time.perf_counter() - start,
-                {
-                    "ucq_disjuncts": size,
-                    "policy": policy.name,
-                    "_reformulation_cache": reformulation_hit,
-                },
+                details,
                 execution,
             )
 
@@ -632,13 +705,18 @@ class QueryAnswerer:
                 "scq",
                 query,
                 self.policy,
-                lambda: scq_reformulation(query, self.schema, self.policy),
+                lambda: scq_reformulation(
+                    query, self.schema, self.policy, encoding=self.encoding
+                ),
             )
             details = {
                 "fragments": jucq.fragment_count(),
                 "atom_count": jucq.atom_count(),
                 "_reformulation_cache": reformulation_hit,
             }
+            interval_stats = self._interval_stats(jucq)
+            if interval_stats is not None:
+                details["interval"] = interval_stats
             if budget_factory is None:
                 answer, execution = self._evaluate(jucq, pool=pool)
             else:
@@ -670,7 +748,9 @@ class QueryAnswerer:
                 "jucq-cover",
                 query,
                 self.policy,
-                lambda: jucq_for_cover(cover, self.schema, self.policy),
+                lambda: jucq_for_cover(
+                    cover, self.schema, self.policy, encoding=self.encoding
+                ),
                 extra=None if self.cache is None else cover_key(cover),
             )
             details = {
@@ -678,6 +758,9 @@ class QueryAnswerer:
                 "atom_count": jucq.atom_count(),
                 "_reformulation_cache": reformulation_hit,
             }
+            interval_stats = self._interval_stats(jucq)
+            if interval_stats is not None:
+                details["interval"] = interval_stats
             if budget_factory is None:
                 answer, execution = self._evaluate(jucq, pool=pool)
             else:
@@ -704,9 +787,19 @@ class QueryAnswerer:
             # cache never trade covers tuned to each other's data.
             def run_gcov():
                 search = gcov(
-                    query, self.schema, self.store, self.backend, self.policy
+                    query,
+                    self.schema,
+                    self.store,
+                    self.backend,
+                    self.policy,
+                    encoding=self.encoding,
                 )
-                jucq = jucq_for_cover(search.cover, self.schema, self.policy)
+                jucq = jucq_for_cover(
+                    search.cover,
+                    self.schema,
+                    self.policy,
+                    encoding=self.encoding,
+                )
                 return (
                     jucq,
                     {
@@ -725,6 +818,9 @@ class QueryAnswerer:
             )
             details = dict(gcov_details)
             details["_reformulation_cache"] = reformulation_hit
+            interval_stats = self._interval_stats(jucq)
+            if interval_stats is not None:
+                details["interval"] = interval_stats
             if budget_factory is None:
                 answer, execution = self._evaluate(jucq, pool=pool)
             else:

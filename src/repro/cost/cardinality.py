@@ -45,6 +45,36 @@ def estimate_scan(
     default.  Ablation A1 compares the two.
     """
     subject_id, property_id, object_id = scan.bound_positions()
+    range_spec = scan.range_spec()
+    if range_spec is not None:
+        position, (lo, hi) = range_spec
+        if position == 1:
+            # Property-position interval (subproperty subtree): the
+            # stored per-property counts summed over the id range —
+            # interval statistics, not a summed union of branches.
+            return float(
+                sum(statistics.property_count(pid) for pid in range(lo, hi))
+            )
+        if position == 2 and property_id is not None:
+            if property_id == type_property_id:
+                # Type interval: exact class cardinalities summed.
+                rows = float(
+                    sum(statistics.class_count(cid) for cid in range(lo, hi))
+                )
+            else:
+                rows = float(
+                    sum(
+                        statistics.property_object_count(property_id, oid)
+                        for oid in range(lo, hi)
+                    )
+                )
+            if subject_id is not None:
+                distinct = statistics.property_distinct_subjects(property_id)
+                rows = rows / distinct if distinct else min(rows, 1.0)
+            return rows
+        # Other shapes (subject-position range, object range with the
+        # property unbound): fall through — the range is treated as
+        # unbound, a safe overestimate.
     if property_id is None:
         # Unbound property: the whole table, narrowed by bound s/o
         # assuming uniformity over global distinct values.

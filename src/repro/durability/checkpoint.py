@@ -117,7 +117,10 @@ def build_snapshot(
         "sequence": sequence,
         "wal_segment": wal_segment,
         "wal_offset": wal_offset,
-        "terms": [term.n3() for term in terms],
+        # Hole ids (reserved by the hierarchy encoder, not yet
+        # assigned a term) serialize as the empty string — no term
+        # renders as "" so the marker is unambiguous.
+        "terms": ["" if term is None else term.n3() for term in terms],
         "triples": [list(encoded) for encoded in triples],
         "schema": sorted(
             constraint.to_triple().n3()
@@ -152,7 +155,10 @@ def restore_snapshot(
     crashing half-initialized.
     """
     try:
-        terms = [parse_term(token) for token in body["terms"]]
+        terms = [
+            None if token == "" else parse_term(token)
+            for token in body["terms"]
+        ]
         triples = [tuple(row) for row in body["triples"]]
         schema = Schema(
             Constraint.from_triple(parse_line(line)) for line in body["schema"]

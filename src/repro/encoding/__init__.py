@@ -1,0 +1,32 @@
+"""Hierarchy-aware dictionary encoding (LiteMat-style interval IDs).
+
+The paper's central bottleneck is reformulation *size*: ``x rdf:type C``
+unfolds into a union over every subclass of ``C`` (564 alternatives on
+Example 1), and every cover strategy pays that blowup downstream.
+LiteMat's observation is that the fix can live in the *storage* layer:
+assign dictionary ids so that each class (and property) subtree of the
+schema's subclass/subproperty lattice occupies one contiguous id
+interval.  Then the whole union collapses to a single range predicate
+``type(x) ∈ [lo, hi)`` — one index probe instead of an N-way union.
+
+:func:`preencode_hierarchy` lays the lattice out in DFS preorder with
+spare hole ids per region (bounded incremental inserts), returning a
+:class:`HierarchyEncoding`; :class:`HierarchyInterval` is the term-level
+carrier reformulation places in a pattern position; the rebuild path
+(:func:`rebuild_with_hierarchy`) re-encodes a live store when a
+hierarchy update exhausts the slack.
+"""
+
+from .hierarchy import (
+    HierarchyEncoding,
+    HierarchyInterval,
+    preencode_hierarchy,
+    rebuild_with_hierarchy,
+)
+
+__all__ = [
+    "HierarchyEncoding",
+    "HierarchyInterval",
+    "preencode_hierarchy",
+    "rebuild_with_hierarchy",
+]

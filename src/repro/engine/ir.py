@@ -35,10 +35,16 @@ from ..query.algebra import Variable
 
 #: A column label: the variable the column binds, or None for payload.
 ColumnLabel = Optional[Variable]
-#: A scan position: ("const", term_id) or ("var", Variable).
-PositionSpec = Tuple[str, Union[int, Variable]]
-#: A projection column: ("var", Variable) or ("const", value).
-ProjectionSpec = Tuple[str, Union[int, Variable]]
+#: A scan position: ("const", term_id), ("var", Variable), or
+#: ("range", (lo, hi)) — a half-open id interval (the physical form of
+#: a hierarchy-encoded interval atom).  A range position is filtered,
+#: not bound: it contributes no output column and no join variable.
+PositionSpec = Tuple[str, Union[int, Variable, Tuple[int, int]]]
+#: A projection column: ("var", Variable), ("const", term_id), or
+#: ("term", Term) — a constant the query names but the dictionary never
+#: stored, emitted as a ready term (query answering must not grow the
+#: dictionary).
+ProjectionSpec = Tuple[str, object]
 
 
 class PlanNode:
@@ -103,15 +109,32 @@ class ScanNode(PlanNode):
         super().__init__(labels)
 
     def bound_positions(self) -> Tuple[Optional[int], Optional[int], Optional[int]]:
-        """(s, p, o) ids with None for variables."""
+        """(s, p, o) ids with None for variables (and range positions,
+        which filter rather than bind)."""
         return tuple(
             value if kind == "const" else None for kind, value in self.positions
         )  # type: ignore[return-value]
 
+    def range_spec(self) -> Optional[Tuple[int, Tuple[int, int]]]:
+        """``(position_index, (lo, hi))`` of the range position, or
+        None.  The planner emits at most one range per scan (one
+        interval atom per pattern position is all reformulation
+        produces)."""
+        for index, (kind, value) in enumerate(self.positions):
+            if kind == "range":
+                return index, value  # type: ignore[return-value]
+        return None
+
     def __repr__(self) -> str:
+        def show(kind, value):
+            if kind == "var":
+                return "?%s" % value.name
+            if kind == "range":
+                return "#[%d..%d)" % value
+            return "#%d" % value
+
         return "Scan(%s)" % (", ".join(
-            ("?%s" % value.name) if kind == "var" else "#%d" % value
-            for kind, value in self.positions
+            show(kind, value) for kind, value in self.positions
         ))
 
 

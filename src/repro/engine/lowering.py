@@ -18,8 +18,12 @@ compiled with ``Planner(store, annotate=False)``:
 * a JUCQ plan — project over a join of union fragments — becomes the
   fragment SELECTs as CTEs joined in an outer ``SELECT DISTINCT``.
 
-Scan constants are emitted as ``?`` parameters; projection constants
-are already dictionary-encoded by the planner and are inlined.
+Scan constants are emitted as ``?`` parameters; range positions
+(hierarchy-encoded interval atoms) become ``BETWEEN``-style
+``col >= ? AND col < ?`` predicates; projection constants are already
+dictionary-encoded by the planner and are inlined, except ``("term",
+Term)`` specs — constants the dictionary never stored — which are
+emitted as ``?`` parameters carrying the term's N3 text.
 """
 
 from __future__ import annotations
@@ -38,7 +42,9 @@ from .ir import (
     UnionNode,
 )
 
-LoweredSql = Tuple[str, List[int]]
+#: (sql, parameters): parameters are term ids / range bounds (int) or
+#: N3 text for ("term", Term) projection constants (str).
+LoweredSql = Tuple[str, List]
 
 
 class LoweringError(ValueError):
@@ -75,7 +81,7 @@ def _empty_select(arity: int) -> LoweredSql:
 
 def _lower_union(union: UnionNode) -> LoweredSql:
     selects: List[str] = []
-    parameters: List[int] = []
+    parameters: List = []
     for child in union.children():
         if isinstance(child, EmptyNode):
             continue  # an absent-constant disjunct matches nothing
@@ -111,7 +117,7 @@ def _lower_flat_select(project: ProjectNode) -> LoweredSql:
 
     column_of: Dict[Variable, str] = {}
     conditions: List[str] = []
-    parameters: List[int] = []
+    where_parameters: List = []
     for index, scan in enumerate(scans):
         alias = "t%d" % index
         for column, (kind, value) in zip(("s", "p", "o"), scan.positions):
@@ -122,9 +128,15 @@ def _lower_flat_select(project: ProjectNode) -> LoweredSql:
                     column_of[value] = reference
                 else:
                     conditions.append("%s = %s" % (reference, bound))
+            elif kind == "range":
+                # A hierarchy-interval atom: half-open id range.
+                conditions.append(
+                    "%s >= ? AND %s < ?" % (reference, reference)
+                )
+                where_parameters.extend(value)
             else:
                 conditions.append("%s = ?" % reference)
-                parameters.append(value)
+                where_parameters.append(value)
 
     for variable in sorted(set(guards), key=lambda v: v.name):
         conditions.append(
@@ -132,25 +144,33 @@ def _lower_flat_select(project: ProjectNode) -> LoweredSql:
             % column_of[variable]
         )
 
-    select_items = _select_items(project, column_of)
+    select_items, select_parameters = _select_items(project, column_of)
     from_clause = ", ".join("t AS t%d" % index for index in range(len(scans)))
     sql = "SELECT DISTINCT %s FROM %s" % (", ".join(select_items), from_clause)
     if conditions:
         sql += " WHERE " + " AND ".join(conditions)
-    return sql, parameters
+    # Parameter order follows SQL text order: SELECT items first.
+    return sql, select_parameters + where_parameters
 
 
-def _select_items(project: ProjectNode,
-                  column_of: Dict[Variable, str]) -> List[str]:
+def _select_items(
+    project: ProjectNode, column_of: Dict[Variable, str]
+) -> Tuple[List[str], List]:
+    """(items, parameters): ("term", Term) specs — constants the
+    dictionary never stored — carry their N3 text as a parameter."""
     items: List[str] = []
+    parameters: List = []
     for position, (kind, value) in enumerate(project.specs):
         if kind == "var":
             items.append("%s AS c%d" % (column_of[value], position))
+        elif kind == "term":
+            items.append("? AS c%d" % position)
+            parameters.append(value.n3())
         else:
             items.append("%d AS c%d" % (value, position))
     if not items:
         items.append("1 AS c0")  # boolean query: any witness row
-    return items
+    return items, parameters
 
 
 def fragment_leaves(node: PlanNode) -> List[PlanNode]:
@@ -190,13 +210,13 @@ def _lower_project_over_fragments(project: ProjectNode) -> LoweredSql:
     """The JUCQ shape: fragment plans as CTEs, joined and projected."""
     fragments = fragment_leaves(project.child)
     ctes: List[str] = []
-    parameters: List[int] = []
+    parameters: List = []
     for index, fragment in enumerate(fragments):
         sql, params = lower(fragment)
         ctes.append("f%d AS (%s)" % (index, sql))
         parameters.extend(params)
     column_of, joins = fragment_column_map(fragments, lambda i: "f%d" % i)
-    select_items = _select_items(project, column_of)
+    select_items, select_parameters = _select_items(project, column_of)
     sql = "WITH %s SELECT DISTINCT %s FROM %s" % (
         ", ".join(ctes),
         ", ".join(select_items),
@@ -205,4 +225,5 @@ def _lower_project_over_fragments(project: ProjectNode) -> LoweredSql:
     conditions = [condition for _, _, condition in joins]
     if conditions:
         sql += " WHERE " + " AND ".join(conditions)
-    return sql, parameters
+    # Text order: CTEs first, then the outer SELECT's items.
+    return sql, parameters + select_parameters

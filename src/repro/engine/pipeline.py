@@ -80,7 +80,30 @@ def iter_scan_rows(node: ScanNode, store) -> Iterator[Row]:
     it batch by batch.
     """
     subject_id, property_id, object_id = node.bound_positions()
-    if property_id is None:
+    range_info = node.range_spec()
+    if (
+        range_info is not None
+        and range_info[0] == 2
+        and property_id is not None
+        and subject_id is None
+    ):
+        # Fast path for the interval-atom shape (?x, p, [lo..hi)):
+        # one ordered POS sweep over the object range.
+        lo, hi = range_info[1]
+        matches: Iterable[Tuple[int, int, int]] = (
+            (subject, property_id, object_)
+            for subject, object_ in store.scan_property_object_range(
+                property_id, lo, hi
+            )
+        )
+        range_info = None
+    elif range_info is not None and range_info[0] == 1:
+        # Subproperty interval (s?, [lo..hi), o?): probe the window's
+        # property ids instead of filtering a full-table scan.
+        lo, hi = range_info[1]
+        matches = store.scan_property_range(lo, hi, subject_id, object_id)
+        range_info = None
+    elif property_id is None:
         matches: Iterable[Tuple[int, int, int]] = (
             triple
             for triple in store.scan_all()
@@ -104,6 +127,14 @@ def iter_scan_rows(node: ScanNode, store) -> Iterator[Row]:
         matches = (
             (subject, property_id, object_)
             for subject, object_ in store.scan_property(property_id)
+        )
+
+    if range_info is not None:
+        # Generic fallback: the range position was treated as unbound
+        # above; filter the id interval here.
+        position, (lo, hi) = range_info
+        matches = (
+            triple for triple in matches if lo <= triple[position] < hi
         )
 
     for triple in matches:
@@ -228,7 +259,8 @@ class _Pipeline:
 
     def _operator(self, node: PlanNode, entry: OperatorMetrics) -> Iterator[Batch]:
         if isinstance(node, EmptyNode):
-            return iter(())
+            # A generator (not iter(())) so stream()'s close() works.
+            return (batch for batch in ())
         if isinstance(node, ScanNode):
             return self._rebatch(self.ctx.scan(node))
         if isinstance(node, RelationNode):

@@ -53,6 +53,7 @@ class CoverCostEstimator:
         backend: BackendProfile = HASH_BACKEND,
         policy: ReformulationPolicy = COMPLETE,
         fragment_limit: int = 4096,
+        encoding=None,
     ):
         self.query = query
         self.schema = schema
@@ -60,19 +61,23 @@ class CoverCostEstimator:
         self.backend = backend
         self.policy = policy
         self.fragment_limit = fragment_limit
+        #: Opt-in hierarchy encoding: cover search then prices interval
+        #: atoms (stored interval statistics, not summed union branches).
+        self.encoding = encoding
         self._planner = Planner(store, backend)
         self._fragment_plans: Dict[FrozenSet[int], Optional[PlanNode]] = {}
         self._lock = threading.RLock()
-        # Encoding assigns ids (a dictionary mutation): do it once,
-        # serially, so parallel cover scoring never touches it.
+        # Head constants resolve through lookup() — pricing a cover
+        # must never mutate the store's dictionary; a constant the
+        # data never stored is carried as a ready term.
         self._head_specs = []
         for item in query.head:
             if isinstance(item, Variable):
                 self._head_specs.append(("var", item))
+            elif (term_id := store.dictionary.lookup(item)) is not None:
+                self._head_specs.append(("const", term_id))
             else:
-                self._head_specs.append(
-                    ("const", store.dictionary.encode(item))
-                )
+                self._head_specs.append(("term", item))
 
     # ------------------------------------------------------------------
 
@@ -93,11 +98,16 @@ class CoverCostEstimator:
             if fragment in self._fragment_plans:
                 return self._fragment_plans[fragment]
             fragment_query = self._fragment_query(fragment)
-            size = ucq_size(fragment_query, self.schema, self.policy)
+            size = ucq_size(
+                fragment_query, self.schema, self.policy, self.encoding
+            )
             if size > self.fragment_limit:
                 self._fragment_plans[fragment] = None
                 return None
-            union = reformulate(fragment_query, self.schema, self.policy)
+            union = reformulate(
+                fragment_query, self.schema, self.policy,
+                encoding=self.encoding,
+            )
             plan = self._planner.plan(union)
             self._fragment_plans[fragment] = plan
             return plan

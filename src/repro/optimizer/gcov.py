@@ -93,16 +93,20 @@ def gcov(
     fragment_limit: int = 4096,
     max_iterations: int = 64,
     estimator: Optional[CoverCostEstimator] = None,
+    encoding=None,
 ) -> GCovResult:
     """Run the greedy cover search for *query*; see module doc.
 
     ``max_iterations`` bounds the number of accepted moves (each move
     strictly decreases the estimated cost, so termination is
     guaranteed anyway; the bound caps worst-case planning time).
+    ``encoding`` (opt-in hierarchy encoding) makes the search price
+    interval atoms instead of the unions they collapse.
     """
     if estimator is None:
         estimator = CoverCostEstimator(
-            query, schema, store, backend, policy, fragment_limit
+            query, schema, store, backend, policy, fragment_limit,
+            encoding=encoding,
         )
     current = Cover.per_atom(query)
     current_cost = estimator.cost(current)

@@ -83,6 +83,7 @@ def _type_alternatives_for_class(
     klass: Term,
     schema: Schema,
     policy: ReformulationPolicy,
+    encoding=None,
 ) -> List[Tuple[TriplePattern, Tuple[Variable, ...]]]:
     """Every *proper* (non-identity) way ``subject rdf:type klass`` can
     be entailed, as (replacement atom, non-literal guard) pairs.
@@ -96,6 +97,13 @@ def _type_alternatives_for_class(
       literal-constant subject kills the alternative outright;
     * τ-subproperties:   ``(s, q, c)`` for each ``q ⊑ rdf:type`` and
       each ``c ∈ {klass} ∪ subclasses(klass)``.
+
+    With a :class:`~repro.encoding.HierarchyEncoding` that covers
+    *klass*, the subclass enumeration collapses: the ids of
+    ``{klass} ∪ subclasses(klass)`` form one contiguous interval, so a
+    single ``(s, τ, [lo, hi))`` atom (and one per τ-subproperty)
+    replaces the per-subclass branches.  Only valid when the policy
+    includes subclass reasoning — the interval *is* the subtree.
     """
     from ..rdf.terms import Literal
 
@@ -105,8 +113,23 @@ def _type_alternatives_for_class(
         if policy.subclass
         else []
     )
-    for sub in subclasses:
-        alternatives.append((TriplePattern(subject, RDF_TYPE, sub), ()))
+    interval = (
+        encoding.type_interval(klass)
+        if encoding is not None and policy.subclass
+        else None
+    )
+    if interval is not None:
+        # The caller's identity alternative already matches *klass*
+        # itself, so the emitted interval covers the strict subtree
+        # only — same shape as the classic enumeration below.
+        strict = interval.strict()
+        if strict is not None:
+            alternatives.append(
+                (TriplePattern(subject, RDF_TYPE, strict), ())
+            )
+    else:
+        for sub in subclasses:
+            alternatives.append((TriplePattern(subject, RDF_TYPE, sub), ()))
     if policy.domain_range:
         for prop in sorted(
             schema.properties_with_domain(klass), key=lambda t: t.sort_key()
@@ -124,14 +147,24 @@ def _type_alternatives_for_class(
                 )
     if policy.subproperty:
         for type_sub in _type_subproperties(schema):
-            alternatives.append((TriplePattern(subject, type_sub, klass), ()))
-            for sub in subclasses:
-                alternatives.append((TriplePattern(subject, type_sub, sub), ()))
+            if interval is not None:
+                alternatives.append(
+                    (TriplePattern(subject, type_sub, interval), ())
+                )
+            else:
+                alternatives.append(
+                    (TriplePattern(subject, type_sub, klass), ())
+                )
+                for sub in subclasses:
+                    alternatives.append(
+                        (TriplePattern(subject, type_sub, sub), ())
+                    )
     return alternatives
 
 
 def _reformulate_type_atom(
-    atom: TriplePattern, schema: Schema, policy: ReformulationPolicy
+    atom: TriplePattern, schema: Schema, policy: ReformulationPolicy,
+    encoding=None,
 ) -> List[Alternative]:
     """Non-identity alternatives for a ``(s, rdf:type, o)`` atom,
     handling both constant and variable class positions."""
@@ -149,21 +182,22 @@ def _reformulate_type_atom(
         for candidate in sorted(schema.classes(), key=lambda t: t.sort_key()):
             effective_subject = candidate if subject == klass else subject
             for replacement, guard in _type_alternatives_for_class(
-                effective_subject, candidate, schema, policy
+                effective_subject, candidate, schema, policy, encoding
             ):
                 alternatives.append(
                     Alternative(replacement, {klass: candidate}, guard)
                 )
     else:
         for replacement, guard in _type_alternatives_for_class(
-            subject, klass, schema, policy
+            subject, klass, schema, policy, encoding
         ):
             alternatives.append(Alternative(replacement, {}, guard))
     return alternatives
 
 
 def _reformulate_open_property_atom(
-    atom: TriplePattern, schema: Schema, policy: ReformulationPolicy
+    atom: TriplePattern, schema: Schema, policy: ReformulationPolicy,
+    encoding=None,
 ) -> List[Alternative]:
     """Non-identity alternatives for ``(s, v, o)`` with a property
     variable: data-property subsumption and ``rdf:type`` unfoldings,
@@ -179,6 +213,24 @@ def _reformulate_open_property_atom(
         for prop in sorted(schema.properties(), key=lambda t: t.sort_key()):
             if prop == RDF_TYPE:
                 continue
+            interval = (
+                encoding.property_interval(prop)
+                if encoding is not None
+                else None
+            )
+            if interval is not None:
+                # One strict interval atom stands in for every
+                # subproperty branch of *prop* (the identity
+                # alternative already matches prop itself).
+                strict = interval.strict()
+                if strict is not None:
+                    alternatives.append(
+                        Alternative(
+                            TriplePattern(subject, strict, obj),
+                            {prop_var: prop},
+                        )
+                    )
+                continue
             for sub in sorted(schema.subproperties(prop), key=lambda t: t.sort_key()):
                 alternatives.append(
                     Alternative(TriplePattern(subject, sub, obj), {prop_var: prop})
@@ -186,7 +238,7 @@ def _reformulate_open_property_atom(
 
     type_atom = TriplePattern(subject, RDF_TYPE, obj)
     for replacement, binding, guard in _reformulate_type_atom(
-        type_atom, schema, policy
+        type_atom, schema, policy, encoding
     ):
         # The property variable may coincide with a variable the type
         # unfolding already bound (e.g. the atom ``(a, b, b)``); a
@@ -203,12 +255,19 @@ def reformulate_atom(
     atom: TriplePattern,
     schema: Schema,
     policy: ReformulationPolicy = COMPLETE,
+    encoding=None,
 ) -> List[Alternative]:
     """Every alternative for *atom* under *schema*, identity first.
 
     The union of the alternatives, evaluated over the explicit triples,
     equals the atom's answer over the saturated graph — the per-atom
     form of the paper's correctness contract ``q(db∞) = qref(db)``.
+
+    ``encoding`` (a :class:`~repro.encoding.HierarchyEncoding`, opt-in)
+    collapses subclass/subproperty enumerations into single interval
+    atoms wherever the encoding covers the node; uncovered nodes fall
+    back to the classic unions, so coverage is an optimization, never a
+    correctness requirement.
 
     >>> from repro.rdf.namespaces import Namespace
     >>> from repro.schema import Constraint
@@ -221,18 +280,40 @@ def reformulate_atom(
     alternatives: List[Alternative] = [Alternative(atom, {})]
     prop = atom.property
     if isinstance(prop, Variable):
-        alternatives.extend(_reformulate_open_property_atom(atom, schema, policy))
+        alternatives.extend(
+            _reformulate_open_property_atom(atom, schema, policy, encoding)
+        )
     elif prop == RDF_TYPE:
-        alternatives.extend(_reformulate_type_atom(atom, schema, policy))
+        alternatives.extend(
+            _reformulate_type_atom(atom, schema, policy, encoding)
+        )
     elif prop in SCHEMA_PROPERTIES:
         # The stored closed schema makes the identity alternative
         # complete for constraint atoms (database contract).
         pass
     elif policy.subproperty:
-        for sub in sorted(schema.subproperties(prop), key=lambda t: t.sort_key()):
-            alternatives.append(
-                Alternative(TriplePattern(atom.subject, sub, atom.object), {})
-            )
+        interval = (
+            encoding.property_interval(prop) if encoding is not None else None
+        )
+        if interval is not None:
+            # The identity alternative above matches *prop* itself, so
+            # the interval covers the strict subproperties only.
+            strict = interval.strict()
+            if strict is not None:
+                alternatives.append(
+                    Alternative(
+                        TriplePattern(atom.subject, strict, atom.object), {}
+                    )
+                )
+        else:
+            for sub in sorted(
+                schema.subproperties(prop), key=lambda t: t.sort_key()
+            ):
+                alternatives.append(
+                    Alternative(
+                        TriplePattern(atom.subject, sub, atom.object), {}
+                    )
+                )
     return alternatives
 
 
@@ -240,13 +321,16 @@ def atom_reformulation_size(
     atom: TriplePattern,
     schema: Schema,
     policy: ReformulationPolicy = COMPLETE,
+    encoding=None,
 ) -> int:
     """``len(reformulate_atom(...))`` without building the atoms —
     used to predict UCQ sizes (e.g. Example 1's 564 per open type atom)
-    before deciding whether materialization is even feasible."""
+    before deciding whether materialization is even feasible.  With a
+    hierarchy ``encoding``, counts reflect the collapsed interval atoms
+    (kept in exact lockstep with :func:`reformulate_atom`)."""
     prop = atom.property
     if isinstance(prop, Variable):
-        return len(reformulate_atom(atom, schema, policy))
+        return len(reformulate_atom(atom, schema, policy, encoding))
     if prop == RDF_TYPE:
         klass = atom.object
         if isinstance(klass, Variable):
@@ -258,13 +342,20 @@ def atom_reformulation_size(
                     candidate if atom.subject == klass else atom.subject
                 )
                 total += _class_alternative_count(
-                    effective_subject, candidate, schema, policy
+                    effective_subject, candidate, schema, policy, encoding
                 )
             return total
-        return 1 + _class_alternative_count(atom.subject, klass, schema, policy)
+        return 1 + _class_alternative_count(
+            atom.subject, klass, schema, policy, encoding
+        )
     if prop in SCHEMA_PROPERTIES:
         return 1
     if policy.subproperty:
+        if (
+            encoding is not None
+            and encoding.property_interval(prop) is not None
+        ):
+            return 2  # identity + one interval atom
         return 1 + len(schema.subproperties(prop))
     return 1
 
@@ -274,16 +365,24 @@ def _class_alternative_count(
     klass: Term,
     schema: Schema,
     policy: ReformulationPolicy,
+    encoding=None,
 ) -> int:
     from ..rdf.terms import Literal
 
-    count = 0
     subclass_count = len(schema.subclasses(klass)) if policy.subclass else 0
-    count += subclass_count
+    covered = (
+        policy.subclass
+        and encoding is not None
+        and encoding.type_interval(klass) is not None
+    )
+    # One interval atom replaces the per-subclass branches (and, per
+    # τ-subproperty, the 1 + subclass_count object choices).
+    count = 1 if covered else subclass_count
     if policy.domain_range:
         count += len(schema.properties_with_domain(klass))
         if not isinstance(subject, Literal):
             count += len(schema.properties_with_range(klass))
     if policy.subproperty:
-        count += len(_type_subproperties(schema)) * (1 + subclass_count)
+        per_subproperty = 1 if covered else (1 + subclass_count)
+        count += len(_type_subproperties(schema)) * per_subproperty
     return count

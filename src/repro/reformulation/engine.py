@@ -98,9 +98,16 @@ def atom_alternatives(
     query: ConjunctiveQuery,
     schema: Schema,
     policy: ReformulationPolicy = COMPLETE,
+    encoding=None,
 ) -> List[List[Alternative]]:
-    """The per-atom alternative lists for *query* (identity first)."""
-    return [reformulate_atom(atom, schema, policy) for atom in query.atoms]
+    """The per-atom alternative lists for *query* (identity first).
+
+    ``encoding`` (opt-in hierarchy encoding) collapses covered
+    subclass/subproperty enumerations into single interval atoms."""
+    return [
+        reformulate_atom(atom, schema, policy, encoding)
+        for atom in query.atoms
+    ]
 
 
 def _interaction_sets(
@@ -131,6 +138,7 @@ def ucq_size(
     query: ConjunctiveQuery,
     schema: Schema,
     policy: ReformulationPolicy = COMPLETE,
+    encoding=None,
 ) -> int:
     """The exact number of disjuncts of the UCQ reformulation, computed
     without materializing it.
@@ -142,7 +150,7 @@ def ucq_size(
     combinations are counted by enumerating choice tuples without ever
     building a CQ.
     """
-    alternatives = atom_alternatives(query, schema, policy)
+    alternatives = atom_alternatives(query, schema, policy, encoding)
     bound, guarded = _interaction_sets(alternatives)
     independent = True
     for first in range(len(alternatives)):
@@ -170,9 +178,10 @@ def iterate_reformulations(
     query: ConjunctiveQuery,
     schema: Schema,
     policy: ReformulationPolicy = COMPLETE,
+    encoding=None,
 ) -> Iterator[ConjunctiveQuery]:
     """Lazily yield every disjunct of the UCQ reformulation."""
-    alternatives = atom_alternatives(query, schema, policy)
+    alternatives = atom_alternatives(query, schema, policy, encoding)
     for choices in itertools.product(*alternatives):
         disjunct = _build_disjunct(query, choices)
         if disjunct is not None:
@@ -185,6 +194,7 @@ def reformulate(
     policy: ReformulationPolicy = COMPLETE,
     max_disjuncts: Optional[int] = None,
     deduplicate: bool = False,
+    encoding=None,
 ) -> UnionQuery:
     """The UCQ reformulation ``q_ref`` with ``q(db∞) = q_ref(db)``.
 
@@ -192,13 +202,17 @@ def reformulate(
     pre-computed) size exceeds it, :class:`ReformulationTooLarge` is
     raised instead of building the union.  ``deduplicate`` drops
     disjuncts equal up to canonical renaming (at extra cost; sizes
-    reported by the paper are without deduplication).
+    reported by the paper are without deduplication).  ``encoding``
+    (opt-in) emits interval atoms for hierarchy-covered nodes, shrinking
+    both the disjunct count and the per-disjunct work.
     """
     if max_disjuncts is not None:
-        size = ucq_size(query, schema, policy)
+        size = ucq_size(query, schema, policy, encoding)
         if size > max_disjuncts:
             raise ReformulationTooLarge(size, max_disjuncts)
-    union = UnionQuery(list(iterate_reformulations(query, schema, policy)))
+    union = UnionQuery(
+        list(iterate_reformulations(query, schema, policy, encoding))
+    )
     if deduplicate:
         union = union.deduplicated()
     return union

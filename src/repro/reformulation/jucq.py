@@ -26,6 +26,7 @@ def jucq_for_cover(
     schema: Schema,
     policy: ReformulationPolicy = COMPLETE,
     max_disjuncts_per_fragment: Optional[int] = None,
+    encoding=None,
 ) -> JoinOfUnions:
     """Compile *cover* into the JUCQ it induces.
 
@@ -33,6 +34,8 @@ def jucq_for_cover(
     distinguished in the covered query, so joining the fragment UCQs
     and projecting the query head reproduces the CQ's answer under
     entailment (the property tests verify this for arbitrary covers).
+    ``encoding`` (opt-in hierarchy encoding) collapses covered
+    subclass/subproperty unions into interval atoms per fragment.
     """
     fragments: List[Tuple[Tuple[HeadTerm, ...], UnionQuery]] = []
     for fragment in cover.fragments:
@@ -42,6 +45,7 @@ def jucq_for_cover(
             schema,
             policy,
             max_disjuncts=max_disjuncts_per_fragment,
+            encoding=encoding,
         )
         fragments.append((fragment_query.head, union))
     return JoinOfUnions(cover.query.head, fragments)
@@ -51,6 +55,7 @@ def scq_reformulation(
     query_cover_source,
     schema: Schema,
     policy: ReformulationPolicy = COMPLETE,
+    encoding=None,
 ) -> JoinOfUnions:
     """The SCQ reformulation of [15]: the JUCQ of the one-atom-per-
     fragment cover (each fragment a union of *atomic* queries).
@@ -65,17 +70,18 @@ def scq_reformulation(
         cover = query_cover_source
     else:
         raise TypeError("scq_reformulation expects a CQ or Cover")
-    return jucq_for_cover(cover, schema, policy)
+    return jucq_for_cover(cover, schema, policy, encoding=encoding)
 
 
 def jucq_fragment_sizes(
     cover: Cover,
     schema: Schema,
     policy: ReformulationPolicy = COMPLETE,
+    encoding=None,
 ) -> List[int]:
     """Per-fragment UCQ disjunct counts, without materialization —
     the syntactic-size side of a cover's cost."""
     return [
-        ucq_size(cover.fragment_query(fragment), schema, policy)
+        ucq_size(cover.fragment_query(fragment), schema, policy, encoding)
         for fragment in cover.fragments
     ]

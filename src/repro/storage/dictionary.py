@@ -28,12 +28,17 @@ class Dictionary:
     URI('http://e/a')
     """
 
-    __slots__ = ("_term_to_id", "_id_to_term", "_literal_ids")
+    __slots__ = ("_term_to_id", "_id_to_term", "_literal_ids", "_holes")
 
     def __init__(self):
         self._term_to_id: Dict[Term, int] = {}
-        self._id_to_term: List[Term] = []
+        self._id_to_term: List[Optional[Term]] = []
         self._literal_ids: Set[int] = set()
+        # Reserved-but-unassigned ids: the hierarchy-aware encoder
+        # leaves spare slots inside each subtree's id region so a later
+        # schema insert can land *inside* the interval (bounded
+        # incremental growth without re-encoding).
+        self._holes: Set[int] = set()
 
     def encode(self, term: Term) -> int:
         """Return the id of *term*, assigning a fresh one when new."""
@@ -45,6 +50,41 @@ class Dictionary:
             if isinstance(term, Literal):
                 self._literal_ids.add(term_id)
         return term_id
+
+    def reserve(self, count: int = 1) -> List[int]:
+        """Reserve *count* fresh ids with no term attached (holes).
+
+        A hole participates in the dense id space — :meth:`decode`
+        raises on it and :meth:`terms` reports it as None — until
+        :meth:`assign` fills it.  The hierarchy-aware encoder uses
+        holes as slack inside interval regions.
+        """
+        start = len(self._id_to_term)
+        ids = list(range(start, start + count))
+        self._id_to_term.extend([None] * count)
+        self._holes.update(ids)
+        return ids
+
+    def assign(self, term_id: int, term: Term) -> int:
+        """Fill the hole *term_id* with *term* (which must be new)."""
+        if term_id not in self._holes:
+            raise KeyError("id %d is not an unassigned hole" % term_id)
+        if term in self._term_to_id:
+            raise ValueError("%r is already encoded" % (term,))
+        self._holes.discard(term_id)
+        self._id_to_term[term_id] = term
+        self._term_to_id[term] = term_id
+        if isinstance(term, Literal):
+            self._literal_ids.add(term_id)
+        return term_id
+
+    def is_hole(self, term_id: int) -> bool:
+        """True when *term_id* is reserved but has no term yet."""
+        return term_id in self._holes
+
+    @property
+    def hole_count(self) -> int:
+        return len(self._holes)
 
     def is_literal_id(self, term_id: int) -> bool:
         """True when *term_id* encodes a literal."""
@@ -62,8 +102,8 @@ class Dictionary:
         """
         return self._term_to_id.get(term)
 
-    def terms(self) -> List[Term]:
-        """The full id → term table in id order.
+    def terms(self) -> List[Optional[Term]]:
+        """The full id → term table in id order (None marks a hole).
 
         Because ids are dense and assigned in first-seen order, a
         checkpoint that persists this list rebuilds an *identical*
@@ -75,9 +115,12 @@ class Dictionary:
 
     def decode(self, term_id: int) -> Term:
         try:
-            return self._id_to_term[term_id]
+            term = self._id_to_term[term_id]
         except IndexError:
             raise KeyError("unknown term id %d" % term_id)
+        if term is None:
+            raise KeyError("term id %d is an unassigned hole" % term_id)
+        return term
 
     def __len__(self) -> int:
         return len(self._id_to_term)

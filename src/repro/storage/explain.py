@@ -38,12 +38,36 @@ def _describe(node: PlanNode, store: Optional[TripleStore]) -> str:
             return shorten(term)
         return term.n3()
 
+    def position(kind, value) -> str:
+        if kind == "var":
+            return "?%s" % value.name
+        if kind == "range":
+            return "[#%d..#%d)" % value
+        if kind == "term":
+            return value.n3()
+        return decode(value)
+
     if isinstance(node, ScanNode):
         positions = ", ".join(
-            ("?%s" % value.name) if kind == "var" else decode(value)
-            for kind, value in node.positions
+            position(kind, value) for kind, value in node.positions
         )
-        return "Scan(%s)" % positions
+        described = "Scan(%s)" % positions
+        intervals = getattr(node, "interval_info", None)
+        if intervals:
+            described += "  {%s}" % "; ".join(
+                "interval %s [%d..%d) collapses %d branches"
+                % (
+                    decode(store.dictionary.lookup(anchor))
+                    if store is not None
+                    and store.dictionary.lookup(anchor) is not None
+                    else anchor.n3(),
+                    lo,
+                    hi,
+                    branches,
+                )
+                for lo, hi, anchor, branches in intervals
+            )
+        return described
     if isinstance(node, JoinNode):
         keys = ", ".join("?%s" % v.name for v in node.join_variables)
         return "%sJoin(%s)" % (
@@ -52,8 +76,7 @@ def _describe(node: PlanNode, store: Optional[TripleStore]) -> str:
         )
     if isinstance(node, ProjectNode):
         columns = ", ".join(
-            ("?%s" % value.name) if kind == "var" else decode(value)
-            for kind, value in node.specs
+            position(kind, value) for kind, value in node.specs
         )
         return "Project(%s)" % columns
     if isinstance(node, UnionNode):
@@ -114,12 +137,23 @@ def plan_summary(plan: PlanNode) -> dict:
     """Aggregate plan metrics: node counts per operator, total cost,
     scan count (the parse-relevant size)."""
     counts: dict = {}
+    interval_atoms = 0
+    branches_collapsed = 0
     for node in plan.walk():
         name = type(node).__name__
         counts[name] = counts.get(name, 0) + 1
-    return {
+        for _lo, _hi, _anchor, branches in (
+            getattr(node, "interval_info", None) or ()
+        ):
+            interval_atoms += 1
+            branches_collapsed += max(0, branches - 1)
+    summary = {
         "operators": counts,
         "total_estimated_cost": plan.total_estimated_cost(),
         "scan_atoms": plan.atom_count(),
         "estimated_rows": plan.estimated_rows,
     }
+    if interval_atoms:
+        summary["interval_atoms"] = interval_atoms
+        summary["branches_collapsed"] = branches_collapsed
+    return summary

@@ -108,27 +108,46 @@ class Planner:
     def _scan_for_atom(self, atom: TriplePattern) -> Optional[ScanNode]:
         """The scan node for one atom, or None when a constant is
         absent from the dictionary (the atom cannot match)."""
+        from ..encoding.hierarchy import HierarchyInterval
+
         positions: List[PositionSpec] = []
+        intervals: List[HierarchyInterval] = []
         for term in atom.as_tuple():
             if isinstance(term, Variable):
                 positions.append(("var", term))
+            elif isinstance(term, HierarchyInterval):
+                # The hierarchy-encoded interval atom: a half-open id
+                # range predicate on this position.
+                positions.append(("range", (term.lo, term.hi)))
+                intervals.append(term)
             else:
                 term_id = self.store.term_id(term)
                 if term_id is None:
                     return None
                 positions.append(("const", term_id))
-        return ScanNode(positions)
+        scan = ScanNode(positions)
+        if intervals:
+            # Observability payload for explain/--show-metrics: what
+            # the range stands for and how many union branches it
+            # replaced.
+            scan.interval_info = [
+                (term.lo, term.hi, term.anchor, term.branches)
+                for term in intervals
+            ]
+        return scan
 
     def _projection_specs(self, head: Sequence[HeadTerm]) -> List[ProjectionSpec]:
         specs: List[ProjectionSpec] = []
         for item in head:
             if isinstance(item, Variable):
                 specs.append(("var", item))
+            elif (term_id := self.store.dictionary.lookup(item)) is not None:
+                specs.append(("const", term_id))
             else:
-                # Projection constants are encoded (never filter rows,
-                # so a fresh dictionary entry is harmless and needed to
-                # emit the constant in answer rows).
-                specs.append(("const", self.store.dictionary.encode(item)))
+                # A head constant the data never stored: emit the term
+                # itself rather than encoding it — answering a query
+                # must never grow the dictionary.
+                specs.append(("term", item))
         return specs
 
     def _head_labels(self, head: Sequence[HeadTerm]) -> List[ColumnLabel]:

@@ -27,6 +27,7 @@ from typing import FrozenSet, List, Tuple
 
 from ..engine.ir import EmptyNode
 from ..engine.lowering import fragment_column_map, fragment_leaves, lower
+from ..rdf.io import parse_term
 from ..query.algebra import (
     ConjunctiveQuery,
     JoinOfUnions,
@@ -99,7 +100,22 @@ class SqliteBackend:
     def __init__(self, store: TripleStore):
         self.store = store
         self.connection = sqlite3.connect(":memory:")
+        #: High-water mark of dictionary ids already synced to ``dict``
+        #: (COUNT(*) would drift: hole ids — reserved by the hierarchy
+        #: encoder, not yet assigned a term — get no row).
+        self._synced_terms = 0
         self._load()
+
+    def _dict_rows(self, start: int, stop: int) -> List[Tuple[int, str]]:
+        dictionary = self.store.dictionary
+        rows = []
+        for term_id in range(start, stop):
+            if dictionary.is_hole(term_id):
+                continue
+            term = dictionary.decode(term_id)
+            kind = "literal" if isinstance(term, Literal) else "resource"
+            rows.append((term_id, kind))
+        return rows
 
     def _load(self) -> None:
         cursor = self.connection.cursor()
@@ -109,12 +125,11 @@ class SqliteBackend:
             "INSERT INTO t VALUES (?, ?, ?)", list(self.store.scan_all())
         )
         dictionary = self.store.dictionary
-        rows = []
-        for term_id in range(len(dictionary)):
-            term = dictionary.decode(term_id)
-            kind = "literal" if isinstance(term, Literal) else "resource"
-            rows.append((term_id, kind))
-        cursor.executemany("INSERT INTO dict VALUES (?, ?)", rows)
+        cursor.executemany(
+            "INSERT INTO dict VALUES (?, ?)",
+            self._dict_rows(0, len(dictionary)),
+        )
+        self._synced_terms = len(dictionary)
         cursor.execute("CREATE INDEX idx_ps ON t (p, s)")
         cursor.execute("CREATE INDEX idx_po ON t (p, o)")
         # Without ANALYZE, SQLite's planner guesses and routinely scans
@@ -125,15 +140,16 @@ class SqliteBackend:
         self.connection.commit()
 
     def _refresh_dictionary(self) -> None:
-        """Sync dictionary rows added since load (projection constants
-        are encoded lazily at SQL-generation time)."""
-        cursor = self.connection.cursor()
-        (count,) = cursor.execute("SELECT COUNT(*) FROM dict").fetchone()
+        """Sync dictionary rows added since load."""
         dictionary = self.store.dictionary
-        for term_id in range(count, len(dictionary)):
-            term = dictionary.decode(term_id)
-            kind = "literal" if isinstance(term, Literal) else "resource"
-            cursor.execute("INSERT INTO dict VALUES (?, ?)", (term_id, kind))
+        if len(dictionary) <= self._synced_terms:
+            return
+        cursor = self.connection.cursor()
+        cursor.executemany(
+            "INSERT INTO dict VALUES (?, ?)",
+            self._dict_rows(self._synced_terms, len(dictionary)),
+        )
+        self._synced_terms = len(dictionary)
         self.connection.commit()
 
     # ------------------------------------------------------------------
@@ -170,8 +186,17 @@ class SqliteBackend:
         if query.arity == 0:
             return frozenset({()} if rows else set())
         decode = self.store.dictionary.decode
+
+        def as_term(value):
+            # ("term", Term) projection constants travel as N3 text
+            # (the dictionary never stored them); everything else is a
+            # term id.
+            if isinstance(value, str):
+                return parse_term(value)
+            return decode(value)
+
         return frozenset(
-            tuple(decode(value) for value in row) for row in rows
+            tuple(as_term(value) for value in row) for row in rows
         )
 
     def _run_jucq_materialized(self, jucq: JoinOfUnions) -> List[Tuple[int, ...]]:
@@ -208,11 +233,15 @@ class SqliteBackend:
                 )
 
             select_items: List[str] = []
+            outer_parameters: List = []
             for position, (kind, value) in enumerate(project.specs):
                 if kind == "var":
                     select_items.append(
                         "%s AS c%d" % (column_of[value], position)
                     )
+                elif kind == "term":
+                    select_items.append("? AS c%d" % position)
+                    outer_parameters.append(value.n3())
                 else:
                     select_items.append("%d AS c%d" % (value, position))
             if not select_items:
@@ -224,7 +253,7 @@ class SqliteBackend:
             conditions = [condition for _, _, condition in joins]
             if conditions:
                 sql += " WHERE " + " AND ".join(conditions)
-            return cursor.execute(sql).fetchall()
+            return cursor.execute(sql, outer_parameters).fetchall()
         finally:
             for name in table_names:
                 cursor.execute("DROP TABLE IF EXISTS %s" % name)

@@ -129,7 +129,10 @@ class TripleStore:
         """
         store = cls()
         for term in terms:
-            store.dictionary.encode(term)
+            if term is None:
+                store.dictionary.reserve(1)
+            else:
+                store.dictionary.encode(term)
         type_id = store.dictionary.lookup(RDF_TYPE)
         if type_id is not None:
             store._type_id = type_id
@@ -215,8 +218,14 @@ class TripleStore:
         """The id of *term*, or None when absent from the store."""
         return self.dictionary.lookup(term)
 
-    def decode_row(self, row: Tuple[int, ...]) -> Tuple[Term, ...]:
-        return tuple(self.dictionary.decode(term_id) for term_id in row)
+    def decode_row(self, row: Tuple) -> Tuple[Term, ...]:
+        # Projection rows may carry a ready Term (a constant the query
+        # names but the data never stored — see ``("term", …)`` specs):
+        # those pass through undecoded.
+        return tuple(
+            value if isinstance(value, Term) else self.dictionary.decode(value)
+            for value in row
+        )
 
     @property
     def type_property_id(self) -> Optional[int]:
@@ -255,6 +264,55 @@ class TripleStore:
         if by_object is None:
             return iter(())
         return iter(by_object.get(object_id, ()))
+
+    def scan_property_object_range(
+        self, property_id: int, lo: int, hi: int
+    ) -> Iterator[Tuple[int, int]]:
+        """All (subject, object) pairs of *property* whose object id
+        lies in the half-open interval ``[lo, hi)`` — the interval-atom
+        access path of the hierarchy-aware encoding.  Probes each id in
+        the (narrow, schema-sized) window against the (p, o) index;
+        groups ascend by object id, subjects iterate in set order like
+        the point-scan paths (sorting here would cost more than the
+        collapsed union saves)."""
+        by_object = self._pos.get(property_id)
+        if by_object is None:
+            return
+        for object_id in range(lo, hi):
+            subjects = by_object.get(object_id)
+            if subjects:
+                for subject_id in subjects:
+                    yield (subject_id, object_id)
+
+    def scan_property_range(
+        self,
+        lo: int,
+        hi: int,
+        subject_id: Optional[int] = None,
+        object_id: Optional[int] = None,
+    ) -> Iterator[Tuple[int, int, int]]:
+        """All (subject, property, object) triples whose *property* id
+        lies in ``[lo, hi)`` — the access path of a subproperty
+        interval atom.  Probes each id in the window against the
+        per-property indexes instead of scanning the triple table, and
+        honours bound subject/object positions."""
+        for property_id in range(lo, hi):
+            if subject_id is not None and object_id is not None:
+                if (subject_id, property_id, object_id) in self._triples:
+                    yield (subject_id, property_id, object_id)
+            elif subject_id is not None:
+                for value in self.scan_property_subject(
+                    property_id, subject_id
+                ):
+                    yield (subject_id, property_id, value)
+            elif object_id is not None:
+                for value in self.scan_property_object(
+                    property_id, object_id
+                ):
+                    yield (value, property_id, object_id)
+            else:
+                for subject, object_ in self.scan_property(property_id):
+                    yield (subject, property_id, object_)
 
     def contains(self, encoded: EncodedTriple) -> bool:
         return encoded in self._triples

@@ -77,6 +77,49 @@ class TestExplain:
         assert "Scan(" in out
         assert "actual=" in out
 
+    def test_explain_interval_encoding(self, capsys):
+        code, out = run_cli(
+            capsys, "explain", "--dataset", "books", "--query", "B1",
+            "--strategy", "ref-gcov", "--interval-encoding",
+        )
+        assert code == 0
+        assert "interval atoms:" in out
+        assert "collapsed" in out
+        # The plan shows the range scan with its interval annotation.
+        assert "[#" in out
+        assert "collapses" in out
+
+
+class TestIntervalAnswer:
+    def test_answer_interval_metrics(self, capsys):
+        code, out = run_cli(
+            capsys, "answer", "--dataset", "books", "--query", "B1",
+            "--strategy", "ref-scq", "--engine", "columnar",
+            "--interval-encoding", "--show-metrics",
+        )
+        assert code == 0
+        assert "interval atoms:" in out
+        assert "union branch" in out
+
+    def test_answer_interval_matches_classic(self, capsys):
+        code, classic = run_cli(
+            capsys, "answer", "--dataset", "books", "--query", "B1",
+            "--strategy", "ref-ucq", "--show-answers",
+        )
+        assert code == 0
+        code, encoded = run_cli(
+            capsys, "answer", "--dataset", "books", "--query", "B1",
+            "--strategy", "ref-ucq", "--show-answers",
+            "--interval-encoding",
+        )
+        assert code == 0
+        assert "J. L. Borges" in encoded
+        # Identical answer rows, interval encoding or not.
+        extract = lambda out: [
+            line for line in out.splitlines() if line.startswith("    (")
+        ]
+        assert extract(encoded) == extract(classic)
+
 
 class TestCovers:
     def test_cover_exploration(self, capsys):

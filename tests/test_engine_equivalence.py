@@ -513,3 +513,114 @@ class TestReferenceEvaluatorBudgets:
             evaluate(db, jucq, budget=ExecutionBudget(max_rows=100))
         roomy = evaluate(db, jucq, budget=ExecutionBudget(max_rows=10**7))
         assert roomy == evaluate(db, jucq)
+
+
+class TestIntervalEncodingDifferential:
+    """Interval-encoded answering is byte-identical to the classic
+    unions on every engine: the hierarchy encoding changes plan shape
+    (one range-scanned interval atom per covered union), never the
+    answer set — including under budgets and degraded answers."""
+
+    ENGINES = ALL_ENGINES + ["sqlite"]
+
+    @pytest.mark.parametrize("engine", ENGINES)
+    @pytest.mark.parametrize("strategy", STRATEGIES, ids=STRATEGY_IDS)
+    def test_books_same_answers(self, books, engine, strategy):
+        graph, schema, query = books
+        classic = QueryAnswerer(graph, schema, engine=engine)
+        encoded = QueryAnswerer(
+            graph, schema, engine=engine, interval_encoding=True
+        )
+        cover = _cover_for(strategy, query)
+        expected = classic.answer(query, strategy, cover=cover).answer
+        report = encoded.answer(query, strategy, cover=cover)
+        assert report.answer == expected, (engine, strategy)
+
+    @pytest.mark.parametrize("engine", ENGINES)
+    def test_blowup_same_answer_with_collapsed_union(self, blowup, engine):
+        graph, schema, query = blowup
+        encoded = QueryAnswerer(
+            graph, schema, engine=engine, interval_encoding=True
+        )
+        report = encoded.answer(query, Strategy.REF_SCQ)
+        assert report.answer == frozenset({(EX.i1_0, EX.o0)})
+        stats = report.details["interval"]
+        assert stats["interval_atoms"] >= 1
+        # The interval swallowed the strict-subclass enumeration (the
+        # queried class itself stays in the identity alternative).
+        assert stats["branches_collapsed"] >= SUBCLASSES - 1
+
+    def test_blowup_reformulation_has_no_subclass_branches(self, blowup):
+        from repro.encoding import HierarchyInterval
+        from repro.reformulation import reformulate
+
+        graph, schema, query = blowup
+        encoded = QueryAnswerer(graph, schema, interval_encoding=True)
+        union = reformulate(
+            query, encoded.schema, encoded.policy, encoding=encoded.encoding
+        )
+        subclasses = {
+            EX.term("C%d" % i) for i in range(1, SUBCLASSES + 1)
+        }
+        for disjunct in union.disjuncts:
+            for atom in disjunct.atoms:
+                assert atom.object not in subclasses
+        assert any(
+            isinstance(atom.object, HierarchyInterval)
+            for disjunct in union.disjuncts
+            for atom in disjunct.atoms
+        )
+        # The classic reformulation enumerates every subclass; the
+        # interval one needs a single disjunct per atom choice set.
+        classic = reformulate(query, encoded.schema, encoded.policy)
+        assert len(union.disjuncts) < len(classic.disjuncts)
+
+    @pytest.mark.parametrize("engine", ["pipelined", "columnar"])
+    def test_budget_abort_and_allow_partial(self, blowup, engine):
+        graph, schema, query = blowup
+        encoded = QueryAnswerer(
+            graph, schema, engine=engine, interval_encoding=True
+        )
+        complete = encoded.answer(query, Strategy.REF_SCQ).answer
+        with pytest.raises(BudgetExceeded) as info:
+            encoded.answer(
+                query,
+                Strategy.REF_SCQ,
+                row_budget=TestScqBlowup.ROW_BUDGET,
+                budget_fallbacks=0,
+            )
+        assert info.value.kind == "rows"
+        assert info.value.partial_answer is not None
+        report = encoded.answer(
+            query,
+            Strategy.REF_SCQ,
+            row_budget=TestScqBlowup.ROW_BUDGET,
+            budget_fallbacks=0,
+            allow_partial=True,
+        )
+        assert report.details["partial"] is True
+        assert report.answer <= complete
+
+    def test_cache_keys_separate_encodings(self, blowup):
+        graph, schema, query = blowup
+        cache = QueryCache()
+        classic = QueryAnswerer(
+            graph, schema, engine="columnar", cache=cache
+        )
+        encoded = QueryAnswerer(
+            graph,
+            schema,
+            engine="columnar",
+            cache=cache,
+            interval_encoding=True,
+        )
+        first = classic.answer(query, Strategy.REF_UCQ)
+        assert first.details["cache"]["answer"] == "miss"
+        # The interval-encoded answerer must not be served the classic
+        # entry (its plans speak a different id layout).
+        second = encoded.answer(query, Strategy.REF_UCQ)
+        assert second.details["cache"]["answer"] == "miss"
+        assert second.answer == first.answer
+        assert encoded.answer(
+            query, Strategy.REF_UCQ
+        ).details["cache"]["answer"] == "hit"
